@@ -1,0 +1,160 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the engineering-critical
+ * substrates: QMDD construction/multiplication, CTR routing, the
+ * optimizer passes, and the QASM parser. Not a paper table; tracks the
+ * throughput that makes the Section 5 timings possible.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "common/rng.hpp"
+#include "core/qsyn.hpp"
+#include "ir/random_circuit.hpp"
+
+using namespace qsyn;
+
+namespace {
+
+Circuit
+makeRandom(int qubits, int gates, std::uint64_t seed = 7,
+           size_t max_controls = 2)
+{
+    Rng rng(seed);
+    RandomCircuitOptions opts;
+    opts.numQubits = static_cast<Qubit>(qubits);
+    opts.numGates = static_cast<size_t>(gates);
+    opts.maxControls = max_controls;
+    return randomCircuit(rng, opts);
+}
+
+void
+BM_QmddBuildCircuit(benchmark::State &state)
+{
+    Circuit c = makeRandom(static_cast<int>(state.range(0)), 120);
+    for (auto _ : state) {
+        dd::Package pkg;
+        benchmark::DoNotOptimize(pkg.buildCircuit(c));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            200);
+}
+BENCHMARK(BM_QmddBuildCircuit)->Arg(4)->Arg(6)->Arg(8);
+
+void
+BM_QmddEquivalenceCheck(benchmark::State &state)
+{
+    Circuit a = makeRandom(static_cast<int>(state.range(0)), 60, 1);
+    Circuit b = a;
+    b.addH(0);
+    b.addH(0);
+    for (auto _ : state) {
+        dd::Package pkg;
+        dd::EquivalenceChecker checker(pkg);
+        benchmark::DoNotOptimize(checker.check(a, b));
+    }
+}
+BENCHMARK(BM_QmddEquivalenceCheck)->Arg(4)->Arg(6);
+
+void
+BM_QmddGateDD(benchmark::State &state)
+{
+    dd::Package pkg;
+    Gate g = Gate::mcx({0, 1, 2, 3, 4}, static_cast<Qubit>(5));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pkg.gateDD(g));
+}
+BENCHMARK(BM_QmddGateDD);
+
+void
+BM_CtrRouting(benchmark::State &state)
+{
+    Device dev = makeIbmqx5();
+    Rng rng(3);
+    Circuit c(16, "cnots");
+    for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+        Qubit a = static_cast<Qubit>(rng.below(16));
+        Qubit b = static_cast<Qubit>(rng.below(16));
+        if (a != b)
+            c.addCnot(a, b);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(route::routeCircuit(c, dev));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_CtrRouting)->Arg(16)->Arg(64)->Arg(256);
+
+void
+BM_OptimizerPipeline(benchmark::State &state)
+{
+    Device dev = makeIbmqx5();
+    Circuit c = makeRandom(8, static_cast<int>(state.range(0)), 7, 1);
+    Circuit routed = route::routeCircuit(c, dev);
+    for (auto _ : state) {
+        Circuit copy = routed;
+        opt::OptimizerOptions opts;
+        opts.device = &dev;
+        benchmark::DoNotOptimize(opt::optimizeCircuit(copy, opts));
+    }
+}
+BENCHMARK(BM_OptimizerPipeline)->Arg(50)->Arg(200);
+
+void
+BM_CancelInversePairs(benchmark::State &state)
+{
+    Circuit base = makeRandom(8, static_cast<int>(state.range(0)));
+    // Append the adjoint so there is guaranteed cancellation work.
+    Circuit padded = base;
+    padded.append(base.inverse());
+    for (auto _ : state) {
+        Circuit copy = padded;
+        benchmark::DoNotOptimize(opt::cancelInversePairs(copy));
+    }
+}
+BENCHMARK(BM_CancelInversePairs)->Arg(100)->Arg(400);
+
+void
+BM_QasmParse(benchmark::State &state)
+{
+    Circuit c = makeRandom(8, static_cast<int>(state.range(0)));
+    std::string qasm = frontend::writeQasm(c);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(frontend::parseQasm(qasm));
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(qasm.size()));
+}
+BENCHMARK(BM_QasmParse)->Arg(100)->Arg(1000);
+
+void
+BM_Statevector(benchmark::State &state)
+{
+    Circuit c = makeRandom(static_cast<int>(state.range(0)), 100);
+    for (auto _ : state) {
+        sim::StateVector sv(static_cast<Qubit>(state.range(0)));
+        sv.apply(c);
+        benchmark::DoNotOptimize(sv.normSquared());
+    }
+}
+BENCHMARK(BM_Statevector)->Arg(8)->Arg(12)->Arg(14);
+
+void
+BM_EndToEndCompile(benchmark::State &state)
+{
+    Device dev = makeIbmqx5();
+    Circuit c(5, "ccx_chain");
+    c.addCcx(0, 1, 2);
+    c.addCcx(2, 3, 4);
+    c.addCcx(0, 2, 4);
+    for (auto _ : state) {
+        Compiler compiler(dev);
+        benchmark::DoNotOptimize(compiler.compile(c));
+    }
+}
+BENCHMARK(BM_EndToEndCompile);
+
+} // namespace
+
+BENCHMARK_MAIN();

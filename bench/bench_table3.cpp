@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reproduces Table 3 and Table 4: the "Optimal single-target gate"
+ * benchmarks compiled to the five IBM devices, reporting
+ * (T-count / gates / Eqn. 2 cost) for the unoptimized and optimized
+ * mappings, the technology-independent form, and the percent cost
+ * decrease per device. See DESIGN.md: the original benchmark files are
+ * regenerated from their hex truth tables, so absolute counts differ
+ * from the paper while the claims (expansion on constrained devices,
+ * no expansion on the simulator, ~5-10 % optimization recovery)
+ * reproduce.
+ */
+
+#include <iostream>
+#include <map>
+
+#include "bench_circuits/single_target_suite.hpp"
+#include "bench_util.hpp"
+#include "common/strings.hpp"
+#include "common/table_printer.hpp"
+
+using namespace qsyn;
+using namespace qsyn::bench;
+
+int
+main()
+{
+    auto devices = ibmTableDevices();
+    const auto &suite = singleTargetSuite();
+
+    TablePrinter table3({"Ftn.", "Qubits", "Tech.Ind. (T/g/cost)",
+                         "Paper T.I.", "Device", "Unopt (T/g/cost)",
+                         "Opt (T/g/cost)", "Time"});
+    TablePrinter table4({"Funct.", "ibmqx2", "ibmqx3", "ibmqx4",
+                         "ibmqx5", "ibmq_16"});
+
+    std::map<std::string, double> average_decrease;
+    std::map<std::string, int> device_rows;
+    size_t improved = 0;
+    size_t mapped_total = 0;
+    double slowest = 0.0;
+
+    for (const auto &bench : suite) {
+        Circuit input = buildSingleTargetCascade(bench);
+        std::vector<std::string> t4_row{bench.name};
+
+        bool first_device = true;
+        for (const Device &dev : devices) {
+            if (input.numQubits() > dev.numQubits()) {
+                table3.addRow({bench.name,
+                               std::to_string(input.numQubits()), "",
+                               "", dev.name(), "N/A", "N/A", ""});
+                t4_row.push_back("N/A");
+                continue;
+            }
+            CompileResult res = compileForTable(input, dev);
+            ++mapped_total;
+            slowest = std::max(slowest, res.totalSeconds);
+            double decrease = res.percentCostDecrease();
+            if (decrease > 0)
+                ++improved;
+            average_decrease[dev.name()] += decrease;
+            ++device_rows[dev.name()];
+
+            std::string paper_ti =
+                first_device ? std::to_string(bench.paperTCount) + "/" +
+                                   std::to_string(bench.paperGates) +
+                                   "/" + formatNumber(bench.paperCost, 2)
+                             : "";
+            table3.addRow({bench.name,
+                           std::to_string(res.decomposed.numQubits()),
+                           first_device
+                               ? metricCell(res.techIndependent)
+                               : "",
+                           paper_ti, dev.name(),
+                           metricCell(res.unoptimized),
+                           metricCell(res.optimizedM),
+                           timingCell(res)});
+            t4_row.push_back(percentCell(decrease));
+            first_device = false;
+        }
+        table4.addRow(t4_row);
+    }
+
+    std::cout << "=== Table 3: single-target gates mapped to the IBM "
+                 "devices ===\n\n";
+    table3.print(std::cout);
+
+    std::cout << "\n=== Table 4: percent cost decrease after "
+                 "optimization ===\n\n";
+    std::vector<std::string> avg_row{"Average"};
+    for (const Device &dev : devices) {
+        double avg = device_rows[dev.name()] > 0
+                         ? average_decrease[dev.name()] /
+                               device_rows[dev.name()]
+                         : 0.0;
+        avg_row.push_back(percentCell(avg));
+    }
+    table4.addRow(avg_row);
+    table4.print(std::cout);
+
+    std::cout << "\nSummary: " << improved << " of " << mapped_total
+              << " technology-dependent mappings improved under "
+                 "optimization ("
+              << percentCell(100.0 * static_cast<double>(improved) /
+                             static_cast<double>(mapped_total))
+              << "%; paper reports 74/94 = ~79%).\n";
+    std::cout << "Slowest synthesis+verification: "
+              << percentCell(slowest) << " s (paper: none exceeding "
+              << "5 s).\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bernstein-Vazirani on a real device: recovers a hidden bit string s
+ * from a single oracle query. The oracle f(x) = s.x is built with
+ * CNOTs, compiled onto ibmq_16 (Melbourne), and the compiled circuit
+ * is simulated to show every "measured" wire reads the hidden string
+ * exactly — another of the intro's "searching large data sets"
+ * motivations, end-to-end through the technology mapper.
+ *
+ * Build & run:  ./build/examples/bernstein_vazirani
+ */
+
+#include <iostream>
+
+#include "core/qsyn.hpp"
+#include "frontend/circuit_drawer.hpp"
+#include "sim/statevector.hpp"
+
+int
+main()
+{
+    using namespace qsyn;
+
+    const unsigned hidden = 0b1011; // the secret string s
+    const Qubit n = 4;              // data qubits; wire n is the flag
+
+    Circuit bv(n + 1, "bernstein_vazirani");
+    // Flag qubit in |->.
+    bv.addX(n);
+    bv.addH(n);
+    for (Qubit q = 0; q < n; ++q)
+        bv.addH(q);
+    // Oracle: f(x) = s . x, one CNOT per set bit of s.
+    for (Qubit q = 0; q < n; ++q) {
+        if ((hidden >> (n - 1 - q)) & 1)
+            bv.addCnot(q, n);
+    }
+    for (Qubit q = 0; q < n; ++q)
+        bv.addH(q);
+
+    std::cout << "input circuit:\n"
+              << frontend::drawCircuit(bv) << "\n";
+
+    Device device = makeIbmq16();
+    Compiler compiler(device);
+    CompileResult result = compiler.compile(bv);
+    std::cout << "compiled for " << device.name() << ": "
+              << result.optimizedM.gates << " native gates ("
+              << result.routeStats.reroutedCnots << " CNOTs rerouted, "
+              << result.routeStats.reversedCnots << " reversed), "
+              << "verification: "
+              << dd::equivalenceName(result.verification) << "\n\n";
+
+    // Simulate the compiled circuit; the data wires must read `hidden`
+    // with certainty.
+    sim::StateVector sv(result.optimized.numQubits());
+    sv.apply(result.optimized);
+    unsigned recovered = 0;
+    bool deterministic = true;
+    for (Qubit q = 0; q < n; ++q) {
+        double p1 = sv.probabilityOfOne(result.placement[q]);
+        if (p1 > 0.99)
+            recovered |= 1u << (n - 1 - q);
+        else if (p1 > 0.01)
+            deterministic = false;
+    }
+
+    std::cout << "hidden string:    ";
+    for (Qubit q = 0; q < n; ++q)
+        std::cout << ((hidden >> (n - 1 - q)) & 1);
+    std::cout << "\nrecovered string: ";
+    for (Qubit q = 0; q < n; ++q)
+        std::cout << ((recovered >> (n - 1 - q)) & 1);
+    std::cout << (deterministic && recovered == hidden
+                      ? "   (exact, single query)"
+                      : "   MISMATCH")
+              << "\n";
+    return recovered == hidden && deterministic ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Custom technology targets: the paper's tool "supports the addition
+ * of coupling maps so that new devices can be targeted". This example
+ * defines a 7-qubit ring machine in the loader's text format, prints
+ * its coupling complexity, compiles a Toffoli cascade onto it with a
+ * custom (CNOT-heavy) cost function, and emits QASM.
+ *
+ * Build & run:  ./build/examples/custom_device
+ */
+
+#include <iostream>
+
+#include "core/qsyn.hpp"
+#include "frontend/real_parser.hpp"
+
+int
+main()
+{
+    using namespace qsyn;
+
+    // A 7-qubit unidirectional ring, described exactly like a coupling
+    // map dictionary (one control per line).
+    const std::string device_text = R"(
+        # ring7: each qubit controls its clockwise neighbor
+        device ring7 7
+        0: 1
+        1: 2
+        2: 3
+        3: 4
+        4: 5
+        5: 6
+        6: 0
+    )";
+    Device ring = parseDeviceString(device_text);
+    std::cout << "custom target: " << ring.summary() << "\n";
+    std::cout << "coupling map: " << ring.coupling().toDictString()
+              << "\n\n";
+
+    // A small reversible benchmark in RevLib .real format.
+    Circuit cascade = frontend::parseReal(".numvars 4\n"
+                                          ".variables a b c d\n"
+                                          ".begin\n"
+                                          "t3 a b c\n"
+                                          "t2 c d\n"
+                                          "t4 a b c d\n"
+                                          ".end\n",
+                                          "demo_cascade");
+
+    // Custom cost function: this library charges CNOTs 2.0 extra
+    // (e.g. a device with unusually poor two-qubit fidelity).
+    CompileOptions options;
+    options.optimizer.weights.cnotWeight = 2.0;
+    Compiler compiler(ring, options);
+    CompileResult result = compiler.compile(cascade);
+
+    std::cout << "mapped: " << result.unoptimized.gates
+              << " gates (cost " << result.unoptimized.cost
+              << ") -> optimized: " << result.optimizedM.gates
+              << " gates (cost " << result.optimizedM.cost << ", "
+              << result.percentCostDecrease() << "% cheaper)\n";
+    std::cout << "CTR reroutes: " << result.routeStats.reroutedCnots
+              << ", swaps inserted: " << result.routeStats.swapsInserted
+              << "\n";
+    std::cout << "verification: "
+              << dd::equivalenceName(result.verification) << "\n\n";
+
+    std::cout << "--- QASM for ring7 ---\n" << compiler.toQasm(result);
+    return 0;
+}

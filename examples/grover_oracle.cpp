@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Grover search compiled to a real device: builds a 3-qubit Grover
+ * iteration (oracle marking |101> + diffusion operator), compiles it
+ * to ibmqx5, and simulates the *compiled* circuit to show the marked
+ * state's amplified probability survives technology mapping - the
+ * "searching large data sets" motivation from the paper's intro.
+ *
+ * Build & run:  ./build/examples/grover_oracle
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/qsyn.hpp"
+#include "sim/statevector.hpp"
+
+namespace {
+
+using namespace qsyn;
+
+/** Oracle: phase-flip the marked computational basis state. */
+void
+appendOracle(Circuit &c, unsigned marked, Qubit n)
+{
+    // X on zero-bits, then a multi-controlled Z, then undo.
+    for (Qubit q = 0; q < n; ++q) {
+        if (!((marked >> (n - 1 - q)) & 1))
+            c.addX(q);
+    }
+    std::vector<Qubit> controls;
+    for (Qubit q = 0; q + 1 < n; ++q)
+        controls.push_back(q);
+    c.add(Gate(GateKind::Z, controls, {n - 1}));
+    for (Qubit q = 0; q < n; ++q) {
+        if (!((marked >> (n - 1 - q)) & 1))
+            c.addX(q);
+    }
+}
+
+/** Diffusion operator: 2|s><s| - I. */
+void
+appendDiffusion(Circuit &c, Qubit n)
+{
+    for (Qubit q = 0; q < n; ++q)
+        c.addH(q);
+    for (Qubit q = 0; q < n; ++q)
+        c.addX(q);
+    std::vector<Qubit> controls;
+    for (Qubit q = 0; q + 1 < n; ++q)
+        controls.push_back(q);
+    c.add(Gate(GateKind::Z, controls, {n - 1}));
+    for (Qubit q = 0; q < n; ++q)
+        c.addX(q);
+    for (Qubit q = 0; q < n; ++q)
+        c.addH(q);
+}
+
+} // namespace
+
+int
+main()
+{
+    const Qubit n = 3;
+    const unsigned marked = 0b101;
+
+    Circuit grover(n, "grover3");
+    for (Qubit q = 0; q < n; ++q)
+        grover.addH(q); // uniform superposition
+    // Two Grover iterations are optimal for N=8, M=1.
+    for (int iter = 0; iter < 2; ++iter) {
+        appendOracle(grover, marked, n);
+        appendDiffusion(grover, n);
+    }
+
+    std::cout << "technology-independent Grover circuit: "
+              << grover.size() << " gates on " << grover.numQubits()
+              << " qubits (includes CCZ gates the hardware lacks)\n";
+
+    Device device = makeIbmqx5();
+    Compiler compiler(device);
+    CompileResult result = compiler.compile(grover);
+    std::cout << "compiled for " << device.name() << ": "
+              << result.optimizedM.gates << " native gates, cost "
+              << result.optimizedM.cost << ", verification: "
+              << dd::equivalenceName(result.verification) << "\n\n";
+
+    // Simulate the compiled circuit on the device register.
+    sim::StateVector sv(result.optimized.numQubits());
+    sv.apply(result.optimized);
+
+    std::cout << "measurement distribution of the compiled circuit "
+                 "(logical wires):\n";
+    double p_marked = 0.0;
+    for (unsigned basis = 0; basis < 8; ++basis) {
+        // Map a logical basis state onto the physical register.
+        double p = 0.0;
+        for (size_t j = 0; j < sv.dim(); ++j) {
+            bool matches = true;
+            for (Qubit q = 0; q < n; ++q) {
+                size_t phys_bit =
+                    size_t{1} << (result.optimized.numQubits() - 1 -
+                                  result.placement[q]);
+                bool phys_one = (j & phys_bit) != 0;
+                bool want_one = (basis >> (n - 1 - q)) & 1;
+                matches = matches && phys_one == want_one;
+            }
+            if (matches)
+                p += std::norm(sv.amp(j));
+        }
+        std::cout << "  |" << ((basis >> 2) & 1) << ((basis >> 1) & 1)
+                  << (basis & 1) << ">  " << std::fixed
+                  << std::setprecision(4) << p
+                  << (basis == marked ? "   <-- marked item" : "")
+                  << "\n";
+        if (basis == marked)
+            p_marked = p;
+    }
+    std::cout << "\nmarked-state probability " << p_marked
+              << " (ideal Grover after 2 iterations: ~0.945)\n";
+    return p_marked > 0.9 ? 0 : 1;
+}

@@ -1,0 +1,39 @@
+#include "bench_circuits/mcx_suite.hpp"
+
+namespace qsyn::bench {
+
+const std::vector<McxBenchmark> &
+mcxSuite()
+{
+    // Table 7: gate g (g = 0..3) of the T_n circuit has controls
+    // {20g+1 .. 20g+n-1} and target 20g+25.
+    static const std::vector<McxBenchmark> kSuite = [] {
+        std::vector<McxBenchmark> suite;
+        for (int n = 6; n <= 10; ++n) {
+            McxBenchmark bench;
+            bench.name = "T" + std::to_string(n) + "_b";
+            bench.n = n;
+            for (Qubit g = 0; g < 4; ++g) {
+                std::vector<Qubit> controls;
+                for (Qubit i = 1; i <= static_cast<Qubit>(n) - 1; ++i)
+                    controls.push_back(20 * g + i);
+                Qubit target = 20 * g + 25;
+                bench.gates.emplace_back(std::move(controls), target);
+            }
+            suite.push_back(std::move(bench));
+        }
+        return suite;
+    }();
+    return kSuite;
+}
+
+Circuit
+buildMcxBenchmark(const McxBenchmark &benchmark)
+{
+    Circuit circuit(96, benchmark.name);
+    for (const auto &[controls, target] : benchmark.gates)
+        circuit.addMcx(controls, target);
+    return circuit;
+}
+
+} // namespace qsyn::bench

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * The 96-qubit generalized-Toffoli benchmark set of the paper's
+ * Table 7: five circuits T6_b .. T10_b, each a cascade of four T_n
+ * gates placed on the proposed 96-qubit machine so that consecutive
+ * gates share at least one qubit (each gate's target is among the next
+ * gate's controls' row).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qsyn::bench {
+
+/** One Table 7 benchmark: a cascade of four n-qubit Toffolis. */
+struct McxBenchmark
+{
+    std::string name; ///< e.g. "T8_b"
+    int n;            ///< qubits per gate (controls + target)
+    /** The four gates, exactly as listed in Table 7. */
+    std::vector<std::pair<std::vector<Qubit>, Qubit>> gates;
+};
+
+/** The five cascades of Table 7 (T6_b .. T10_b). */
+const std::vector<McxBenchmark> &mcxSuite();
+
+/** Build a suite entry as a 96-wire circuit of four MCX gates. */
+Circuit buildMcxBenchmark(const McxBenchmark &benchmark);
+
+} // namespace qsyn::bench

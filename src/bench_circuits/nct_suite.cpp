@@ -1,0 +1,88 @@
+#include "bench_circuits/nct_suite.hpp"
+
+#include "common/errors.hpp"
+#include "frontend/real_parser.hpp"
+
+namespace qsyn::bench {
+
+const std::vector<NctBenchmark> &
+nctSuite()
+{
+    static const std::vector<NctBenchmark> kSuite = {
+        // 3_17_14: 3 wires, 6 NCT gates, two Toffolis.
+        {"3_17_14", 3, "toffoli", 6,
+         ".numvars 3\n"
+         ".variables a b c\n"
+         ".begin\n"
+         "t3 a b c\n"
+         "t2 c b\n"
+         "t1 a\n"
+         "t3 b c a\n"
+         "t2 a c\n"
+         "t1 b\n"
+         ".end\n"},
+        // fred6: controlled swap expressed as three Toffolis.
+        {"fred6", 3, "toffoli", 3,
+         ".numvars 3\n"
+         ".variables c a b\n"
+         ".begin\n"
+         "t3 c a b\n"
+         "t3 c b a\n"
+         "t3 c a b\n"
+         ".end\n"},
+        // 4_49_17: 4 wires, 12 NCT gates, five Toffolis.
+        {"4_49_17", 4, "toffoli", 12,
+         ".numvars 4\n"
+         ".variables a b c d\n"
+         ".begin\n"
+         "t3 a b c\n"
+         "t2 c d\n"
+         "t3 b d a\n"
+         "t1 c\n"
+         "t2 a b\n"
+         "t3 c d b\n"
+         "t2 b a\n"
+         "t3 a c d\n"
+         "t1 d\n"
+         "t2 d c\n"
+         "t3 b c a\n"
+         "t1 b\n"
+         ".end\n"},
+        // 4gt12-v0_88: 5 wires, largest gate T5.
+        {"4gt12-v0_88", 5, "T5", 5,
+         ".numvars 5\n"
+         ".variables a b c d e\n"
+         ".begin\n"
+         "t5 a b c d e\n"
+         "t4 a b c d\n"
+         "t1 e\n"
+         "t4 b c d e\n"
+         "t2 d e\n"
+         ".end\n"},
+        // 4gt13-v1_93: 5 wires, largest gate T4.
+        {"4gt13-v1_93", 5, "T4", 4,
+         ".numvars 5\n"
+         ".variables a b c d e\n"
+         ".begin\n"
+         "t4 b c d e\n"
+         "t3 a b d\n"
+         "t2 d a\n"
+         "t1 e\n"
+         ".end\n"},
+    };
+    return kSuite;
+}
+
+Circuit
+buildNctBenchmark(const NctBenchmark &benchmark)
+{
+    Circuit circuit =
+        frontend::parseReal(benchmark.realSource, benchmark.name);
+    QSYN_ASSERT(circuit.numQubits() == benchmark.qubits,
+                "suite metadata disagrees with .real source");
+    QSYN_ASSERT(circuit.size() == benchmark.gateCount,
+                "suite gate count disagrees with .real source");
+    return circuit;
+}
+
+} // namespace qsyn::bench

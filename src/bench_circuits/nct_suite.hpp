@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The Toffoli-cascade benchmark set of the paper's Table 5 (RevLib,
+ * reference [24]). The circuits are authored here as .real sources —
+ * exercising the RevLib parser — with qubit counts, gate counts and
+ * largest-gate metadata matching Table 5 (see DESIGN.md "Known
+ * deviations" for how each function was reconstructed).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qsyn::bench {
+
+/** One Table 5 benchmark. */
+struct NctBenchmark
+{
+    std::string name;        ///< paper name, e.g. "4_49_17"
+    Qubit qubits;            ///< register width
+    std::string largestGate; ///< e.g. "toffoli", "T4", "T5"
+    size_t gateCount;        ///< NCT gate count of the cascade
+    std::string realSource;  ///< the circuit in RevLib .real format
+};
+
+/** The 5 cascades of Table 5, in table order. */
+const std::vector<NctBenchmark> &nctSuite();
+
+/** Parse a suite entry's .real source into the NCT cascade. */
+Circuit buildNctBenchmark(const NctBenchmark &benchmark);
+
+} // namespace qsyn::bench

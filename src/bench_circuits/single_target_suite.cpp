@@ -1,0 +1,61 @@
+#include "bench_circuits/single_target_suite.hpp"
+
+#include "decompose/pass.hpp"
+#include "esop/cascade.hpp"
+
+namespace qsyn::bench {
+
+const std::vector<SingleTargetBenchmark> &
+singleTargetSuite()
+{
+    // Table 3 entries: name, hex, qubits, tech-indep T / gates / cost.
+    static const std::vector<SingleTargetBenchmark> kSuite = {
+        {"#1", "1", 3, 7, 17, 22.25},
+        {"#3", "3", 3, 0, 3, 3.25},
+        {"#01", "01", 5, 15, 51, 63.75},
+        {"#03", "03", 4, 7, 20, 25.25},
+        {"#07", "07", 5, 16, 60, 75.0},
+        {"#0f", "0f", 4, 0, 3, 3.25},
+        {"#17", "17", 4, 7, 43, 51.75},
+        {"#0001", "0001", 6, 40, 186, 233.0},
+        {"#0003", "0003", 6, 15, 66, 83.0},
+        {"#0007", "0007", 6, 47, 246, 304.25},
+        {"#000f", "000f", 5, 7, 21, 27.5},
+        {"#0017", "0017", 6, 23, 129, 159.0},
+        {"#001f", "001f", 6, 43, 194, 244.5},
+        {"#003f", "003f", 6, 16, 73, 92.25},
+        {"#007f", "007f", 6, 40, 189, 238.5},
+        {"#00ff", "00ff", 5, 0, 3, 3.25},
+        {"#0117", "0117", 6, 79, 401, 498.0},
+        {"#011f", "011f", 6, 27, 136, 169.5},
+        {"#013f", "013f", 6, 48, 240, 299.5},
+        {"#017f", "017f", 6, 80, 359, 455.0},
+        {"#033f", "033f", 5, 7, 49, 60.75},
+        {"#0356", "0356", 5, 12, 42, 54.75},
+        {"#0357", "0357", 6, 61, 266, 336.5},
+        {"#035f", "035f", 6, 23, 107, 135.5},
+    };
+    return kSuite;
+}
+
+Circuit
+buildSingleTargetCascade(const SingleTargetBenchmark &benchmark)
+{
+    Circuit cascade = esop::singleTargetGateFromHex(benchmark.hex);
+    cascade.setName(benchmark.name);
+    return cascade;
+}
+
+Circuit
+buildSingleTarget(const SingleTargetBenchmark &benchmark)
+{
+    Circuit cascade = buildSingleTargetCascade(benchmark);
+    decompose::DecomposeOptions options;
+    options.lowerToffoli = true;
+    decompose::DecomposeResult lowered =
+        decompose::decomposeToPrimitives(cascade, options);
+    lowered.circuit.setName(benchmark.name);
+    return lowered.circuit;
+}
+
+} // namespace qsyn::bench

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The "Optimal single-target gates" benchmark suite of the paper's
+ * Table 3 (reference [23]). The original circuit files are no longer
+ * hosted; each function is fully determined by the hexadecimal truth
+ * table in its name, so the suite is regenerated through the ESOP
+ * front end (see DESIGN.md, substitution table). The paper's
+ * technology-independent metrics are carried along so the benchmark
+ * harness can print paper-vs-measured columns.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qsyn::bench {
+
+/** One Table 3 benchmark with the paper's reference numbers. */
+struct SingleTargetBenchmark
+{
+    std::string name;      ///< paper name, e.g. "#013f"
+    std::string hex;       ///< control-function truth table
+    Qubit paperQubits;     ///< qubit count listed in Table 3
+    size_t paperTCount;    ///< technology-independent T count
+    size_t paperGates;     ///< technology-independent gate count
+    double paperCost;      ///< technology-independent Eqn. 2 cost
+};
+
+/** The 24 functions of Table 3, in table order. */
+const std::vector<SingleTargetBenchmark> &singleTargetSuite();
+
+/**
+ * Build the technology-independent circuit for a suite entry:
+ * ESOP-synthesize the control function and lower the cascade to the
+ * 1q + CNOT level with unconstrained connectivity (the "simulator
+ * mapping" of Section 5). Ancillas may be appended past the paper's
+ * qubit count by the generalized-Toffoli decomposition.
+ */
+Circuit buildSingleTarget(const SingleTargetBenchmark &benchmark);
+
+/**
+ * The raw NCT-level cascade (before Toffoli lowering), for staged
+ * verification and tests.
+ */
+Circuit buildSingleTargetCascade(const SingleTargetBenchmark &benchmark);
+
+} // namespace qsyn::bench

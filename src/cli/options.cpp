@@ -1,0 +1,297 @@
+#include "cli/options.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/errors.hpp"
+#include "common/strings.hpp"
+#include "device/loader.hpp"
+#include "device/registry.hpp"
+#include "esop/cascade.hpp"
+#include "frontend/loader.hpp"
+#include "frontend/pla_parser.hpp"
+#include "decompose/rebase.hpp"
+#include "frontend/circuit_drawer.hpp"
+#include "frontend/qasm_writer.hpp"
+#include "core/report.hpp"
+#include "opt/schedule.hpp"
+
+#include <fstream>
+
+namespace qsyn::cli {
+
+namespace {
+
+decompose::McxStrategy
+strategyFromName(const std::string &name)
+{
+    if (name == "auto")
+        return decompose::McxStrategy::Auto;
+    if (name == "clean")
+        return decompose::McxStrategy::CleanVChain;
+    if (name == "dirty")
+        return decompose::McxStrategy::DirtyVChain;
+    if (name == "split")
+        return decompose::McxStrategy::Split;
+    if (name == "roots")
+        return decompose::McxStrategy::Roots;
+    throw UserError("unknown MCX strategy '" + name +
+                    "' (auto|clean|dirty|split|roots)");
+}
+
+double
+parseDouble(const std::string &flag, const std::string &value)
+{
+    try {
+        size_t pos = 0;
+        double v = std::stod(value, &pos);
+        if (pos != value.size())
+            throw std::invalid_argument("trailing");
+        return v;
+    } catch (const std::exception &) {
+        throw UserError("bad numeric value '" + value + "' for " + flag);
+    }
+}
+
+} // namespace
+
+CliOptions
+parseCliArguments(const std::vector<std::string> &args)
+{
+    CliOptions opts;
+    size_t i = 0;
+    auto next_value = [&](const std::string &flag) -> std::string {
+        if (i + 1 >= args.size())
+            throw UserError("missing value for " + flag);
+        return args[++i];
+    };
+
+    for (; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (arg == "-h" || arg == "--help") {
+            opts.showHelp = true;
+        } else if (arg == "--list-devices") {
+            opts.listDevices = true;
+        } else if (arg == "-d" || arg == "--device") {
+            opts.deviceName = next_value(arg);
+        } else if (arg == "--device-file") {
+            opts.deviceFile = next_value(arg);
+        } else if (arg == "--simulator-qubits") {
+            opts.simulatorQubits = static_cast<Qubit>(
+                parseDouble(arg, next_value(arg)));
+        } else if (arg == "-o" || arg == "--output") {
+            opts.outputPath = next_value(arg);
+        } else if (arg == "--no-optimize") {
+            opts.compile.optimize = false;
+        } else if (arg == "--no-verify") {
+            opts.compile.verify = VerifyMode::Off;
+        } else if (arg == "--verify-miter") {
+            opts.compile.verify = VerifyMode::Miter;
+        } else if (arg == "--placement") {
+            std::string value = next_value(arg);
+            if (value == "identity")
+                opts.compile.placement =
+                    route::PlacementStrategy::Identity;
+            else if (value == "greedy")
+                opts.compile.placement = route::PlacementStrategy::Greedy;
+            else
+                throw UserError("unknown placement '" + value +
+                                "' (identity|greedy)");
+        } else if (arg == "--mcx") {
+            opts.compile.mcxStrategy =
+                strategyFromName(next_value(arg));
+        } else if (arg == "--meet-in-middle") {
+            opts.compile.routing.meetInMiddle = true;
+        } else if (arg == "--dynamic-layout") {
+            opts.compile.routing.dynamicLayout = true;
+        } else if (arg == "--fidelity-aware") {
+            opts.compile.routing.fidelityAware = true;
+        } else if (arg == "--phase-poly") {
+            opts.compile.optimizer.enablePhasePolynomial = true;
+        } else if (arg == "--weight-t") {
+            opts.compile.optimizer.weights.tWeight =
+                parseDouble(arg, next_value(arg));
+        } else if (arg == "--weight-cnot") {
+            opts.compile.optimizer.weights.cnotWeight =
+                parseDouble(arg, next_value(arg));
+        } else if (arg == "--weight-gate") {
+            opts.compile.optimizer.weights.gateWeight =
+                parseDouble(arg, next_value(arg));
+        } else if (arg == "--draw") {
+            opts.drawCircuits = true;
+        } else if (arg == "--schedule") {
+            opts.printSchedule = true;
+        } else if (arg == "--report") {
+            opts.reportPath = next_value(arg);
+        } else if (arg == "--rebase") {
+            std::string value = next_value(arg);
+            if (value != "cz" && value != "cnot")
+                throw UserError("unknown rebase target '" + value +
+                                "' (cz|cnot)");
+            opts.rebase = value;
+        } else if (arg == "--quiet") {
+            opts.printStats = false;
+        } else if (arg == "--no-emit") {
+            opts.emitQasm = false;
+        } else if (!arg.empty() && arg[0] == '-') {
+            throw UserError("unknown option '" + arg + "'");
+        } else if (opts.inputPath.empty()) {
+            opts.inputPath = arg;
+        } else {
+            throw UserError("unexpected extra argument '" + arg + "'");
+        }
+    }
+
+    if (!opts.showHelp && !opts.listDevices && opts.inputPath.empty())
+        throw UserError("no input file (try --help)");
+    return opts;
+}
+
+std::string
+cliHelpText()
+{
+    return
+        "qsync - technology-dependent quantum logic synthesis\n"
+        "\n"
+        "usage: qsync [options] <circuit.{qasm,qc,real,pla}>\n"
+        "\n"
+        "options:\n"
+        "  -d, --device <name>      built-in target (default ibmqx4);\n"
+        "                           'simulator' = unconstrained\n"
+        "      --device-file <f>    load a custom coupling-map file\n"
+        "      --simulator-qubits N simulator register width\n"
+        "  -o, --output <file>     write QASM here (default stdout)\n"
+        "      --placement <p>      identity | greedy\n"
+        "      --mcx <s>            auto|clean|dirty|split|roots\n"
+        "      --meet-in-middle     CTR variant: move both endpoints\n"
+        "      --dynamic-layout     persistent-swap routing variant\n"
+        "      --fidelity-aware     route around high-error couplings\n"
+        "      --phase-poly         phase-polynomial T-count reduction\n"
+        "      --weight-t <w>       Eqn. 2 T-gate weight (default 0.5)\n"
+        "      --weight-cnot <w>    Eqn. 2 CNOT weight (default 0.25)\n"
+        "      --weight-gate <w>    Eqn. 2 volume weight (default 1)\n"
+        "      --no-optimize        skip local optimization\n"
+        "      --no-verify          skip QMDD verification\n"
+        "      --verify-miter       alternating-miter verification\n"
+        "      --draw               ASCII-draw input and output\n"
+        "      --schedule           print depth/parallelism analysis\n"
+        "      --report <file>      write a JSON compile report\n"
+        "      --rebase <basis>     cz | cnot two-qubit output basis\n"
+        "      --quiet              suppress the statistics report\n"
+        "      --no-emit            suppress QASM output\n"
+        "      --list-devices       print the device library and exit\n"
+        "  -h, --help               this text\n";
+}
+
+int
+runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
+{
+    if (options.showHelp) {
+        out << cliHelpText();
+        return 0;
+    }
+    if (options.listDevices) {
+        for (const Device &dev : allBuiltinDevices())
+            out << dev.summary() << "\n";
+        out << "simulator (any size; no coupling restrictions)\n";
+        return 0;
+    }
+
+    try {
+        Device device = [&]() -> Device {
+            if (!options.deviceFile.empty())
+                return loadDeviceFile(options.deviceFile);
+            if (options.deviceName == "simulator")
+                return Device::simulator(options.simulatorQubits);
+            return builtinDevice(options.deviceName);
+        }();
+
+        Circuit input = [&]() -> Circuit {
+            if (endsWith(toLower(options.inputPath), ".pla")) {
+                // Classical path of Fig. 2: ESOP front end.
+                return esop::synthesizePla(
+                    frontend::loadPlaFile(options.inputPath));
+            }
+            return frontend::loadCircuitFile(options.inputPath);
+        }();
+
+        Compiler compiler(device, options.compile);
+        CompileResult result = compiler.compile(input);
+
+        if (options.printStats) {
+            err << "device:            " << device.summary() << "\n";
+            err << "tech-independent:  T " << result.techIndependent.tCount
+                << ", gates " << result.techIndependent.gates
+                << ", cost " << result.techIndependent.cost << "\n";
+            err << "mapped unopt:      T " << result.unoptimized.tCount
+                << ", gates " << result.unoptimized.gates << ", cost "
+                << result.unoptimized.cost << "\n";
+            err << "mapped optimized:  T " << result.optimizedM.tCount
+                << ", gates " << result.optimizedM.gates << ", cost "
+                << result.optimizedM.cost << " ("
+                << result.percentCostDecrease() << "% decrease)\n";
+            err << "routing:           " << result.routeStats.nativeCnots
+                << " native, " << result.routeStats.reversedCnots
+                << " reversed, " << result.routeStats.reroutedCnots
+                << " rerouted CNOTs, " << result.routeStats.swapsInserted
+                << " swaps\n";
+            if (result.verifyRan) {
+                err << "verification:      "
+                    << dd::equivalenceName(result.verification) << "\n";
+            }
+            err << "time:              " << result.totalSeconds << " s\n";
+        }
+        if (options.drawCircuits) {
+            frontend::DrawOptions dopts;
+            dopts.maxColumns = 40;
+            err << "\n--- input ---\n"
+                << frontend::drawCircuit(input, dopts);
+            err << "\n--- compiled ---\n"
+                << frontend::drawCircuit(result.optimized, dopts)
+                << "\n";
+        }
+        if (options.printSchedule) {
+            opt::Schedule schedule = opt::scheduleAsap(result.optimized);
+            opt::ScheduleStats sstats =
+                computeScheduleStats(result.optimized, schedule);
+            err << "schedule:          depth " << sstats.depth
+                << ", avg parallelism " << sstats.parallelism
+                << ", widest layer " << sstats.maxLayerWidth
+                << ", idle wire-layers " << sstats.idleWireLayers
+                << "\n";
+        }
+        if (!options.reportPath.empty()) {
+            std::ofstream report(options.reportPath);
+            if (!report)
+                throw UserError("cannot write report '" +
+                                options.reportPath + "'");
+            report << compileReportJson(result, device);
+            err << "wrote " << options.reportPath << "\n";
+        }
+        Circuit emitted = result.optimized;
+        if (options.rebase == "cz")
+            emitted = decompose::rebaseToCz(emitted);
+        else if (options.rebase == "cnot")
+            emitted = decompose::rebaseToCnot(emitted);
+        if (options.emitQasm) {
+            frontend::QasmWriterOptions wopts;
+            wopts.headerComment = "qsyn: mapped to " + device.name();
+            if (options.outputPath.empty()) {
+                out << frontend::writeQasm(emitted, wopts);
+            } else {
+                frontend::writeQasmFile(emitted, options.outputPath,
+                                        wopts);
+                err << "wrote " << options.outputPath << "\n";
+            }
+        }
+        return 0;
+    } catch (const UserError &e) {
+        err << "error: " << e.what() << "\n";
+        return 1;
+    } catch (const Error &e) {
+        err << "internal failure: " << e.what() << "\n";
+        return 2;
+    }
+}
+
+} // namespace qsyn::cli

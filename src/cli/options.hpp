@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Command-line interface of the qsync compiler driver: argument
+ * grammar, parsed options, and help text. Kept in the library (rather
+ * than the tool's main.cpp) so it is unit-testable.
+ */
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+
+namespace qsyn::cli {
+
+/** Fully parsed command line. */
+struct CliOptions
+{
+    /** Input circuit file (.qasm/.qc/.real) or PLA (.pla). */
+    std::string inputPath;
+    /** Output QASM path; empty = stdout. */
+    std::string outputPath;
+    /** Built-in device name, or empty when deviceFile is used. */
+    std::string deviceName = "ibmqx4";
+    /** Custom device description file (overrides deviceName). */
+    std::string deviceFile;
+    /** Simulator width (used when deviceName == "simulator"). */
+    Qubit simulatorQubits = 32;
+
+    CompileOptions compile;
+    bool printStats = true;
+    bool emitQasm = true;
+    bool showHelp = false;
+    bool listDevices = false;
+    /** Print ASCII drawings of the input and compiled circuits. */
+    bool drawCircuits = false;
+    /** Print the ASAP schedule summary of the compiled circuit. */
+    bool printSchedule = false;
+    /** Write a JSON compile report here (empty = none). */
+    std::string reportPath;
+    /** Rebase the emitted circuit's two-qubit basis: "" (keep CNOT)
+     *  or "cz" (emit CZ + Hadamards, for CZ-native platforms). */
+    std::string rebase;
+};
+
+/**
+ * Parse argv-style arguments (excluding argv[0]). Throws UserError on
+ * malformed input.
+ */
+CliOptions parseCliArguments(const std::vector<std::string> &args);
+
+/** The --help text. */
+std::string cliHelpText();
+
+/**
+ * Run the compiler per the options; returns the process exit code.
+ * Output goes to `out`, diagnostics to `err`.
+ */
+int runCli(const CliOptions &options, std::ostream &out,
+           std::ostream &err);
+
+} // namespace qsyn::cli

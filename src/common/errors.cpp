@@ -1,0 +1,45 @@
+#include "common/errors.hpp"
+
+#include <sstream>
+
+namespace qsyn {
+
+namespace {
+
+std::string
+formatParseError(const std::string &what, int line, int column)
+{
+    std::ostringstream os;
+    if (line > 0) {
+        os << "line " << line;
+        if (column > 0)
+            os << ":" << column;
+        os << ": ";
+    }
+    os << what;
+    return os.str();
+}
+
+std::string
+formatInternalError(const std::string &what, const char *file, int line)
+{
+    std::ostringstream os;
+    os << "internal error: " << what << " (" << file << ":" << line << ")";
+    return os.str();
+}
+
+} // namespace
+
+ParseError::ParseError(const std::string &what, int line, int column)
+    : UserError(formatParseError(what, line, column)),
+      line_(line), column_(column)
+{
+}
+
+InternalError::InternalError(const std::string &what, const char *file,
+                             int line)
+    : Error(formatInternalError(what, file, line))
+{
+}
+
+} // namespace qsyn

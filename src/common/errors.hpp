@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Error hierarchy for the qsyn library.
+ *
+ * Follows the fatal-vs-panic discipline: conditions caused by user input
+ * (bad source files, impossible mapping requests, unknown devices) throw
+ * a subclass of UserError; conditions that indicate a bug inside qsyn
+ * itself (broken invariants) throw InternalError via QSYN_ASSERT.
+ */
+
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qsyn {
+
+/** Base class of every exception thrown by qsyn. */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string &what) : std::runtime_error(what) {}
+};
+
+/** The user supplied invalid input (bad file, bad option, bad request). */
+class UserError : public Error
+{
+  public:
+    explicit UserError(const std::string &what) : Error(what) {}
+};
+
+/** A source file failed to parse. Carries line/column context. */
+class ParseError : public UserError
+{
+  public:
+    ParseError(const std::string &what, int line, int column);
+
+    /** 1-based line of the offending token (0 if unknown). */
+    int line() const { return line_; }
+    /** 1-based column of the offending token (0 if unknown). */
+    int column() const { return column_; }
+
+  private:
+    int line_;
+    int column_;
+};
+
+/** A circuit cannot be realized on the requested device. */
+class MappingError : public UserError
+{
+  public:
+    explicit MappingError(const std::string &what) : UserError(what) {}
+};
+
+/** Formal verification rejected a compiled circuit. */
+class VerificationError : public Error
+{
+  public:
+    explicit VerificationError(const std::string &what) : Error(what) {}
+};
+
+/** An internal invariant was violated: a qsyn bug, not a user error. */
+class InternalError : public Error
+{
+  public:
+    InternalError(const std::string &what, const char *file, int line);
+};
+
+/** Throw InternalError with source location when `cond` is false. */
+#define QSYN_ASSERT(cond, msg)                                               \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            throw ::qsyn::InternalError((msg), __FILE__, __LINE__);          \
+        }                                                                    \
+    } while (false)
+
+} // namespace qsyn

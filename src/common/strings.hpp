@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small string utilities used by the parsers and report writers.
+ */
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qsyn {
+
+/** Remove leading and trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Split on any of the characters in `delims`, dropping empty fields. */
+std::vector<std::string> splitFields(std::string_view s,
+                                     std::string_view delims = " \t");
+
+/** Split on a single character, keeping empty fields. */
+std::vector<std::string> splitOn(std::string_view s, char delim);
+
+/** Case-insensitive equality for ASCII strings. */
+bool iequals(std::string_view a, std::string_view b);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string_view s);
+
+/** True when `s` begins with `prefix`. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** True when `s` ends with `suffix`. */
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/**
+ * Format a double the way tables in the paper do: no trailing zeros,
+ * at most `max_decimals` decimal places.
+ */
+std::string formatNumber(double value, int max_decimals = 2);
+
+} // namespace qsyn

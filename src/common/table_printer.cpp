@@ -1,0 +1,62 @@
+#include "common/table_printer.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace qsyn {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            std::string cell = c < row.size() ? row[c] : "";
+            cell.resize(widths[c], ' ');
+            os << cell;
+            if (c + 1 < headers_.size())
+                os << " | ";
+        }
+        os << "\n";
+    };
+
+    emit_row(headers_);
+    for (size_t c = 0; c < headers_.size(); ++c) {
+        os << std::string(widths[c], '-');
+        if (c + 1 < headers_.size())
+            os << "-+-";
+    }
+    os << "\n";
+    for (const auto &row : rows_)
+        emit_row(row);
+}
+
+std::string
+TablePrinter::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace qsyn

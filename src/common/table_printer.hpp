@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ASCII table printer used by the benchmark harnesses to reproduce the
+ * paper's tables on stdout.
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qsyn {
+
+/**
+ * Accumulates rows of string cells and prints them as an aligned ASCII
+ * table with a header rule, e.g.
+ *
+ *     Name     | Qubits | Cost
+ *     ---------+--------+------
+ *     ibmqx2   | 5      | 0.3
+ */
+class TablePrinter
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TablePrinter(std::vector<std::string> headers);
+
+    /** Append one row; pads or truncates to the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render the table to `os`. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string toString() const;
+
+    /** Number of data rows added so far. */
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace qsyn

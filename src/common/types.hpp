@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the qsyn library.
+ */
+
+#pragma once
+
+#include <complex>
+#include <cstdint>
+
+namespace qsyn {
+
+/** Index of a qubit (logical or physical, depending on context). */
+using Qubit = std::uint32_t;
+
+/** Index of a classical bit (measurement destination). */
+using Cbit = std::uint32_t;
+
+/** Complex amplitude / matrix entry type used throughout. */
+using Cplx = std::complex<double>;
+
+/** Sentinel for "no qubit". */
+inline constexpr Qubit kNoQubit = static_cast<Qubit>(-1);
+
+/**
+ * Tolerance used when comparing floating-point amplitudes, angles, and
+ * matrix entries for equality. Chosen large enough to absorb round-off
+ * from long gate products but far below any physically meaningful
+ * amplitude difference.
+ */
+inline constexpr double kEps = 1e-10;
+
+/** True when two doubles agree within kEps. */
+inline bool
+approxEqual(double a, double b, double eps = kEps)
+{
+    double d = a - b;
+    return d < eps && d > -eps;
+}
+
+/** True when two complex values agree within kEps componentwise. */
+inline bool
+approxEqual(const Cplx &a, const Cplx &b, double eps = kEps)
+{
+    return approxEqual(a.real(), b.real(), eps) &&
+           approxEqual(a.imag(), b.imag(), eps);
+}
+
+/** True when a complex value is within kEps of zero. */
+inline bool
+approxZero(const Cplx &a, double eps = kEps)
+{
+    return approxEqual(a.real(), 0.0, eps) && approxEqual(a.imag(), 0.0, eps);
+}
+
+/** True when a complex value is within kEps of one. */
+inline bool
+approxOne(const Cplx &a, double eps = kEps)
+{
+    return approxEqual(a.real(), 1.0, eps) && approxEqual(a.imag(), 0.0, eps);
+}
+
+} // namespace qsyn

@@ -1,0 +1,133 @@
+#include "core/compiler.hpp"
+
+#include <algorithm>
+
+#include "common/errors.hpp"
+#include "common/stopwatch.hpp"
+#include "frontend/qasm_writer.hpp"
+
+namespace qsyn {
+
+StageMetrics
+measure(const Circuit &circuit, const opt::CostModel &model)
+{
+    CircuitStats stats = computeStats(circuit);
+    StageMetrics m;
+    m.tCount = stats.tCount;
+    m.gates = stats.volume;
+    m.cost = model.cost(stats);
+    return m;
+}
+
+Compiler::Compiler(Device device, CompileOptions options)
+    : device_(std::move(device)), options_(std::move(options))
+{
+}
+
+CompileResult
+Compiler::compile(const Circuit &input) const
+{
+    Stopwatch total;
+    CompileResult result;
+    result.input = input;
+    opt::CostModel model(options_.optimizer.weights);
+
+    if (input.numQubits() > device_.numQubits()) {
+        throw MappingError("circuit '" + input.name() + "' needs " +
+                           std::to_string(input.numQubits()) +
+                           " qubits but " + device_.name() +
+                           " has only " +
+                           std::to_string(device_.numQubits()));
+    }
+
+    // 1. Decompose to the primitive library, growing clean ancillas
+    //    only up to the device size.
+    Stopwatch sw;
+    decompose::DecomposeOptions dopts;
+    dopts.mcxStrategy = options_.mcxStrategy;
+    dopts.lowerToffoli = true;
+    dopts.maxQubits = device_.numQubits();
+    decompose::DecomposeResult lowered =
+        decompose::decomposeToPrimitives(input, dopts);
+    result.decomposed = lowered.circuit;
+    if (options_.optimize && options_.optimizeTechIndependent) {
+        // Technology-independent optimization (no coupling-map
+        // legality constraints yet).
+        opt::OptimizerOptions ti_opts = options_.optimizer;
+        ti_opts.device = nullptr;
+        result.decomposed =
+            opt::optimizeCircuit(result.decomposed, ti_opts);
+    }
+    result.techIndependent = measure(result.decomposed, model);
+    result.decomposeSeconds = sw.seconds();
+
+    // 2. Place logical wires on physical qubits.
+    result.placement = route::computePlacement(
+        result.decomposed, device_, options_.placement);
+
+    // 3. Route with CTR.
+    sw.reset();
+    Circuit placed = route::applyPlacement(result.decomposed,
+                                           result.placement, device_);
+    result.mapped = route::routeCircuit(placed, device_,
+                                        &result.routeStats,
+                                        options_.routing);
+    result.unoptimized = measure(result.mapped, model);
+    result.routeSeconds = sw.seconds();
+
+    for (Qubit a : lowered.ancillas)
+        result.ancillas.push_back(result.placement[a]);
+    std::sort(result.ancillas.begin(), result.ancillas.end());
+
+    // 4. Optimize under the device's legality constraints.
+    sw.reset();
+    if (options_.optimize) {
+        opt::OptimizerOptions oopts = options_.optimizer;
+        oopts.device = &device_;
+        result.optimized = opt::optimizeCircuit(result.mapped, oopts,
+                                                &result.optReport);
+    } else {
+        result.optimized = result.mapped;
+        result.optReport.initialCost = result.unoptimized.cost;
+        result.optReport.finalCost = result.unoptimized.cost;
+    }
+    result.optimizedM = measure(result.optimized, model);
+    result.optimizeSeconds = sw.seconds();
+
+    // 5. Formal verification: the mapped output against the input,
+    //    remapped through the placement, ancillas projected onto |0>.
+    sw.reset();
+    if (options_.verify != VerifyMode::Off && input.isUnitary()) {
+        Circuit reference =
+            input.remapped(result.placement, device_.numQubits());
+        dd::Package package;
+        dd::EquivalenceChecker checker(package);
+        dd::EquivalenceOptions eopts;
+        eopts.upToGlobalPhase = options_.verifyUpToGlobalPhase;
+        eopts.ancillaWires = result.ancillas;
+        eopts.nodeBudget = options_.verifyNodeBudget;
+        eopts.useMiter = options_.verify == VerifyMode::Miter &&
+                         result.ancillas.empty();
+        result.verification =
+            checker.check(reference, result.optimized, eopts);
+        result.verifyRan = true;
+        if (result.verification == dd::Equivalence::NotEquivalent) {
+            throw VerificationError(
+                "compiled circuit for '" + input.name() +
+                "' is NOT equivalent to its specification");
+        }
+    }
+    result.verifySeconds = sw.seconds();
+    result.totalSeconds = total.seconds();
+    return result;
+}
+
+std::string
+Compiler::toQasm(const CompileResult &result) const
+{
+    frontend::QasmWriterOptions wopts;
+    wopts.headerComment = "qsyn: mapped to " + device_.name();
+    return frontend::writeQasm(result.optimized, wopts);
+}
+
+} // namespace qsyn

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Umbrella header: include this to get the whole qsyn public API.
+ *
+ * Quickstart:
+ *
+ *     #include "core/qsyn.hpp"
+ *
+ *     qsyn::Device device = qsyn::makeIbmqx4();
+ *     qsyn::Compiler compiler(device);
+ *     qsyn::Circuit circuit =
+ *         qsyn::frontend::loadCircuitFile("algorithm.qasm");
+ *     qsyn::CompileResult result = compiler.compile(circuit);
+ *     std::cout << compiler.toQasm(result);
+ */
+
+#pragma once
+
+#include "common/errors.hpp"
+#include "common/types.hpp"
+#include "core/compiler.hpp"
+#include "decompose/pass.hpp"
+#include "device/device.hpp"
+#include "device/loader.hpp"
+#include "device/registry.hpp"
+#include "esop/cascade.hpp"
+#include "esop/reed_muller.hpp"
+#include "frontend/loader.hpp"
+#include "frontend/qasm_parser.hpp"
+#include "frontend/qasm_writer.hpp"
+#include "ir/circuit.hpp"
+#include "opt/pipeline.hpp"
+#include "qmdd/equivalence.hpp"
+#include "route/ctr.hpp"
+#include "sim/statevector.hpp"

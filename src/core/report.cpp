@@ -1,0 +1,89 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "device/fidelity.hpp"
+
+namespace qsyn {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+void
+emitMetrics(std::ostringstream &os, const char *key,
+            const StageMetrics &m)
+{
+    os << "\"" << key << "\": {\"t_count\": " << m.tCount
+       << ", \"gates\": " << m.gates << ", \"cost\": " << m.cost << "}";
+}
+
+} // namespace
+
+std::string
+compileReportJson(const CompileResult &result, const Device &device)
+{
+    std::ostringstream os;
+    os.precision(12);
+    os << "{\n";
+    os << "  \"circuit\": \"" << jsonEscape(result.input.name())
+       << "\",\n";
+    os << "  \"device\": \"" << jsonEscape(device.name()) << "\",\n";
+    os << "  \"device_qubits\": " << device.numQubits() << ",\n";
+    os << "  \"coupling_complexity\": " << device.couplingComplexity()
+       << ",\n";
+    os << "  ";
+    emitMetrics(os, "tech_independent", result.techIndependent);
+    os << ",\n  ";
+    emitMetrics(os, "unoptimized", result.unoptimized);
+    os << ",\n  ";
+    emitMetrics(os, "optimized", result.optimizedM);
+    os << ",\n";
+    os << "  \"percent_cost_decrease\": "
+       << result.percentCostDecrease() << ",\n";
+    os << "  \"routing\": {\"native\": " << result.routeStats.nativeCnots
+       << ", \"reversed\": " << result.routeStats.reversedCnots
+       << ", \"rerouted\": " << result.routeStats.reroutedCnots
+       << ", \"swaps\": " << result.routeStats.swapsInserted << "},\n";
+    os << "  \"ancillas\": [";
+    for (size_t i = 0; i < result.ancillas.size(); ++i)
+        os << (i ? ", " : "") << result.ancillas[i];
+    os << "],\n";
+    if (device.calibration() != nullptr) {
+        os << "  \"success_probability\": "
+           << successProbability(result.optimized, device) << ",\n";
+    }
+    os << "  \"verification\": \""
+       << (result.verifyRan ? dd::equivalenceName(result.verification)
+                            : "skipped")
+       << "\",\n";
+    os << "  \"seconds\": {\"decompose\": " << result.decomposeSeconds
+       << ", \"route\": " << result.routeSeconds
+       << ", \"optimize\": " << result.optimizeSeconds
+       << ", \"verify\": " << result.verifySeconds
+       << ", \"total\": " << result.totalSeconds << "}\n";
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace qsyn

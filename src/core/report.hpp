@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Machine-readable compile reports: serialize a CompileResult as JSON
+ * so downstream tooling (dashboards, regression trackers) can consume
+ * the compiler's metrics without parsing its tables.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "core/compiler.hpp"
+
+namespace qsyn {
+
+/** Serialize a compile result (metrics, routing stats, timings,
+ *  verification verdict) as a JSON object. */
+std::string compileReportJson(const CompileResult &result,
+                              const Device &device);
+
+} // namespace qsyn

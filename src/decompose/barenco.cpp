@@ -1,0 +1,252 @@
+#include "decompose/barenco.hpp"
+
+#include <algorithm>
+#include <numbers>
+
+#include "common/errors.hpp"
+
+namespace qsyn::decompose {
+
+namespace {
+
+/**
+ * Controlled X^alpha: X^alpha = e^{i pi alpha / 2} Rx(pi alpha), so the
+ * controlled version is P(pi alpha / 2) on the control followed by a
+ * controlled Rx(pi alpha).
+ */
+void
+appendControlledXRoot(Circuit &circuit, Qubit control, Qubit target,
+                      double alpha)
+{
+    using std::numbers::pi;
+    circuit.add(Gate::p(control, pi * alpha / 2));
+    circuit.add(Gate(GateKind::Rx, {control}, {target}, pi * alpha));
+}
+
+void
+appendCleanVChain(Circuit &circuit, const std::vector<Qubit> &controls,
+                  Qubit target, const std::vector<Qubit> &ancillas)
+{
+    size_t k = controls.size();
+    QSYN_ASSERT(k >= 3 && ancillas.size() >= k - 2,
+                "clean v-chain needs k-2 ancillas");
+    // Compute: a[0] = c0 c1; a[i] = a[i-1] c_{i+1}; fire; uncompute.
+    std::vector<Gate> compute;
+    compute.push_back(Gate::ccx(controls[0], controls[1], ancillas[0]));
+    for (size_t i = 2; i + 1 < k; ++i) {
+        compute.push_back(
+            Gate::ccx(controls[i], ancillas[i - 2], ancillas[i - 1]));
+    }
+    for (const Gate &g : compute)
+        circuit.add(g);
+    circuit.add(Gate::ccx(controls[k - 1], ancillas[k - 3], target));
+    for (auto it = compute.rbegin(); it != compute.rend(); ++it)
+        circuit.add(*it);
+}
+
+void
+appendDirtyVChain(Circuit &circuit, const std::vector<Qubit> &controls,
+                  Qubit target, const std::vector<Qubit> &ancillas)
+{
+    size_t k = controls.size();
+    QSYN_ASSERT(k >= 3 && ancillas.size() >= k - 2,
+                "dirty v-chain needs k-2 ancillas");
+    // Barenco Lemma 7.3 ladder, written twice so the borrowed wires are
+    // restored. a[i] pairs with controls[i+2]; the target Toffoli is
+    // CCX(c_{k-1}, a_{k-3}, target).
+    auto down_ladder = [&]() {
+        for (size_t i = k - 2; i >= 2; --i) {
+            circuit.add(Gate::ccx(controls[i], ancillas[i - 2],
+                                  ancillas[i - 1]));
+        }
+    };
+    auto up_ladder = [&]() {
+        for (size_t i = 2; i <= k - 2; ++i) {
+            circuit.add(Gate::ccx(controls[i], ancillas[i - 2],
+                                  ancillas[i - 1]));
+        }
+    };
+
+    circuit.add(Gate::ccx(controls[k - 1], ancillas[k - 3], target));
+    down_ladder();
+    circuit.add(Gate::ccx(controls[0], controls[1], ancillas[0]));
+    up_ladder();
+    circuit.add(Gate::ccx(controls[k - 1], ancillas[k - 3], target));
+    down_ladder();
+    circuit.add(Gate::ccx(controls[0], controls[1], ancillas[0]));
+    up_ladder();
+}
+
+void
+appendSplit(Circuit &circuit, const std::vector<Qubit> &controls,
+            Qubit target, const AncillaPool &pool)
+{
+    size_t k = controls.size();
+    QSYN_ASSERT(k >= 3, "split applies to k >= 3");
+    Qubit bridge;
+    if (!pool.clean.empty())
+        bridge = pool.clean.front();
+    else if (!pool.dirty.empty())
+        bridge = pool.dirty.front();
+    else
+        throw MappingError("MCX split decomposition needs one ancilla");
+
+    size_t m = (k + 1) / 2;
+    std::vector<Qubit> c1(controls.begin(),
+                          controls.begin() + static_cast<ptrdiff_t>(m));
+    std::vector<Qubit> c2(controls.begin() + static_cast<ptrdiff_t>(m),
+                          controls.end());
+    c2.push_back(bridge);
+
+    // Ancilla pools for the sub-gates: everything not touched by the
+    // sub-gate is available as a borrowed (dirty) wire.
+    AncillaPool pool1; // for MCX(c1 -> bridge)
+    pool1.dirty = c2;
+    pool1.dirty.pop_back(); // bridge itself
+    pool1.dirty.push_back(target);
+    AncillaPool pool2; // for MCX(c2 + bridge -> target)
+    pool2.dirty = c1;
+    for (Qubit q : pool.clean) {
+        if (q != bridge) {
+            pool1.dirty.push_back(q);
+            pool2.dirty.push_back(q);
+        }
+    }
+    for (Qubit q : pool.dirty) {
+        if (q != bridge) {
+            pool1.dirty.push_back(q);
+            pool2.dirty.push_back(q);
+        }
+    }
+
+    // Lambda(c1->b) Lambda(c2+b->t) Lambda(c1->b) Lambda(c2+b->t):
+    // the bridge is borrowed, so its prior state cancels.
+    appendMcx(circuit, c1, bridge, pool1, McxStrategy::Auto);
+    appendMcx(circuit, c2, target, pool2, McxStrategy::Auto);
+    appendMcx(circuit, c1, bridge, pool1, McxStrategy::Auto);
+    appendMcx(circuit, c2, target, pool2, McxStrategy::Auto);
+}
+
+/**
+ * Lambda_k(X^alpha) with no ancilla (Barenco Lemma 7.5 recursion):
+ *   C-X^{a/1}? see appendMcx for the top-level alpha = 1 case.
+ */
+void
+appendMcxRoot(Circuit &circuit, const std::vector<Qubit> &controls,
+              Qubit target, double alpha)
+{
+    QSYN_ASSERT(!controls.empty(), "root recursion needs controls");
+    if (controls.size() == 1) {
+        appendControlledXRoot(circuit, controls[0], target, alpha);
+        return;
+    }
+    Qubit last = controls.back();
+    std::vector<Qubit> rest(controls.begin(), controls.end() - 1);
+
+    // MCX(rest -> last) may borrow the (dirty) target wire.
+    AncillaPool sub_pool;
+    sub_pool.dirty.push_back(target);
+
+    appendControlledXRoot(circuit, last, target, alpha / 2);
+    appendMcx(circuit, rest, last, sub_pool, McxStrategy::Auto);
+    appendControlledXRoot(circuit, last, target, -alpha / 2);
+    appendMcx(circuit, rest, last, sub_pool, McxStrategy::Auto);
+    appendMcxRoot(circuit, rest, target, alpha / 2);
+}
+
+} // namespace
+
+const char *
+mcxStrategyName(McxStrategy s)
+{
+    switch (s) {
+      case McxStrategy::Auto:
+        return "auto";
+      case McxStrategy::CleanVChain:
+        return "clean-v-chain";
+      case McxStrategy::DirtyVChain:
+        return "dirty-v-chain";
+      case McxStrategy::Split:
+        return "split";
+      case McxStrategy::Roots:
+        return "roots";
+    }
+    return "?";
+}
+
+void
+appendMcx(Circuit &circuit, const std::vector<Qubit> &controls,
+          Qubit target, const AncillaPool &pool, McxStrategy strategy)
+{
+    size_t k = controls.size();
+    if (k == 0) {
+        circuit.addX(target);
+        return;
+    }
+    if (k == 1) {
+        circuit.addCnot(controls[0], target);
+        return;
+    }
+    if (k == 2) {
+        circuit.addCcx(controls[0], controls[1], target);
+        return;
+    }
+
+    size_t need = k - 2;
+    if (strategy == McxStrategy::Auto) {
+        if (pool.clean.size() >= need)
+            strategy = McxStrategy::CleanVChain;
+        else if (pool.clean.size() + pool.dirty.size() >= need)
+            strategy = McxStrategy::DirtyVChain;
+        else if (!pool.clean.empty() || !pool.dirty.empty())
+            strategy = McxStrategy::Split;
+        else
+            strategy = McxStrategy::Roots;
+    }
+
+    switch (strategy) {
+      case McxStrategy::CleanVChain: {
+        if (pool.clean.size() < need)
+            throw MappingError("clean v-chain needs " +
+                               std::to_string(need) + " clean ancillas");
+        std::vector<Qubit> ancillas(pool.clean.begin(),
+                                    pool.clean.begin() +
+                                        static_cast<ptrdiff_t>(need));
+        appendCleanVChain(circuit, controls, target, ancillas);
+        return;
+      }
+      case McxStrategy::DirtyVChain: {
+        std::vector<Qubit> ancillas = pool.dirty;
+        for (Qubit q : pool.clean)
+            ancillas.push_back(q);
+        if (ancillas.size() < need)
+            throw MappingError("dirty v-chain needs " +
+                               std::to_string(need) + " ancillas");
+        ancillas.resize(need);
+        appendDirtyVChain(circuit, controls, target, ancillas);
+        return;
+      }
+      case McxStrategy::Split:
+        appendSplit(circuit, controls, target, pool);
+        return;
+      case McxStrategy::Roots: {
+        // Lambda_k(X): CV, MCX(rest->last), CV^-1, MCX(rest->last),
+        // Lambda_{k-1}(V) with V = X^{1/2}.
+        Qubit last = controls.back();
+        std::vector<Qubit> rest(controls.begin(), controls.end() - 1);
+        AncillaPool sub_pool;
+        sub_pool.dirty.push_back(target);
+        appendControlledXRoot(circuit, last, target, 0.5);
+        appendMcx(circuit, rest, last, sub_pool, McxStrategy::Auto);
+        appendControlledXRoot(circuit, last, target, -0.5);
+        appendMcx(circuit, rest, last, sub_pool, McxStrategy::Auto);
+        appendMcxRoot(circuit, rest, target, 0.5);
+        return;
+      }
+      case McxStrategy::Auto:
+        break;
+    }
+    throw InternalError("unreachable MCX strategy", __FILE__, __LINE__);
+}
+
+} // namespace qsyn::decompose

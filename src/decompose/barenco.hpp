@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Generalized-Toffoli (MCX) decomposition after Barenco et al. (paper
+ * ref. [11]): mapping step 3 "generalized Toffoli gates are decomposed
+ * into Toffoli cascades".
+ *
+ * Four networks are provided:
+ *  - clean v-chain  (Lemma 7.2 shape): 2k-3 Toffolis, k-2 ancillas
+ *    known to be |0> (returned |0>);
+ *  - dirty v-chain  (Lemma 7.3 shape): 4(k-2) Toffolis, k-2 borrowed
+ *    ancillas in arbitrary states (exactly restored);
+ *  - split (Corollary 7.4): one borrowed ancilla suffices; the gate
+ *    splits into four half-size MCXs that then fit the v-chains;
+ *  - roots (Lemma 7.5): no ancilla at all; recursion through
+ *    controlled X^(1/2^j) gates (emitted as controlled-Rx plus a
+ *    phase, lowered later by the controlled-gate pass).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qsyn::decompose {
+
+/** MCX lowering strategy. */
+enum class McxStrategy
+{
+    Auto,        ///< cheapest network the ancilla pool allows
+    CleanVChain, ///< requires k-2 clean ancillas
+    DirtyVChain, ///< requires k-2 ancillas of any state
+    Split,       ///< requires 1 ancilla of any state
+    Roots        ///< requires none
+};
+
+/** Printable name of a strategy. */
+const char *mcxStrategyName(McxStrategy s);
+
+/** Ancillas available to a decomposition at one program point. */
+struct AncillaPool
+{
+    std::vector<Qubit> clean; ///< wires known to hold |0>
+    std::vector<Qubit> dirty; ///< wires in arbitrary states
+};
+
+/**
+ * Append a decomposition of MCX(controls -> target) to `circuit`,
+ * using only X / CNOT / CCX gates (plus single-controlled X-roots in
+ * the ancilla-free Roots network). Clean ancillas return to |0>,
+ * dirty ancillas to their prior states. Throws MappingError when the
+ * chosen strategy's ancilla requirement is not met.
+ */
+void appendMcx(Circuit &circuit, const std::vector<Qubit> &controls,
+               Qubit target, const AncillaPool &pool,
+               McxStrategy strategy = McxStrategy::Auto);
+
+} // namespace qsyn::decompose

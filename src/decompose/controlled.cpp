@@ -1,0 +1,223 @@
+#include "decompose/controlled.hpp"
+
+#include <numbers>
+
+#include "common/errors.hpp"
+#include "decompose/zyz.hpp"
+
+namespace qsyn::decompose {
+
+namespace {
+
+using std::numbers::pi;
+
+/** CP(theta) between two coupled-anywhere wires (exact, 5 gates). */
+void
+appendCPhase(Circuit &circuit, Qubit c, Qubit t, double theta)
+{
+    circuit.add(Gate::p(c, theta / 2));
+    circuit.addCnot(c, t);
+    circuit.add(Gate::p(t, -theta / 2));
+    circuit.addCnot(c, t);
+    circuit.add(Gate::p(t, theta / 2));
+}
+
+/** CRz(theta): the half-angle ladder (exact, 4 gates). */
+void
+appendCRz(Circuit &circuit, Qubit c, Qubit t, double theta)
+{
+    circuit.add(Gate::rz(t, theta / 2));
+    circuit.addCnot(c, t);
+    circuit.add(Gate::rz(t, -theta / 2));
+    circuit.addCnot(c, t);
+}
+
+/** CRy(theta): same ladder in the Y basis (exact, 4 gates). */
+void
+appendCRy(Circuit &circuit, Qubit c, Qubit t, double theta)
+{
+    circuit.add(Gate::ry(t, theta / 2));
+    circuit.addCnot(c, t);
+    circuit.add(Gate::ry(t, -theta / 2));
+    circuit.addCnot(c, t);
+}
+
+/** Generic single-controlled U via the ZYZ "ABC" construction. */
+void
+appendAbc(Circuit &circuit, Qubit c, Qubit t, const Mat2 &u)
+{
+    ZyzAngles a = zyzDecompose(u);
+    // C = Rz((delta-beta)/2); B = Ry(-gamma/2) Rz(-(delta+beta)/2);
+    // A = Rz(beta) Ry(gamma/2); then CU = P_c(alpha) A CX B CX C.
+    circuit.add(Gate::rz(t, (a.delta - a.beta) / 2));
+    circuit.addCnot(c, t);
+    circuit.add(Gate::rz(t, -(a.delta + a.beta) / 2));
+    circuit.add(Gate::ry(t, -a.gamma / 2));
+    circuit.addCnot(c, t);
+    circuit.add(Gate::ry(t, a.gamma / 2));
+    circuit.add(Gate::rz(t, a.beta));
+    if (!approxEqual(a.alpha, 0.0))
+        circuit.add(Gate::p(c, a.alpha));
+}
+
+/** Generic multi-controlled U: A MCX B MCX C plus a controlled phase. */
+void
+appendAbcMulti(Circuit &circuit, const std::vector<Qubit> &controls,
+               Qubit t, const Mat2 &u)
+{
+    ZyzAngles a = zyzDecompose(u);
+    circuit.add(Gate::rz(t, (a.delta - a.beta) / 2));
+    circuit.add(Gate::mcx(controls, t));
+    circuit.add(Gate::rz(t, -(a.delta + a.beta) / 2));
+    circuit.add(Gate::ry(t, -a.gamma / 2));
+    circuit.add(Gate::mcx(controls, t));
+    circuit.add(Gate::ry(t, a.gamma / 2));
+    circuit.add(Gate::rz(t, a.beta));
+    if (!approxEqual(a.alpha, 0.0))
+        appendMcPhase(circuit, controls, a.alpha);
+}
+
+/** Phase angle for the diagonal library gates. */
+double
+diagonalAngle(GateKind kind, double param)
+{
+    switch (kind) {
+      case GateKind::Z:
+        return pi;
+      case GateKind::S:
+        return pi / 2;
+      case GateKind::Sdg:
+        return -pi / 2;
+      case GateKind::T:
+        return pi / 4;
+      case GateKind::Tdg:
+        return -pi / 4;
+      case GateKind::P:
+        return param;
+      default:
+        throw InternalError("not a pure phase gate", __FILE__, __LINE__);
+    }
+}
+
+} // namespace
+
+void
+appendMcPhase(Circuit &circuit, const std::vector<Qubit> &wires,
+              double theta)
+{
+    QSYN_ASSERT(!wires.empty(), "MC-phase needs at least one wire");
+    if (wires.size() == 1) {
+        circuit.add(Gate::p(wires[0], theta));
+        return;
+    }
+    if (wires.size() == 2) {
+        appendCPhase(circuit, wires[0], wires[1], theta);
+        return;
+    }
+    // theta.f.q = theta/2.f + theta/2.q - theta/2.(f xor q), where
+    // f = AND of all wires but the last, q = the last wire.
+    Qubit q = wires.back();
+    std::vector<Qubit> rest(wires.begin(), wires.end() - 1);
+    appendMcPhase(circuit, rest, theta / 2);
+    circuit.add(Gate::p(q, theta / 2));
+    circuit.add(Gate::mcx(rest, q));
+    circuit.add(Gate::p(q, -theta / 2));
+    circuit.add(Gate::mcx(rest, q));
+}
+
+void
+appendControlledUnitary(Circuit &circuit, const Gate &gate)
+{
+    QSYN_ASSERT(gate.numControls() >= 1,
+                "appendControlledUnitary expects a controlled gate");
+    QSYN_ASSERT(gate.kind() != GateKind::X &&
+                    gate.kind() != GateKind::Swap,
+                "X/Swap are lowered by the MCX / swap paths");
+    const auto &cs = gate.controls();
+    Qubit t = gate.target();
+
+    if (gate.kind() == GateKind::I)
+        return;
+
+    // Basis-conjugation cases: turn the base into X around an MCX.
+    auto conjugated = [&](const Gate &pre, const Gate &post) {
+        circuit.add(pre);
+        if (cs.size() == 1)
+            circuit.addCnot(cs[0], t);
+        else
+            circuit.add(Gate::mcx(cs, t));
+        circuit.add(post);
+    };
+
+    switch (gate.kind()) {
+      case GateKind::Z:
+        if (cs.size() == 1) {
+            circuit.addH(t);
+            circuit.addCnot(cs[0], t);
+            circuit.addH(t);
+        } else {
+            conjugated(Gate::h(t), Gate::h(t));
+        }
+        return;
+      case GateKind::Y:
+        // S X S^dagger = Y.
+        conjugated(Gate::sdg(t), Gate::s(t));
+        return;
+      case GateKind::H:
+        // Ry(-pi/4) X Ry(pi/4) = H (conjugation rotates the X axis by
+        // -pi/4 about Y onto the Hadamard axis).
+        conjugated(Gate::ry(t, pi / 4), Gate::ry(t, -pi / 4));
+        return;
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+      case GateKind::P: {
+        std::vector<Qubit> wires = cs;
+        wires.push_back(t);
+        appendMcPhase(circuit, wires,
+                      diagonalAngle(gate.kind(), gate.param()));
+        return;
+      }
+      case GateKind::Rz: {
+        if (cs.size() == 1) {
+            appendCRz(circuit, cs[0], t, gate.param());
+            return;
+        }
+        // Rz(theta) = e^{-i theta/2} P(theta): a multi-controlled
+        // phase on C+{t} plus a compensating phase on C alone.
+        std::vector<Qubit> wires = cs;
+        wires.push_back(t);
+        appendMcPhase(circuit, wires, gate.param());
+        appendMcPhase(circuit, cs, -gate.param() / 2);
+        return;
+      }
+      case GateKind::Rx:
+        // Rx = H Rz H.
+        circuit.addH(t);
+        appendControlledUnitary(
+            circuit, Gate(GateKind::Rz, cs, {t}, gate.param()));
+        circuit.addH(t);
+        return;
+      case GateKind::Ry:
+        if (cs.size() == 1) {
+            appendCRy(circuit, cs[0], t, gate.param());
+            return;
+        }
+        if (cs.size() >= 2) {
+            appendAbcMulti(circuit, cs, t, gate.baseMatrix());
+            return;
+        }
+        return;
+      default:
+        break;
+    }
+
+    // Generic fallback.
+    if (cs.size() == 1)
+        appendAbc(circuit, cs[0], t, gate.baseMatrix());
+    else
+        appendAbcMulti(circuit, cs, t, gate.baseMatrix());
+}
+
+} // namespace qsyn::decompose

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Lowering of controlled single-qubit gates to {single-qubit, CNOT,
+ * MCX} — the "additional decompositions for other controlled gates"
+ * the paper targets, realized with the standard constructions of
+ * Barenco et al.:
+ *
+ *  - CZ / CY / CH via basis conjugation of a CNOT,
+ *  - controlled phases / rotations via the half-angle ladder,
+ *  - multi-controlled diagonal gates via the exact recursion
+ *      theta.f.q = theta/2.f + theta/2.q - theta/2.(f xor q),
+ *  - anything else via the generic ZYZ "ABC" construction.
+ *
+ * Multi-controlled cases emit IR-level MCX gates; the decomposition
+ * pass lowers those with the Barenco networks afterwards.
+ */
+
+#pragma once
+
+#include "ir/circuit.hpp"
+
+namespace qsyn::decompose {
+
+/**
+ * Append a lowering of `gate` (a controlled non-X, non-Swap unitary)
+ * to `circuit`, producing only uncontrolled single-qubit gates, CNOTs
+ * and (for >= 2 controls) MCX gates. Exact — no global-phase slack.
+ */
+void appendControlledUnitary(Circuit &circuit, const Gate &gate);
+
+/**
+ * Append a multi-controlled phase: diag with e^{i theta} on the
+ * all-ones state of `wires`. |wires| = 1 degenerates to P(theta).
+ */
+void appendMcPhase(Circuit &circuit, const std::vector<Qubit> &wires,
+                   double theta);
+
+} // namespace qsyn::decompose

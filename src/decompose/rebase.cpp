@@ -1,0 +1,47 @@
+#include "decompose/rebase.hpp"
+
+#include "opt/passes.hpp"
+
+namespace qsyn::decompose {
+
+Circuit
+rebaseToCz(const Circuit &circuit)
+{
+    Circuit out(circuit.numQubits(), circuit.name());
+    for (const Gate &g : circuit) {
+        if (g.isCnot()) {
+            Qubit c = g.controls()[0];
+            Qubit t = g.target();
+            out.addH(t);
+            out.addCz(c, t);
+            out.addH(t);
+        } else {
+            out.add(g);
+        }
+    }
+    // Kill the H pairs created between consecutive CNOTs that share a
+    // target (and any that cancel against pre-existing H gates).
+    opt::cancelInversePairs(out);
+    return out;
+}
+
+Circuit
+rebaseToCnot(const Circuit &circuit)
+{
+    Circuit out(circuit.numQubits(), circuit.name());
+    for (const Gate &g : circuit) {
+        if (g.kind() == GateKind::Z && g.numControls() == 1) {
+            Qubit c = g.controls()[0];
+            Qubit t = g.target();
+            out.addH(t);
+            out.addCnot(c, t);
+            out.addH(t);
+        } else {
+            out.add(g);
+        }
+    }
+    opt::cancelInversePairs(out);
+    return out;
+}
+
+} // namespace qsyn::decompose

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Two-qubit basis rebasing: CNOT <-> CZ interchange. The paper's IBM
+ * targets expose CNOT as the only two-qubit primitive, but other
+ * transmon platforms (the paper's §6: "all transmon-based technology
+ * platforms") are CZ-native; these transforms convert a compiled
+ * circuit between the two conventions, exactly
+ * (CNOT(c,t) = (I (+) H) CZ (I (+) H)).
+ */
+
+#pragma once
+
+#include "ir/circuit.hpp"
+
+namespace qsyn::decompose {
+
+/**
+ * Replace every CNOT with H-target-conjugated CZ. Adjacent H pairs
+ * created between back-to-back CNOTs sharing a target are canceled
+ * on the fly, so CNOT ladders rebase with minimal H overhead.
+ */
+Circuit rebaseToCz(const Circuit &circuit);
+
+/** Replace every CZ (singly-controlled Z) with H-conjugated CNOT. */
+Circuit rebaseToCnot(const Circuit &circuit);
+
+} // namespace qsyn::decompose

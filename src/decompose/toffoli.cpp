@@ -1,0 +1,69 @@
+#include "decompose/toffoli.hpp"
+
+#include <utility>
+
+#include "common/errors.hpp"
+
+namespace qsyn::decompose {
+
+void
+appendToffoli(Circuit &circuit, Qubit a, Qubit b, Qubit t)
+{
+    circuit.addH(t);
+    circuit.addCnot(b, t);
+    circuit.addTdg(t);
+    circuit.addCnot(a, t);
+    circuit.addT(t);
+    circuit.addCnot(b, t);
+    circuit.addTdg(t);
+    circuit.addCnot(a, t);
+    circuit.addT(b);
+    circuit.addT(t);
+    circuit.addH(t);
+    circuit.addCnot(a, b);
+    circuit.addT(a);
+    circuit.addTdg(b);
+    circuit.addCnot(a, b);
+}
+
+void
+appendReversedCnot(Circuit &circuit, Qubit control, Qubit target)
+{
+    circuit.addH(control);
+    circuit.addH(target);
+    circuit.addCnot(target, control);
+    circuit.addH(control);
+    circuit.addH(target);
+}
+
+void
+appendCoupledCnot(Circuit &circuit, const CouplingMap *map, Qubit control,
+                  Qubit target)
+{
+    if (map == nullptr || map->hasEdge(control, target)) {
+        circuit.addCnot(control, target);
+        return;
+    }
+    if (map->hasEdge(target, control)) {
+        appendReversedCnot(circuit, control, target);
+        return;
+    }
+    throw MappingError("qubits q" + std::to_string(control) + " and q" +
+                       std::to_string(target) +
+                       " are not coupled; reroute with CTR first");
+}
+
+void
+appendSwap(Circuit &circuit, const CouplingMap *map, Qubit a, Qubit b)
+{
+    // SWAP is symmetric: orient it along the natively available edge so
+    // only the middle CNOT needs reversal (<= 7 gates, the paper's
+    // bound) and back-to-back swap/swap-back sequences cancel cleanly.
+    if (map != nullptr && !map->hasEdge(a, b) && map->hasEdge(b, a))
+        std::swap(a, b);
+    appendCoupledCnot(circuit, map, a, b);
+    appendCoupledCnot(circuit, map, b, a);
+    appendCoupledCnot(circuit, map, a, b);
+}
+
+} // namespace qsyn::decompose

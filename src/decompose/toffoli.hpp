@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Toffoli and SWAP lowering to the transmon primitive library
+ * (Section 4, mapping steps 1, 3 and 4 of the paper):
+ *
+ *  - the exact 15-gate Clifford+T Toffoli network (2 H, 7 T/T†,
+ *    6 CNOT; Nielsen & Chuang Fig. 4.9),
+ *  - CNOT orientation reversal via four Hadamards (Fig. 6),
+ *  - SWAP as three CNOTs, direction-repaired per the coupling map so a
+ *    SWAP costs at most 7 gates (Fig. 3 + the paper's note).
+ */
+
+#pragma once
+
+#include "device/coupling_map.hpp"
+#include "ir/circuit.hpp"
+
+namespace qsyn::decompose {
+
+/** Append the 15-gate Clifford+T realization of CCX(a, b -> t). */
+void appendToffoli(Circuit &circuit, Qubit a, Qubit b, Qubit t);
+
+/** Append the reversed-orientation CNOT: H c; H t; cx t->c; H c; H t
+ *  (Fig. 6). */
+void appendReversedCnot(Circuit &circuit, Qubit control, Qubit target);
+
+/**
+ * Append a CNOT(control -> target) legal under `map`: native when the
+ * edge exists, orientation-reversed when only the opposite edge
+ * exists. The qubits must be coupled. A null map means all-to-all.
+ */
+void appendCoupledCnot(Circuit &circuit, const CouplingMap *map,
+                       Qubit control, Qubit target);
+
+/**
+ * Append SWAP(a, b) as three alternating CNOTs, each repaired for
+ * direction per `map` (so 3..7 gates). The qubits must be coupled.
+ */
+void appendSwap(Circuit &circuit, const CouplingMap *map, Qubit a,
+                Qubit b);
+
+} // namespace qsyn::decompose

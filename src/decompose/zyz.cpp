@@ -1,0 +1,64 @@
+#include "decompose/zyz.hpp"
+
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace qsyn::decompose {
+
+ZyzAngles
+zyzDecompose(const Mat2 &u)
+{
+    // U = e^{i alpha} [ e^{-i(beta+delta)/2} cos(g/2)
+    //                   -e^{-i(beta-delta)/2} sin(g/2)
+    //                   e^{ i(beta-delta)/2} sin(g/2)
+    //                   e^{ i(beta+delta)/2} cos(g/2) ]  with g = gamma.
+    ZyzAngles a;
+    double c = std::abs(u.at(0, 0));
+    double s = std::abs(u.at(1, 0));
+    a.gamma = 2.0 * std::atan2(s, c);
+
+    // Phases of the entries; guard the degenerate cos/sin = 0 cases.
+    double phase00 = std::arg(u.at(0, 0));
+    double phase10 = std::arg(u.at(1, 0));
+    double phase11 = std::arg(u.at(1, 1));
+
+    if (c > kEps && s > kEps) {
+        // alpha - (beta+delta)/2 = phase00 ; alpha + (beta-delta)/2 =
+        // phase10 ; alpha + (beta+delta)/2 = phase11.
+        a.alpha = 0.5 * (phase00 + phase11);
+        double bpd = phase11 - phase00; // beta + delta
+        double bmd = 2.0 * (phase10 - a.alpha);
+        a.beta = 0.5 * (bpd + bmd);
+        a.delta = 0.5 * (bpd - bmd);
+    } else if (c > kEps) {
+        // Diagonal: gamma = 0; only beta+delta matters.
+        a.alpha = 0.5 * (phase00 + phase11);
+        a.beta = phase11 - phase00;
+        a.delta = 0.0;
+    } else {
+        // Anti-diagonal: gamma = pi; only beta-delta matters.
+        double phase01 = std::arg(u.at(0, 1));
+        a.alpha = 0.5 * (phase10 + phase01) + M_PI / 2.0;
+        a.beta = phase10 - a.alpha;
+        a.beta *= 2.0;
+        a.delta = 0.0;
+        a.gamma = M_PI;
+    }
+    return a;
+}
+
+Mat2
+zyzCompose(const ZyzAngles &a)
+{
+    Mat2 rz1 = baseMatrix(GateKind::Rz, a.beta);
+    Mat2 ry = baseMatrix(GateKind::Ry, a.gamma);
+    Mat2 rz2 = baseMatrix(GateKind::Rz, a.delta);
+    Mat2 m = mul(rz1, mul(ry, rz2));
+    Cplx phase = std::polar(1.0, a.alpha);
+    for (Cplx &e : m.e)
+        e *= phase;
+    return m;
+}
+
+} // namespace qsyn::decompose

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * ZYZ (Euler-angle) decomposition of arbitrary 2x2 unitaries:
+ * U = e^{i alpha} Rz(beta) Ry(gamma) Rz(delta). The workhorse of the
+ * generic controlled-gate decomposition of Barenco et al. (paper
+ * ref. [11], Lemma 5.1 / the "ABC" construction).
+ */
+
+#pragma once
+
+#include "ir/matrix.hpp"
+
+namespace qsyn::decompose {
+
+/** Euler angles for U = e^{i alpha} Rz(beta) Ry(gamma) Rz(delta). */
+struct ZyzAngles
+{
+    double alpha = 0.0;
+    double beta = 0.0;
+    double gamma = 0.0;
+    double delta = 0.0;
+};
+
+/** Decompose a unitary 2x2 matrix into ZYZ Euler angles. */
+ZyzAngles zyzDecompose(const Mat2 &u);
+
+/** Rebuild the matrix from its angles (for verification). */
+Mat2 zyzCompose(const ZyzAngles &angles);
+
+} // namespace qsyn::decompose

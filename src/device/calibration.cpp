@@ -1,0 +1,102 @@
+#include "device/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace qsyn {
+
+namespace {
+
+double
+clampError(double error)
+{
+    return std::clamp(error, 0.0, 0.5);
+}
+
+/** Log-uniform jitter in [base/4, base*4). */
+double
+jitter(double base, Rng &rng)
+{
+    double exponent = rng.uniform() * 4.0 - 2.0; // [-2, 2)
+    return base * std::exp2(exponent);
+}
+
+} // namespace
+
+Calibration::Calibration(Qubit num_qubits, double default_1q_error,
+                         double default_2q_error,
+                         double default_readout_error)
+    : num_qubits_(num_qubits),
+      default_2q_error_(clampError(default_2q_error)),
+      single_error_(num_qubits, clampError(default_1q_error)),
+      readout_error_(num_qubits, clampError(default_readout_error))
+{
+}
+
+Calibration
+Calibration::synthetic(Qubit num_qubits,
+                       const std::vector<std::pair<Qubit, Qubit>> &edges,
+                       std::uint64_t seed)
+{
+    Calibration cal(num_qubits);
+    Rng rng(seed);
+    for (Qubit q = 0; q < num_qubits; ++q) {
+        cal.setSingleQubitError(q, jitter(1e-3, rng));
+        cal.setReadoutError(q, jitter(2e-2, rng));
+    }
+    for (const auto &[c, t] : edges)
+        cal.setTwoQubitError(c, t, jitter(1e-2, rng));
+    return cal;
+}
+
+double
+Calibration::singleQubitError(Qubit q) const
+{
+    QSYN_ASSERT(q < num_qubits_, "qubit outside calibration");
+    return single_error_[q];
+}
+
+void
+Calibration::setSingleQubitError(Qubit q, double error)
+{
+    QSYN_ASSERT(q < num_qubits_, "qubit outside calibration");
+    single_error_[q] = clampError(error);
+}
+
+double
+Calibration::twoQubitError(Qubit control, Qubit target) const
+{
+    auto it = edge_error_.find(edgeKey(control, target));
+    if (it != edge_error_.end())
+        return it->second;
+    it = edge_error_.find(edgeKey(target, control));
+    if (it != edge_error_.end())
+        return it->second;
+    return default_2q_error_;
+}
+
+void
+Calibration::setTwoQubitError(Qubit control, Qubit target, double error)
+{
+    QSYN_ASSERT(control < num_qubits_ && target < num_qubits_,
+                "qubit outside calibration");
+    edge_error_[edgeKey(control, target)] = clampError(error);
+}
+
+double
+Calibration::readoutError(Qubit q) const
+{
+    QSYN_ASSERT(q < num_qubits_, "qubit outside calibration");
+    return readout_error_[q];
+}
+
+void
+Calibration::setReadoutError(Qubit q, double error)
+{
+    QSYN_ASSERT(q < num_qubits_, "qubit outside calibration");
+    readout_error_[q] = clampError(error);
+}
+
+} // namespace qsyn

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Device calibration data: per-qubit and per-coupling error rates.
+ *
+ * The paper's cost function (Eqn. 2) uses literature-level constants;
+ * Section 2.2 notes the authors "are experimenting with other metrics,
+ * such as qubit and operator fidelity, rather than decoherence times".
+ * This module supplies that extension: devices may carry measured
+ * error rates, the router can prefer high-fidelity SWAP paths, and the
+ * fidelity estimator scores compiled circuits by expected success
+ * probability.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace qsyn {
+
+/** Error rates for one device (all probabilities in [0, 1)). */
+class Calibration
+{
+  public:
+    /** Uniform default rates for `num_qubits` qubits. */
+    explicit Calibration(Qubit num_qubits,
+                         double default_1q_error = 1e-3,
+                         double default_2q_error = 1e-2,
+                         double default_readout_error = 2e-2);
+
+    /**
+     * Synthetic calibration: per-qubit and per-edge rates jittered
+     * log-uniformly around the defaults (x1/4 .. x4), deterministic in
+     * `seed`. Stands in for the published IBM backend calibration
+     * snapshots (see DESIGN.md substitutions).
+     */
+    static Calibration synthetic(Qubit num_qubits,
+                                 const std::vector<std::pair<Qubit, Qubit>>
+                                     &edges,
+                                 std::uint64_t seed);
+
+    Qubit numQubits() const { return num_qubits_; }
+
+    /** @name Per-element accessors (setters clamp into [0, 0.5]). */
+    /// @{
+    double singleQubitError(Qubit q) const;
+    void setSingleQubitError(Qubit q, double error);
+    /** CNOT error for (control, target); falls back to the reverse
+     *  direction, then to the default. */
+    double twoQubitError(Qubit control, Qubit target) const;
+    void setTwoQubitError(Qubit control, Qubit target, double error);
+    double readoutError(Qubit q) const;
+    void setReadoutError(Qubit q, double error);
+    /// @}
+
+  private:
+    static std::uint64_t
+    edgeKey(Qubit a, Qubit b)
+    {
+        return (static_cast<std::uint64_t>(a) << 32) | b;
+    }
+
+    Qubit num_qubits_;
+    double default_2q_error_;
+    std::vector<double> single_error_;
+    std::vector<double> readout_error_;
+    std::unordered_map<std::uint64_t, double> edge_error_;
+};
+
+} // namespace qsyn

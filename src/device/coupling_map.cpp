@@ -1,0 +1,247 @@
+#include "device/coupling_map.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <sstream>
+
+#include "common/errors.hpp"
+
+namespace qsyn {
+
+CouplingMap::CouplingMap(Qubit num_qubits)
+    : num_qubits_(num_qubits), targets_(num_qubits), neighbors_(num_qubits)
+{
+}
+
+CouplingMap
+CouplingMap::fullyConnected(Qubit num_qubits)
+{
+    CouplingMap map(num_qubits);
+    for (Qubit c = 0; c < num_qubits; ++c) {
+        for (Qubit t = 0; t < num_qubits; ++t) {
+            if (c != t)
+                map.addEdge(c, t);
+        }
+    }
+    return map;
+}
+
+void
+CouplingMap::addEdge(Qubit control, Qubit target)
+{
+    QSYN_ASSERT(control < num_qubits_ && target < num_qubits_,
+                "coupling edge outside register");
+    QSYN_ASSERT(control != target, "self-coupling is meaningless");
+    auto &out = targets_[control];
+    if (std::find(out.begin(), out.end(), target) != out.end())
+        return;
+    out.push_back(target);
+    std::sort(out.begin(), out.end());
+    ++coupling_count_;
+    for (auto [a, b] : {std::pair{control, target}, {target, control}}) {
+        auto &nb = neighbors_[a];
+        if (std::find(nb.begin(), nb.end(), b) == nb.end()) {
+            nb.push_back(b);
+            std::sort(nb.begin(), nb.end());
+        }
+    }
+}
+
+bool
+CouplingMap::hasEdge(Qubit control, Qubit target) const
+{
+    if (control >= num_qubits_ || target >= num_qubits_)
+        return false;
+    const auto &out = targets_[control];
+    return std::binary_search(out.begin(), out.end(), target);
+}
+
+bool
+CouplingMap::hasUndirectedEdge(Qubit a, Qubit b) const
+{
+    return hasEdge(a, b) || hasEdge(b, a);
+}
+
+const std::vector<Qubit> &
+CouplingMap::targetsOf(Qubit control) const
+{
+    QSYN_ASSERT(control < num_qubits_, "qubit outside register");
+    return targets_[control];
+}
+
+const std::vector<Qubit> &
+CouplingMap::neighborsOf(Qubit q) const
+{
+    QSYN_ASSERT(q < num_qubits_, "qubit outside register");
+    return neighbors_[q];
+}
+
+bool
+CouplingMap::isConnected() const
+{
+    if (num_qubits_ == 0)
+        return true;
+    std::vector<bool> seen(num_qubits_, false);
+    std::deque<Qubit> frontier{0};
+    seen[0] = true;
+    size_t visited = 1;
+    while (!frontier.empty()) {
+        Qubit q = frontier.front();
+        frontier.pop_front();
+        for (Qubit n : neighbors_[q]) {
+            if (!seen[n]) {
+                seen[n] = true;
+                ++visited;
+                frontier.push_back(n);
+            }
+        }
+    }
+    return visited == num_qubits_;
+}
+
+namespace {
+
+/**
+ * BFS from `from`; `done(q)` decides when a frontier qubit is a goal.
+ * Returns the path from `from` to the first goal found (ties broken by
+ * smaller qubit index, since neighbors are sorted).
+ */
+std::vector<Qubit>
+bfsPath(const std::vector<std::vector<Qubit>> &neighbors, Qubit from,
+        const std::vector<Qubit> &goals)
+{
+    std::vector<bool> is_goal(neighbors.size(), false);
+    for (Qubit g : goals)
+        is_goal[g] = true;
+    if (is_goal[from])
+        return {from};
+
+    std::vector<Qubit> parent(neighbors.size(), kNoQubit);
+    std::deque<Qubit> frontier{from};
+    parent[from] = from;
+    while (!frontier.empty()) {
+        Qubit q = frontier.front();
+        frontier.pop_front();
+        for (Qubit n : neighbors[q]) {
+            if (parent[n] != kNoQubit)
+                continue;
+            parent[n] = q;
+            if (is_goal[n]) {
+                std::vector<Qubit> path{n};
+                while (path.back() != from)
+                    path.push_back(parent[path.back()]);
+                std::reverse(path.begin(), path.end());
+                return path;
+            }
+            frontier.push_back(n);
+        }
+    }
+    return {};
+}
+
+} // namespace
+
+std::vector<Qubit>
+CouplingMap::shortestPath(Qubit from, Qubit to) const
+{
+    QSYN_ASSERT(from < num_qubits_ && to < num_qubits_,
+                "qubit outside register");
+    return bfsPath(neighbors_, from, {to});
+}
+
+std::vector<Qubit>
+CouplingMap::shortestPathToNeighbor(Qubit from, Qubit to) const
+{
+    QSYN_ASSERT(from < num_qubits_ && to < num_qubits_,
+                "qubit outside register");
+    QSYN_ASSERT(from != to, "control equals target");
+    if (neighbors_[to].empty())
+        return {};
+    return bfsPath(neighbors_, from, neighbors_[to]);
+}
+
+std::vector<Qubit>
+CouplingMap::weightedPathToNeighbor(
+    Qubit from, Qubit to,
+    const std::function<double(Qubit, Qubit)> &edge_weight,
+    const std::function<double(Qubit)> &goal_weight) const
+{
+    QSYN_ASSERT(from < num_qubits_ && to < num_qubits_,
+                "qubit outside register");
+    QSYN_ASSERT(from != to, "control equals target");
+    if (neighbors_[to].empty())
+        return {};
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> dist(num_qubits_, kInf);
+    std::vector<Qubit> parent(num_qubits_, kNoQubit);
+    using Item = std::pair<double, Qubit>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> queue;
+    dist[from] = 0.0;
+    parent[from] = from;
+    queue.emplace(0.0, from);
+
+    while (!queue.empty()) {
+        auto [d, q] = queue.top();
+        queue.pop();
+        if (d > dist[q])
+            continue; // stale entry
+        for (Qubit n : neighbors_[q]) {
+            double w = edge_weight(q, n);
+            QSYN_ASSERT(w >= 0.0, "negative edge weight");
+            if (dist[q] + w < dist[n]) {
+                dist[n] = dist[q] + w;
+                parent[n] = q;
+                queue.emplace(dist[n], n);
+            }
+        }
+    }
+
+    Qubit best = kNoQubit;
+    double best_total = kInf;
+    for (Qubit n : neighbors_[to]) {
+        if (dist[n] == kInf)
+            continue;
+        double total = dist[n] + goal_weight(n);
+        if (total < best_total) {
+            best_total = total;
+            best = n;
+        }
+    }
+    if (best == kNoQubit)
+        return {};
+
+    std::vector<Qubit> path{best};
+    while (path.back() != from)
+        path.push_back(parent[path.back()]);
+    std::reverse(path.begin(), path.end());
+    return path;
+}
+
+std::string
+CouplingMap::toDictString() const
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    for (Qubit c = 0; c < num_qubits_; ++c) {
+        if (targets_[c].empty())
+            continue;
+        if (!first)
+            os << ", ";
+        first = false;
+        os << c << ": [";
+        for (size_t i = 0; i < targets_[c].size(); ++i) {
+            if (i > 0)
+                os << ", ";
+            os << targets_[c][i];
+        }
+        os << "]";
+    }
+    os << "}";
+    return os.str();
+}
+
+} // namespace qsyn

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * CNOT coupling maps (Section 3 of the paper).
+ *
+ * A coupling map is the set of *directed* (control -> target) pairs on
+ * which the machine can natively execute a CNOT. The paper represents
+ * it as a dictionary {control: [targets]}; this class stores the same
+ * relation and also exposes the undirected adjacency view used by the
+ * CTR router (direction is repairable with four Hadamards, Fig. 6).
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qsyn {
+
+/** Directed CNOT availability between physical qubits. */
+class CouplingMap
+{
+  public:
+    /** Empty map over `num_qubits` physical qubits. */
+    explicit CouplingMap(Qubit num_qubits = 0);
+
+    /** Map where every ordered pair is available (simulator). */
+    static CouplingMap fullyConnected(Qubit num_qubits);
+
+    Qubit numQubits() const { return num_qubits_; }
+
+    /** Allow a native CNOT with `control` as control, `target` as
+     *  target. Adding twice is idempotent. */
+    void addEdge(Qubit control, Qubit target);
+
+    /** True when CNOT(control -> target) is natively available. */
+    bool hasEdge(Qubit control, Qubit target) const;
+
+    /** True when the pair is coupled in either direction. */
+    bool hasUndirectedEdge(Qubit a, Qubit b) const;
+
+    /** Directed targets reachable from `control`. */
+    const std::vector<Qubit> &targetsOf(Qubit control) const;
+
+    /** Undirected neighbors of `q` (sorted, unique). */
+    const std::vector<Qubit> &neighborsOf(Qubit q) const;
+
+    /** Number of directed couplings (the numerator of Eqn. for
+     *  coupling complexity). */
+    size_t couplingCount() const { return coupling_count_; }
+
+    /** True when the undirected graph is connected (ignoring qubits
+     *  with no couplings only if the map is empty). */
+    bool isConnected() const;
+
+    /**
+     * Shortest undirected path from `from` to `to` (inclusive of both
+     * endpoints); empty when unreachable. BFS, so minimal SWAP count.
+     */
+    std::vector<Qubit> shortestPath(Qubit from, Qubit to) const;
+
+    /**
+     * Shortest undirected path from `from` to any *neighbor* of `to`
+     * (the CTR query: move the control next to the target). The path
+     * includes `from` and ends at the neighbor; when `from` is already
+     * adjacent to `to` the path is just {from}. Empty when unreachable.
+     */
+    std::vector<Qubit> shortestPathToNeighbor(Qubit from, Qubit to) const;
+
+    /**
+     * Minimum-weight variant of shortestPathToNeighbor (Dijkstra):
+     * minimizes the sum of `edge_weight(a, b)` over path edges plus
+     * `goal_weight(n)` at the chosen neighbor n of `to`. Used by the
+     * fidelity-aware router. Weights must be non-negative.
+     */
+    std::vector<Qubit> weightedPathToNeighbor(
+        Qubit from, Qubit to,
+        const std::function<double(Qubit, Qubit)> &edge_weight,
+        const std::function<double(Qubit)> &goal_weight) const;
+
+    /** Render as the paper's dictionary format:
+     *  {0: [1, 2], 1: [2], ...}. */
+    std::string toDictString() const;
+
+  private:
+    Qubit num_qubits_;
+    size_t coupling_count_ = 0;
+    std::vector<std::vector<Qubit>> targets_;   // directed adjacency
+    std::vector<std::vector<Qubit>> neighbors_; // undirected adjacency
+};
+
+} // namespace qsyn

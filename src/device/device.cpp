@@ -1,0 +1,107 @@
+#include "device/device.hpp"
+
+#include <sstream>
+
+#include "common/errors.hpp"
+#include "common/strings.hpp"
+
+namespace qsyn {
+
+Device::Device(std::string name, Qubit num_qubits, CouplingMap coupling,
+               bool fully_connected)
+    : name_(std::move(name)), num_qubits_(num_qubits),
+      coupling_(std::move(coupling)), fully_connected_(fully_connected)
+{
+    QSYN_ASSERT(coupling_.numQubits() == num_qubits_,
+                "coupling map size disagrees with device size");
+}
+
+Device
+Device::simulator(Qubit num_qubits)
+{
+    return Device("simulator", num_qubits,
+                  CouplingMap::fullyConnected(num_qubits),
+                  /*fully_connected=*/true);
+}
+
+double
+Device::couplingComplexity() const
+{
+    if (fully_connected_ || num_qubits_ < 2)
+        return 1.0;
+    double pairs = static_cast<double>(num_qubits_) * (num_qubits_ - 1);
+    return static_cast<double>(coupling_.couplingCount()) / pairs;
+}
+
+bool
+Device::inNativeLibrary(GateKind kind, size_t num_controls)
+{
+    switch (kind) {
+      case GateKind::I:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::H:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+      case GateKind::Rx:
+      case GateKind::Ry:
+      case GateKind::Rz:
+      case GateKind::P:
+        return num_controls == 0;
+      case GateKind::X:
+        return num_controls <= 1;
+      case GateKind::Measure:
+      case GateKind::Barrier:
+        return num_controls == 0;
+      case GateKind::Swap:
+        return false;
+    }
+    return false;
+}
+
+bool
+Device::supportsGate(const Gate &gate) const
+{
+    for (Qubit q : gate.qubits()) {
+        if (q >= num_qubits_)
+            return false;
+    }
+    if (!inNativeLibrary(gate.kind(), gate.numControls()))
+        return false;
+    if (gate.isCnot() && !fully_connected_)
+        return coupling_.hasEdge(gate.controls()[0], gate.target());
+    return true;
+}
+
+void
+Device::setCalibration(Calibration calibration)
+{
+    QSYN_ASSERT(calibration.numQubits() == num_qubits_,
+                "calibration size disagrees with device size");
+    calibration_ = std::move(calibration);
+}
+
+void
+Device::attachSyntheticCalibration(std::uint64_t seed)
+{
+    std::vector<std::pair<Qubit, Qubit>> edges;
+    for (Qubit c = 0; c < num_qubits_; ++c) {
+        for (Qubit t : coupling_.targetsOf(c))
+            edges.emplace_back(c, t);
+    }
+    setCalibration(Calibration::synthetic(num_qubits_, edges, seed));
+}
+
+std::string
+Device::summary() const
+{
+    std::ostringstream os;
+    os << name_ << " (" << num_qubits_ << " qubits, "
+       << coupling_.couplingCount() << " couplings, complexity "
+       << formatNumber(couplingComplexity(), 6) << ")";
+    return os.str();
+}
+
+} // namespace qsyn

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Target device model: name, qubit count, native gate library, and
+ * coupling map, plus the paper's "coupling complexity" metric
+ * (Section 3, Table 2).
+ */
+
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "device/calibration.hpp"
+#include "device/coupling_map.hpp"
+#include "ir/gate.hpp"
+
+namespace qsyn {
+
+/** A technology target the compiler can map circuits onto. */
+class Device
+{
+  public:
+    /**
+     * Create a device. `fully_connected` marks simulator-style targets
+     * with no placement restrictions; their coupling complexity is 1
+     * by definition and CNOTs never need rerouting or reversal.
+     */
+    Device(std::string name, Qubit num_qubits, CouplingMap coupling,
+           bool fully_connected = false);
+
+    /** Simulator target: any gate anywhere. */
+    static Device simulator(Qubit num_qubits);
+
+    const std::string &name() const { return name_; }
+    Qubit numQubits() const { return num_qubits_; }
+    const CouplingMap &coupling() const { return coupling_; }
+    bool isFullyConnected() const { return fully_connected_; }
+
+    /**
+     * Coupling complexity: available couplings divided by the n(n-1)
+     * ordered qubit pairs. 1.0 for fully connected targets, -> 0 for
+     * sparsely coupled machines (Table 2).
+     */
+    double couplingComplexity() const;
+
+    /**
+     * True when the device can natively execute `gate`: single-qubit
+     * gates from the transmon library anywhere, CNOT only along a
+     * coupling-map edge (in the stored direction).
+     */
+    bool supportsGate(const Gate &gate) const;
+
+    /**
+     * True when `kind` with `num_controls` controls is in the native
+     * library at all (ignoring placement): the IBM transmon library is
+     * {X, Y, Z, H, S, S†, T, T†, Rx, Ry, Rz, P, CNOT, measure}.
+     */
+    static bool inNativeLibrary(GateKind kind, size_t num_controls);
+
+    /** One-line summary, e.g. "ibmqx4 (5 qubits, 6 couplings,
+     *  complexity 0.3)". */
+    std::string summary() const;
+
+    /** @name Calibration (optional; see calibration.hpp). */
+    /// @{
+    /** Attach measured/synthetic error rates. */
+    void setCalibration(Calibration calibration);
+    /** Attach a deterministic synthetic calibration over this
+     *  device's couplings (seeded). */
+    void attachSyntheticCalibration(std::uint64_t seed);
+    /** Calibration data, or null when none is attached. */
+    const Calibration *calibration() const
+    {
+        return calibration_ ? &*calibration_ : nullptr;
+    }
+    /// @}
+
+  private:
+    std::string name_;
+    Qubit num_qubits_;
+    CouplingMap coupling_;
+    bool fully_connected_;
+    std::optional<Calibration> calibration_;
+};
+
+} // namespace qsyn

@@ -1,0 +1,48 @@
+#include "device/fidelity.hpp"
+
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace qsyn {
+
+double
+negLogFidelity(const Circuit &circuit, const Device &device)
+{
+    const Calibration *cal = device.calibration();
+    if (cal == nullptr) {
+        throw UserError("device '" + device.name() +
+                        "' has no calibration data");
+    }
+    double cost = 0.0;
+    for (const Gate &g : circuit) {
+        switch (g.kind()) {
+          case GateKind::Barrier:
+          case GateKind::I:
+            continue;
+          case GateKind::Measure:
+            cost += -std::log1p(-cal->readoutError(g.target()));
+            continue;
+          default:
+            break;
+        }
+        if (g.isCnot()) {
+            cost += -std::log1p(
+                -cal->twoQubitError(g.controls()[0], g.target()));
+        } else {
+            QSYN_ASSERT(g.numQubits() == 1,
+                        "fidelity estimation expects a primitive-level "
+                        "circuit");
+            cost += -std::log1p(-cal->singleQubitError(g.target()));
+        }
+    }
+    return cost;
+}
+
+double
+successProbability(const Circuit &circuit, const Device &device)
+{
+    return std::exp(-negLogFidelity(circuit, device));
+}
+
+} // namespace qsyn

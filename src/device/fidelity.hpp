@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fidelity estimation for compiled circuits: expected success
+ * probability and its negative-log form (an additive cost usable by
+ * the optimizer in place of Eqn. 2), computed from a device's
+ * calibration data.
+ */
+
+#pragma once
+
+#include "device/device.hpp"
+#include "ir/circuit.hpp"
+
+namespace qsyn {
+
+/**
+ * Expected success probability: the product over gates of
+ * (1 - gate error), using per-qubit rates for single-qubit gates,
+ * per-edge rates for CNOTs and per-qubit readout rates for measures.
+ * The device must carry calibration data.
+ */
+double successProbability(const Circuit &circuit, const Device &device);
+
+/**
+ * Negative log fidelity: -log(successProbability). Additive per gate,
+ * so it slots in wherever Eqn. 2 does (lower is better).
+ */
+double negLogFidelity(const Circuit &circuit, const Device &device);
+
+} // namespace qsyn

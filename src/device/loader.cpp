@@ -1,0 +1,135 @@
+#include "device/loader.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/errors.hpp"
+#include "common/strings.hpp"
+
+namespace qsyn {
+
+namespace {
+
+Qubit
+parseQubitIndex(const std::string &token, Qubit num_qubits, int line_no)
+{
+    size_t pos = 0;
+    unsigned long value = 0;
+    try {
+        value = std::stoul(token, &pos);
+    } catch (const std::exception &) {
+        throw ParseError("expected a qubit index, got '" + token + "'",
+                         line_no, 0);
+    }
+    if (pos != token.size()) {
+        throw ParseError("trailing characters after qubit index '" +
+                             token + "'",
+                         line_no, 0);
+    }
+    if (value >= num_qubits) {
+        throw ParseError("qubit index " + token +
+                             " exceeds device size " +
+                             std::to_string(num_qubits),
+                         line_no, 0);
+    }
+    return static_cast<Qubit>(value);
+}
+
+} // namespace
+
+Device
+parseDevice(std::istream &input)
+{
+    std::string line;
+    int line_no = 0;
+    std::string name;
+    Qubit num_qubits = 0;
+    bool have_header = false;
+    CouplingMap map(0);
+
+    while (std::getline(input, line)) {
+        ++line_no;
+        std::string text = trim(line);
+        if (text.empty() || text[0] == '#')
+            continue;
+        if (!have_header) {
+            auto fields = splitFields(text);
+            if (fields.size() != 3 || fields[0] != "device") {
+                throw ParseError(
+                    "expected header 'device <name> <num_qubits>'",
+                    line_no, 0);
+            }
+            name = fields[1];
+            try {
+                num_qubits = static_cast<Qubit>(std::stoul(fields[2]));
+            } catch (const std::exception &) {
+                throw ParseError("bad qubit count '" + fields[2] + "'",
+                                 line_no, 0);
+            }
+            if (num_qubits == 0)
+                throw ParseError("device must have at least one qubit",
+                                 line_no, 0);
+            map = CouplingMap(num_qubits);
+            have_header = true;
+            continue;
+        }
+        auto colon = text.find(':');
+        if (colon == std::string::npos) {
+            throw ParseError("expected '<control>: <targets...>'",
+                             line_no, 0);
+        }
+        Qubit control = parseQubitIndex(trim(text.substr(0, colon)),
+                                        num_qubits, line_no);
+        auto targets = splitFields(text.substr(colon + 1), " \t,");
+        if (targets.empty()) {
+            throw ParseError("control with no targets", line_no, 0);
+        }
+        for (const std::string &t : targets) {
+            Qubit target = parseQubitIndex(t, num_qubits, line_no);
+            if (target == control) {
+                throw ParseError("self-coupling on qubit " + t, line_no,
+                                 0);
+            }
+            map.addEdge(control, target);
+        }
+    }
+    if (!have_header)
+        throw ParseError("missing 'device' header", line_no, 0);
+    return Device(std::move(name), num_qubits, std::move(map));
+}
+
+Device
+parseDeviceString(const std::string &text)
+{
+    std::istringstream is(text);
+    return parseDevice(is);
+}
+
+Device
+loadDeviceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw UserError("cannot open device file '" + path + "'");
+    return parseDevice(in);
+}
+
+std::string
+deviceToText(const Device &device)
+{
+    std::ostringstream os;
+    os << "device " << device.name() << " " << device.numQubits() << "\n";
+    const CouplingMap &map = device.coupling();
+    for (Qubit c = 0; c < device.numQubits(); ++c) {
+        const auto &targets = map.targetsOf(c);
+        if (targets.empty())
+            continue;
+        os << c << ":";
+        for (Qubit t : targets)
+            os << " " << t;
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace qsyn

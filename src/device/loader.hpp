@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Custom device loader: "the tool already supports the addition of
+ * coupling maps so that new devices can be targeted" (paper, Section 6).
+ *
+ * The text format is the paper's dictionary, one control per line:
+ *
+ *     # comment
+ *     device my_machine 5
+ *     0: 1 2
+ *     1: 2
+ *     3: 2 4
+ *     4: 2
+ *
+ * The `device <name> <num_qubits>` header is mandatory; every following
+ * non-comment line is `<control>: <target> [<target>...]`.
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "device/device.hpp"
+
+namespace qsyn {
+
+/** Parse a device description from a stream. Throws ParseError. */
+Device parseDevice(std::istream &input);
+
+/** Parse a device description from a string. Throws ParseError. */
+Device parseDeviceString(const std::string &text);
+
+/** Load a device description from a file. Throws UserError. */
+Device loadDeviceFile(const std::string &path);
+
+/** Serialize a device back into the loader's text format. */
+std::string deviceToText(const Device &device);
+
+} // namespace qsyn

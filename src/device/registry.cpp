@@ -1,0 +1,170 @@
+#include "device/registry.hpp"
+
+#include <initializer_list>
+#include <utility>
+
+#include "common/errors.hpp"
+
+namespace qsyn {
+
+namespace {
+
+using DictEntry = std::pair<Qubit, std::initializer_list<Qubit>>;
+
+CouplingMap
+fromDict(Qubit num_qubits, std::initializer_list<DictEntry> dict)
+{
+    CouplingMap map(num_qubits);
+    for (const auto &[control, targets] : dict) {
+        for (Qubit t : targets)
+            map.addEdge(control, t);
+    }
+    return map;
+}
+
+} // namespace
+
+Device
+makeIbmqx2()
+{
+    // ibmqx2 = {0:[1,2], 1:[2], 3:[2,4], 4:[2]}
+    return Device("ibmqx2", 5,
+                  fromDict(5, {{0, {1, 2}}, {1, {2}}, {3, {2, 4}},
+                               {4, {2}}}));
+}
+
+Device
+makeIbmqx3()
+{
+    // ibmqx3 = {0:[1], 1:[2], 2:[3], 3:[14], 4:[3,5], 6:[7,11], 7:[10],
+    //           8:[7], 9:[8,10], 11:[10], 12:[5,11,13], 13:[4,14],
+    //           15:[0,14]}
+    return Device("ibmqx3", 16,
+                  fromDict(16, {{0, {1}},
+                                {1, {2}},
+                                {2, {3}},
+                                {3, {14}},
+                                {4, {3, 5}},
+                                {6, {7, 11}},
+                                {7, {10}},
+                                {8, {7}},
+                                {9, {8, 10}},
+                                {11, {10}},
+                                {12, {5, 11, 13}},
+                                {13, {4, 14}},
+                                {15, {0, 14}}}));
+}
+
+Device
+makeIbmqx4()
+{
+    // ibmqx4 = {1:[0], 2:[0,1], 3:[2,4], 4:[2]}
+    return Device("ibmqx4", 5,
+                  fromDict(5, {{1, {0}}, {2, {0, 1}}, {3, {2, 4}},
+                               {4, {2}}}));
+}
+
+Device
+makeIbmqx5()
+{
+    // ibmqx5 = {1:[0,2], 2:[3], 3:[4,14], 5:[4], 6:[5,7,11], 7:[10],
+    //           8:[7], 9:[8,10], 11:[10], 12:[5,11,13], 13:[4,14],
+    //           15:[0,2,14]}
+    return Device("ibmqx5", 16,
+                  fromDict(16, {{1, {0, 2}},
+                                {2, {3}},
+                                {3, {4, 14}},
+                                {5, {4}},
+                                {6, {5, 7, 11}},
+                                {7, {10}},
+                                {8, {7}},
+                                {9, {8, 10}},
+                                {11, {10}},
+                                {12, {5, 11, 13}},
+                                {13, {4, 14}},
+                                {15, {0, 2, 14}}}));
+}
+
+Device
+makeIbmq16()
+{
+    // ibmq_16 = {1:[0,2], 2:[3], 4:[3,10], 5:[4,6,9], 6:[8], 7:[8],
+    //            9:[8,10], 11:[3,10,12], 12:[2], 13:[1,12]}
+    return Device("ibmq_16", 14,
+                  fromDict(14, {{1, {0, 2}},
+                                {2, {3}},
+                                {4, {3, 10}},
+                                {5, {4, 6, 9}},
+                                {6, {8}},
+                                {7, {8}},
+                                {9, {8, 10}},
+                                {11, {3, 10, 12}},
+                                {12, {2}},
+                                {13, {1, 12}}}));
+}
+
+Device
+makeProposed96()
+{
+    // Five rows: qubits [0,20), [20,40), [40,60), [60,80), [80,96).
+    constexpr Qubit kRowStarts[] = {0, 20, 40, 60, 80, 96};
+    constexpr int kRows = 5;
+    CouplingMap map(96);
+
+    // Horizontal chains with alternating CNOT orientation, like the
+    // ibmqx5 ladder.
+    for (int row = 0; row < kRows; ++row) {
+        for (Qubit q = kRowStarts[row]; q + 1 < kRowStarts[row + 1]; ++q) {
+            if (q % 2 == 0)
+                map.addEdge(q, q + 1);
+            else
+                map.addEdge(q + 1, q);
+        }
+    }
+
+    // Vertical rungs every four columns between adjacent rows,
+    // direction alternating by row.
+    for (int row = 0; row + 1 < kRows; ++row) {
+        Qubit row_len = kRowStarts[row + 1] - kRowStarts[row];
+        Qubit next_len = kRowStarts[row + 2] - kRowStarts[row + 1];
+        for (Qubit col = 0; col < row_len && col < next_len; col += 4) {
+            Qubit upper = kRowStarts[row] + col;
+            Qubit lower = kRowStarts[row + 1] + col;
+            if (row % 2 == 0)
+                map.addEdge(upper, lower);
+            else
+                map.addEdge(lower, upper);
+        }
+    }
+
+    Device device("proposed_96", 96, std::move(map));
+    QSYN_ASSERT(device.coupling().isConnected(),
+                "proposed 96-qubit topology must be connected");
+    return device;
+}
+
+std::vector<Device>
+allBuiltinDevices()
+{
+    return {makeIbmqx2(), makeIbmqx3(), makeIbmqx4(), makeIbmqx5(),
+            makeIbmq16(), makeProposed96()};
+}
+
+std::vector<Device>
+ibmTableDevices()
+{
+    return {makeIbmqx2(), makeIbmqx3(), makeIbmqx4(), makeIbmqx5(),
+            makeIbmq16()};
+}
+
+Device
+builtinDevice(const std::string &name)
+{
+    for (Device &d : allBuiltinDevices()) {
+        if (d.name() == name)
+            return d;
+    }
+    throw UserError("unknown device '" + name + "'");
+}
+
+} // namespace qsyn

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The built-in device library: the five public IBM Q machines of the
+ * paper's Table 2 (coupling maps transcribed verbatim from Section 3),
+ * the unconstrained simulator, and the proposed 96-qubit
+ * ibmqx5-inspired machine of Fig. 7.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace qsyn {
+
+/** @name Individual device builders. */
+/// @{
+Device makeIbmqx2();    ///< 5-qubit Yorktown
+Device makeIbmqx3();    ///< 16-qubit (retired)
+Device makeIbmqx4();    ///< 5-qubit Tenerife
+Device makeIbmqx5();    ///< 16-qubit Rueschlikon (retired)
+Device makeIbmq16();    ///< 14-qubit Melbourne ("ibmq_16")
+/// @}
+
+/**
+ * The proposed 96-qubit transmon machine (Fig. 7): five rows of
+ * 20/20/20/20/16 qubits; every row is a directed chain (alternating
+ * CNOT orientation) and vertical rungs join adjacent rows every four
+ * columns, mirroring the ladder style of ibmqx5.
+ */
+Device makeProposed96();
+
+/**
+ * All built-in physical devices, in the paper's Table 2 order followed
+ * by the 96-qubit machine.
+ */
+std::vector<Device> allBuiltinDevices();
+
+/** The five IBM devices used in Tables 3-6 (no 96-qubit machine). */
+std::vector<Device> ibmTableDevices();
+
+/**
+ * Look up a built-in device by name ("ibmqx2" ... "ibmq_16",
+ * "proposed_96"); "simulator" requires a qubit count and is not served
+ * here. Throws UserError for unknown names.
+ */
+Device builtinDevice(const std::string &name);
+
+} // namespace qsyn

@@ -1,0 +1,157 @@
+#include "esop/cascade.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/errors.hpp"
+#include "esop/reed_muller.hpp"
+
+namespace qsyn::esop {
+
+namespace {
+
+/** Wires whose current polarity flip must change between two cubes. */
+std::uint64_t
+negativeLiterals(const Cube &cube)
+{
+    return cube.careMask & ~cube.polarity;
+}
+
+/**
+ * Greedy nearest-neighbor cube order minimizing the Hamming distance
+ * between consecutive negative-literal masks (fewer X toggles).
+ */
+std::vector<Cube>
+orderForSharing(std::vector<Cube> cubes)
+{
+    std::vector<Cube> ordered;
+    ordered.reserve(cubes.size());
+    std::uint64_t current = 0;
+    while (!cubes.empty()) {
+        size_t best = 0;
+        int best_distance = 65;
+        for (size_t i = 0; i < cubes.size(); ++i) {
+            int d = std::popcount(negativeLiterals(cubes[i]) ^ current);
+            if (d < best_distance) {
+                best_distance = d;
+                best = i;
+            }
+        }
+        current = negativeLiterals(cubes[best]);
+        ordered.push_back(cubes[best]);
+        cubes.erase(cubes.begin() + static_cast<ptrdiff_t>(best));
+    }
+    return ordered;
+}
+
+void
+toggleFlips(Circuit &circuit, std::uint64_t &state, std::uint64_t wanted)
+{
+    std::uint64_t change = state ^ wanted;
+    for (int i = 0; i < 64; ++i) {
+        if (change & (std::uint64_t{1} << i))
+            circuit.addX(static_cast<Qubit>(i));
+    }
+    state = wanted;
+}
+
+} // namespace
+
+void
+appendEsopCascade(Circuit &circuit, const EsopForm &esop, Qubit target,
+                  const CascadeOptions &options)
+{
+    QSYN_ASSERT(static_cast<Qubit>(esop.numVars) <= circuit.numQubits(),
+                "ESOP wider than the circuit");
+    QSYN_ASSERT(target < circuit.numQubits(), "target outside register");
+    QSYN_ASSERT(target >= static_cast<Qubit>(esop.numVars),
+                "target wire collides with an ESOP variable");
+
+    std::vector<Cube> cubes = esop.cubes;
+    if (options.sharePolarity)
+        cubes = orderForSharing(std::move(cubes));
+
+    std::uint64_t flip_state = 0;
+    for (const Cube &cube : cubes) {
+        if (options.sharePolarity) {
+            toggleFlips(circuit, flip_state, negativeLiterals(cube));
+        } else {
+            toggleFlips(circuit, flip_state, 0);
+            toggleFlips(circuit, flip_state, negativeLiterals(cube));
+        }
+        std::vector<Qubit> controls;
+        for (int i = 0; i < esop.numVars; ++i) {
+            if (cube.careMask & (std::uint64_t{1} << i))
+                controls.push_back(static_cast<Qubit>(i));
+        }
+        circuit.add(Gate::mcx(controls, target));
+        if (!options.sharePolarity)
+            toggleFlips(circuit, flip_state, 0);
+    }
+    toggleFlips(circuit, flip_state, 0);
+}
+
+Circuit
+synthesizeFunction(const TruthTable &table, const CascadeOptions &options)
+{
+    int n = table.numVars();
+    Circuit circuit(static_cast<Qubit>(n) + 1,
+                    "f_" + table.toHex());
+    EsopForm esop = synthesizeEsop(table);
+    appendEsopCascade(circuit, esop, static_cast<Qubit>(n), options);
+    return circuit;
+}
+
+Circuit
+synthesizePla(const frontend::PlaFile &pla, const CascadeOptions &options)
+{
+    if (!pla.isEsop) {
+        // A SOP reads as an ESOP only when no two cubes of the same
+        // output intersect.
+        for (size_t i = 0; i < pla.cubes.size(); ++i) {
+            for (size_t j = i + 1; j < pla.cubes.size(); ++j) {
+                const auto &a = pla.cubes[i];
+                const auto &b = pla.cubes[j];
+                if ((a.outputs & b.outputs) == 0)
+                    continue;
+                std::uint64_t shared = a.careMask & b.careMask;
+                if (((a.polarity ^ b.polarity) & shared) == 0) {
+                    throw UserError(
+                        "PLA is not .type esop and has overlapping "
+                        "cubes; re-express it as an ESOP");
+                }
+            }
+        }
+    }
+
+    auto total = static_cast<Qubit>(pla.numInputs + pla.numOutputs);
+    Circuit circuit(total, "pla");
+    for (int o = 0; o < pla.numOutputs; ++o) {
+        EsopForm esop;
+        esop.numVars = pla.numInputs;
+        for (const auto &cube : pla.cubes) {
+            if (cube.outputs & (std::uint64_t{1} << o))
+                esop.cubes.push_back(Cube{cube.careMask, cube.polarity});
+        }
+        minimizeEsop(esop);
+        appendEsopCascade(circuit, esop,
+                          static_cast<Qubit>(pla.numInputs + o), options);
+    }
+    return circuit;
+}
+
+Circuit
+singleTargetGate(const TruthTable &control_function)
+{
+    Circuit circuit = synthesizeFunction(control_function);
+    circuit.setName("st_" + control_function.toHex());
+    return circuit;
+}
+
+Circuit
+singleTargetGateFromHex(const std::string &hex)
+{
+    return singleTargetGate(TruthTable::fromHex(hex));
+}
+
+} // namespace qsyn::esop

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * ESOP-to-reversible-cascade generation (paper ref. [1]): every ESOP
+ * cube becomes one (generalized) Toffoli whose controls are the cube's
+ * literals; negative literals are realized by conjugating the control
+ * wire with X. The result is the technology-independent reversible
+ * cascade that feeds the back end of the compiler (Fig. 2).
+ */
+
+#pragma once
+
+#include "esop/esop_form.hpp"
+#include "frontend/pla_parser.hpp"
+#include "ir/circuit.hpp"
+
+namespace qsyn::esop {
+
+/** Options for cascade generation. */
+struct CascadeOptions
+{
+    /**
+     * Order cubes and keep wire polarities sticky so consecutive cubes
+     * share their X conjugations instead of undoing and redoing them
+     * (the cube-ordering optimization of the ESOP method).
+     */
+    bool sharePolarity = true;
+};
+
+/**
+ * Emit the cascade of one ESOP onto wire `target` of a circuit with
+ * `num_qubits` wires; ESOP variable i lives on wire i. Appends to
+ * `circuit`.
+ */
+void appendEsopCascade(Circuit &circuit, const EsopForm &esop,
+                       Qubit target, const CascadeOptions &options = {});
+
+/**
+ * Reversible circuit computing f on a fresh target wire:
+ * wires 0..n-1 carry the inputs (restored at the end), wire n receives
+ * target XOR f(inputs).
+ */
+Circuit synthesizeFunction(const TruthTable &table,
+                           const CascadeOptions &options = {});
+
+/**
+ * Reversible embedding of a (multi-output) PLA: wires 0..i-1 are the
+ * inputs, wires i..i+o-1 the outputs (ancillae expected |0>). The PLA
+ * is treated as an ESOP cube list; plain SOP PLAs are accepted only
+ * when their cubes are pairwise disjoint per output (then OR = XOR),
+ * and rejected with UserError otherwise.
+ */
+Circuit synthesizePla(const frontend::PlaFile &pla,
+                      const CascadeOptions &options = {});
+
+/**
+ * Single-target gate ST_f: wires 0..n-1 are the controls of the
+ * Boolean control function f, wire n the target. This regenerates the
+ * paper's "Optimal single-target gate" benchmark family from its hex
+ * truth-table names.
+ */
+Circuit singleTargetGate(const TruthTable &control_function);
+
+/** singleTargetGate from the benchmark's hex name (e.g. "013f"). */
+Circuit singleTargetGateFromHex(const std::string &hex);
+
+} // namespace qsyn::esop

@@ -1,0 +1,130 @@
+#include "esop/esop_form.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "common/errors.hpp"
+
+namespace qsyn::esop {
+
+int
+Cube::literalCount() const
+{
+    return std::popcount(careMask);
+}
+
+std::string
+Cube::toString() const
+{
+    if (careMask == 0)
+        return "1";
+    std::ostringstream os;
+    bool first = true;
+    for (int i = 0; i < 64; ++i) {
+        std::uint64_t bit = std::uint64_t{1} << i;
+        if (!(careMask & bit))
+            continue;
+        if (!first)
+            os << " ";
+        first = false;
+        if (!(polarity & bit))
+            os << "!";
+        os << "x" << i;
+    }
+    return os.str();
+}
+
+bool
+EsopForm::evaluate(std::uint64_t assignment) const
+{
+    bool value = false;
+    for (const Cube &c : cubes)
+        value ^= c.covers(assignment);
+    return value;
+}
+
+TruthTable
+EsopForm::toTruthTable() const
+{
+    TruthTable table(numVars);
+    for (std::uint64_t row = 0; row < table.numRows(); ++row)
+        table.setBit(row, evaluate(row));
+    return table;
+}
+
+int
+EsopForm::literalCount() const
+{
+    int total = 0;
+    for (const Cube &c : cubes)
+        total += c.literalCount();
+    return total;
+}
+
+void
+minimizeEsop(EsopForm &esop)
+{
+    auto &cubes = esop.cubes;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 0; i < cubes.size() && !changed; ++i) {
+            for (size_t j = i + 1; j < cubes.size() && !changed; ++j) {
+                Cube &a = cubes[i];
+                Cube &b = cubes[j];
+
+                // Duplicate cancellation: C (+) C = 0.
+                if (a == b) {
+                    cubes.erase(cubes.begin() +
+                                static_cast<ptrdiff_t>(j));
+                    cubes.erase(cubes.begin() +
+                                static_cast<ptrdiff_t>(i));
+                    changed = true;
+                    break;
+                }
+
+                // Polarity merge: same care set, polarity differs in
+                // exactly one variable: xC (+) !xC = C.
+                if (a.careMask == b.careMask) {
+                    std::uint64_t diff =
+                        (a.polarity ^ b.polarity) & a.careMask;
+                    if (std::popcount(diff) == 1) {
+                        a.careMask &= ~diff;
+                        a.polarity &= a.careMask;
+                        cubes.erase(cubes.begin() +
+                                    static_cast<ptrdiff_t>(j));
+                        changed = true;
+                        break;
+                    }
+                    continue;
+                }
+
+                // Literal absorption: care sets differ in exactly one
+                // variable v, agreeing elsewhere: (v-literal)C (+) C
+                // = (!v-literal)C.
+                std::uint64_t care_diff = a.careMask ^ b.careMask;
+                if (std::popcount(care_diff) != 1)
+                    continue;
+                Cube &wide = (a.careMask & care_diff) ? a : b;
+                Cube &narrow = (a.careMask & care_diff) ? b : a;
+                std::uint64_t common = narrow.careMask;
+                if ((wide.careMask & ~care_diff) != common)
+                    continue;
+                if ((wide.polarity & common) != (narrow.polarity & common))
+                    continue;
+                // Flip the distinguished literal of the wide cube and
+                // drop the narrow one.
+                wide.polarity ^= care_diff;
+                if (&narrow == &a) {
+                    cubes.erase(cubes.begin() + static_cast<ptrdiff_t>(i));
+                } else {
+                    cubes.erase(cubes.begin() + static_cast<ptrdiff_t>(j));
+                }
+                changed = true;
+                break;
+            }
+        }
+    }
+}
+
+} // namespace qsyn::esop

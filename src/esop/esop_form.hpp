@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Exclusive-OR sum-of-products forms: the intermediate representation
+ * of the classical front end (Fazel/Thornton style, paper ref. [1]).
+ * An ESOP is a set of cubes whose XOR equals the function; each cube
+ * maps directly onto one (generalized) Toffoli gate.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "esop/truth_table.hpp"
+
+namespace qsyn::esop {
+
+/** One ESOP cube: conjunction of literals over the care variables. */
+struct Cube
+{
+    std::uint64_t careMask = 0; ///< variables appearing in the cube
+    std::uint64_t polarity = 0; ///< positive literals (subset of care)
+
+    bool operator==(const Cube &o) const
+    {
+        return careMask == o.careMask && polarity == o.polarity;
+    }
+
+    /** True when the cube covers the given input assignment. */
+    bool
+    covers(std::uint64_t assignment) const
+    {
+        return (assignment & careMask) == (polarity & careMask);
+    }
+
+    /** Number of literals. */
+    int literalCount() const;
+
+    /** e.g. "x0 !x2 x3" ("1" for the empty cube). */
+    std::string toString() const;
+};
+
+/** An ESOP expression over `numVars` variables. */
+struct EsopForm
+{
+    int numVars = 0;
+    std::vector<Cube> cubes;
+
+    /** Evaluate the XOR of all cubes on an assignment. */
+    bool evaluate(std::uint64_t assignment) const;
+
+    /** Expand into a truth table (for verification). */
+    TruthTable toTruthTable() const;
+
+    /** Total literal count across cubes. */
+    int literalCount() const;
+};
+
+/**
+ * Local ESOP minimization: repeatedly applies the exact XOR cube
+ * identities
+ *   C (+) C            = 0            (duplicate cancellation)
+ *   xC (+) !xC         = C            (polarity merge)
+ *   xC (+) C           = !xC          (literal absorption)
+ * until no rule fires. Preserves the function exactly; never increases
+ * the cube count.
+ */
+void minimizeEsop(EsopForm &esop);
+
+} // namespace qsyn::esop

@@ -1,0 +1,95 @@
+#include "esop/reed_muller.hpp"
+
+#include <bit>
+
+#include "common/errors.hpp"
+
+namespace qsyn::esop {
+
+std::vector<std::uint64_t>
+pprmCoefficients(const TruthTable &table)
+{
+    int n = table.numVars();
+    std::uint64_t rows = table.numRows();
+    std::vector<char> coeff(rows);
+    for (std::uint64_t r = 0; r < rows; ++r)
+        coeff[r] = table.bit(r) ? 1 : 0;
+
+    // GF(2) Mobius transform (in-place butterfly).
+    for (int v = 0; v < n; ++v) {
+        std::uint64_t bit = std::uint64_t{1} << v;
+        for (std::uint64_t r = 0; r < rows; ++r) {
+            if (r & bit)
+                coeff[r] ^= coeff[r ^ bit];
+        }
+    }
+
+    std::vector<std::uint64_t> monomials;
+    for (std::uint64_t r = 0; r < rows; ++r) {
+        if (coeff[r])
+            monomials.push_back(r);
+    }
+    return monomials;
+}
+
+EsopForm
+pprm(const TruthTable &table)
+{
+    EsopForm esop;
+    esop.numVars = table.numVars();
+    for (std::uint64_t m : pprmCoefficients(table)) {
+        Cube cube;
+        cube.careMask = m;
+        cube.polarity = m;
+        esop.cubes.push_back(cube);
+    }
+    return esop;
+}
+
+EsopForm
+fprm(const TruthTable &table, std::uint64_t polarity_mask)
+{
+    // Substituting y_i = x_i ^ p_i turns f into g(y) = f(y ^ p); the
+    // PPRM of g over y yields literals x_i (p_i = 0) or !x_i (p_i = 1).
+    TruthTable flipped = table.withInputsFlipped(polarity_mask);
+    EsopForm esop;
+    esop.numVars = table.numVars();
+    for (std::uint64_t m : pprmCoefficients(flipped)) {
+        Cube cube;
+        cube.careMask = m;
+        cube.polarity = m & ~polarity_mask;
+        esop.cubes.push_back(cube);
+    }
+    return esop;
+}
+
+EsopForm
+bestFprm(const TruthTable &table)
+{
+    int n = table.numVars();
+    QSYN_ASSERT(n <= 14, "bestFprm limited to 14 variables");
+    EsopForm best = fprm(table, 0);
+    int best_literals = best.literalCount();
+    for (std::uint64_t p = 1; p < (std::uint64_t{1} << n); ++p) {
+        EsopForm candidate = fprm(table, p);
+        int literals = candidate.literalCount();
+        if (candidate.cubes.size() < best.cubes.size() ||
+            (candidate.cubes.size() == best.cubes.size() &&
+             literals < best_literals)) {
+            best = std::move(candidate);
+            best_literals = literals;
+        }
+    }
+    return best;
+}
+
+EsopForm
+synthesizeEsop(const TruthTable &table)
+{
+    EsopForm esop =
+        table.numVars() <= 14 ? bestFprm(table) : pprm(table);
+    minimizeEsop(esop);
+    return esop;
+}
+
+} // namespace qsyn::esop

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reed-Muller expansions: the ESOP synthesis engine of the front end.
+ *
+ * The positive-polarity Reed-Muller (PPRM) form is obtained with the
+ * GF(2) Mobius (butterfly) transform; fixed-polarity forms (FPRM)
+ * complement a chosen subset of inputs first. `bestFprm` searches all
+ * 2^n polarities for the fewest cubes — exact and fast for the
+ * benchmark sizes (n <= ~14).
+ */
+
+#pragma once
+
+#include "esop/esop_form.hpp"
+#include "esop/truth_table.hpp"
+
+namespace qsyn::esop {
+
+/** PPRM coefficients: bit m set means monomial prod_{i in m} x_i. */
+std::vector<std::uint64_t> pprmCoefficients(const TruthTable &table);
+
+/** PPRM ESOP (all literals positive). */
+EsopForm pprm(const TruthTable &table);
+
+/**
+ * Fixed-polarity Reed-Muller form: variable i uses the complemented
+ * literal when bit i of `polarity_mask` is set.
+ */
+EsopForm fprm(const TruthTable &table, std::uint64_t polarity_mask);
+
+/**
+ * Exhaustive FPRM search over all 2^n polarities; returns the form
+ * with the fewest cubes (ties: fewest literals, then lowest mask).
+ * Limited to n <= 14 (n <= 6 in the paper's benchmarks).
+ */
+EsopForm bestFprm(const TruthTable &table);
+
+/**
+ * Front-door ESOP synthesis: bestFprm where feasible (n <= 14, else
+ * PPRM), followed by minimizeEsop.
+ */
+EsopForm synthesizeEsop(const TruthTable &table);
+
+} // namespace qsyn::esop

@@ -1,0 +1,166 @@
+#include "esop/truth_table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/errors.hpp"
+
+namespace qsyn::esop {
+
+namespace {
+
+int
+hexValue(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    throw UserError(std::string("bad hex digit '") + c + "'");
+}
+
+} // namespace
+
+TruthTable::TruthTable(int num_vars) : num_vars_(num_vars)
+{
+    QSYN_ASSERT(num_vars >= 0 && num_vars <= 20,
+                "truth table limited to 20 variables");
+    size_t words = numRows() <= 64 ? 1 : numRows() / 64;
+    words_.assign(words, 0);
+}
+
+TruthTable
+TruthTable::fromHex(const std::string &hex, int num_vars)
+{
+    std::string digits;
+    for (char c : hex) {
+        if (c == '#' || c == '_' || std::isspace(static_cast<unsigned char>(c)))
+            continue;
+        digits += c;
+    }
+    if (digits.empty())
+        throw UserError("empty hex truth table");
+
+    if (num_vars < 0) {
+        // Infer: digit count d gives 4d rows; round up to a power of 2.
+        std::uint64_t rows = 4 * digits.size();
+        num_vars = 2;
+        while ((std::uint64_t{1} << num_vars) < rows)
+            ++num_vars;
+    }
+    TruthTable table(num_vars);
+    if (4 * digits.size() > table.numRows() * 4) {
+        // More digits than rows is only legal when the extras are 0.
+    }
+    std::uint64_t row = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        int v = hexValue(*it);
+        for (int b = 0; b < 4; ++b, ++row) {
+            bool bit = (v >> b) & 1;
+            if (row < table.numRows()) {
+                table.setBit(row, bit);
+            } else if (bit) {
+                throw UserError("hex table '" + hex +
+                                "' wider than 2^" +
+                                std::to_string(num_vars) + " rows");
+            }
+        }
+    }
+    return table;
+}
+
+TruthTable
+TruthTable::fromFunction(int num_vars,
+                         const std::function<bool(std::uint32_t)> &f)
+{
+    TruthTable table(num_vars);
+    for (std::uint64_t row = 0; row < table.numRows(); ++row)
+        table.setBit(row, f(static_cast<std::uint32_t>(row)));
+    return table;
+}
+
+bool
+TruthTable::bit(std::uint64_t row) const
+{
+    QSYN_ASSERT(row < numRows(), "truth table row out of range");
+    return (words_[row / 64] >> (row % 64)) & 1;
+}
+
+void
+TruthTable::setBit(std::uint64_t row, bool value)
+{
+    QSYN_ASSERT(row < numRows(), "truth table row out of range");
+    std::uint64_t mask = std::uint64_t{1} << (row % 64);
+    if (value)
+        words_[row / 64] |= mask;
+    else
+        words_[row / 64] &= ~mask;
+}
+
+std::uint64_t
+TruthTable::onesCount() const
+{
+    std::uint64_t count = 0;
+    std::uint64_t rows = numRows();
+    for (std::uint64_t row = 0; row < rows; ++row)
+        count += bit(row) ? 1 : 0;
+    return count;
+}
+
+bool
+TruthTable::isZero() const
+{
+    return std::all_of(words_.begin(), words_.end(),
+                       [](std::uint64_t w) { return w == 0; });
+}
+
+bool
+TruthTable::operator==(const TruthTable &other) const
+{
+    if (num_vars_ != other.num_vars_)
+        return false;
+    if (numRows() >= 64)
+        return words_ == other.words_;
+    std::uint64_t mask = (std::uint64_t{1} << numRows()) - 1;
+    return (words_[0] & mask) == (other.words_[0] & mask);
+}
+
+TruthTable &
+TruthTable::operator^=(const TruthTable &other)
+{
+    QSYN_ASSERT(num_vars_ == other.num_vars_, "arity mismatch");
+    for (size_t i = 0; i < words_.size(); ++i)
+        words_[i] ^= other.words_[i];
+    return *this;
+}
+
+TruthTable
+TruthTable::withInputsFlipped(std::uint64_t flip) const
+{
+    TruthTable out(num_vars_);
+    for (std::uint64_t row = 0; row < numRows(); ++row)
+        out.setBit(row, bit(row ^ flip));
+    return out;
+}
+
+std::string
+TruthTable::toHex() const
+{
+    std::uint64_t rows = numRows();
+    size_t digits = rows <= 4 ? 1 : rows / 4;
+    std::string out(digits, '0');
+    for (std::uint64_t row = 0; row < rows; ++row) {
+        if (!bit(row))
+            continue;
+        size_t digit = row / 4;
+        int nibble_bit = static_cast<int>(row % 4);
+        char &c = out[digits - 1 - digit];
+        int v = hexValue(c) | (1 << nibble_bit);
+        c = "0123456789abcdef"[v];
+    }
+    return out;
+}
+
+} // namespace qsyn::esop

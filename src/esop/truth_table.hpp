@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Single-output Boolean truth tables, the starting point of the
+ * classical-logic front end. The "Optimal single-target gate"
+ * benchmarks are named by the hexadecimal of exactly this table
+ * (e.g. #013f), so tables can be built straight from those names.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace qsyn::esop {
+
+/** Truth table of a Boolean function of up to 20 variables. */
+class TruthTable
+{
+  public:
+    /** Constant-0 function of `num_vars` variables. */
+    explicit TruthTable(int num_vars);
+
+    /**
+     * Build from a hexadecimal string, least-significant hex digit
+     * giving rows 0..3 (the benchmark-suite naming convention). The
+     * variable count is inferred from the digit count when `num_vars`
+     * is negative (4 digits -> 16 rows -> 4 variables).
+     */
+    static TruthTable fromHex(const std::string &hex, int num_vars = -1);
+
+    /** Build by evaluating `f` on every assignment. */
+    static TruthTable fromFunction(
+        int num_vars, const std::function<bool(std::uint32_t)> &f);
+
+    int numVars() const { return num_vars_; }
+    std::uint64_t numRows() const { return std::uint64_t{1} << num_vars_; }
+
+    bool bit(std::uint64_t row) const;
+    void setBit(std::uint64_t row, bool value);
+
+    /** Number of rows where the function is 1. */
+    std::uint64_t onesCount() const;
+
+    /** True when the function is constant zero. */
+    bool isZero() const;
+
+    bool operator==(const TruthTable &other) const;
+    bool operator!=(const TruthTable &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** XOR with another table of equal arity (in place). */
+    TruthTable &operator^=(const TruthTable &other);
+
+    /** Table of f(x ^ flip): inputs complemented where `flip` bits are
+     *  set (used for fixed-polarity Reed-Muller forms). */
+    TruthTable withInputsFlipped(std::uint64_t flip) const;
+
+    /** Hex rendering (most significant digit first). */
+    std::string toHex() const;
+
+  private:
+    int num_vars_;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace qsyn::esop

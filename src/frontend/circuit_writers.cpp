@@ -1,0 +1,122 @@
+#include "frontend/circuit_writers.hpp"
+
+#include <sstream>
+
+#include "common/errors.hpp"
+
+namespace qsyn::frontend {
+
+namespace {
+
+std::string
+wireName(Qubit q)
+{
+    return "x" + std::to_string(q);
+}
+
+[[noreturn]] void
+unsupported(const Gate &g, const char *format)
+{
+    throw UserError("gate '" + g.toString() + "' has no " + format +
+                    " representation");
+}
+
+} // namespace
+
+std::string
+writeReal(const Circuit &circuit)
+{
+    std::ostringstream os;
+    os << "# written by qsyn\n";
+    os << ".version 1.0\n";
+    os << ".numvars " << circuit.numQubits() << "\n";
+    os << ".variables";
+    for (Qubit q = 0; q < circuit.numQubits(); ++q)
+        os << " " << wireName(q);
+    os << "\n.begin\n";
+    for (const Gate &g : circuit) {
+        if (g.kind() == GateKind::Barrier)
+            continue;
+        if (g.kind() == GateKind::X) {
+            os << "t" << g.numQubits();
+            for (Qubit c : g.controls())
+                os << " " << wireName(c);
+            os << " " << wireName(g.target()) << "\n";
+            continue;
+        }
+        if (g.kind() == GateKind::Swap) {
+            os << "f" << g.numQubits();
+            for (Qubit c : g.controls())
+                os << " " << wireName(c);
+            os << " " << wireName(g.targets()[0]) << " "
+               << wireName(g.targets()[1]) << "\n";
+            continue;
+        }
+        unsupported(g, ".real");
+    }
+    os << ".end\n";
+    return os.str();
+}
+
+std::string
+writeQc(const Circuit &circuit)
+{
+    std::ostringstream os;
+    os << "# written by qsyn\n";
+    os << ".v";
+    for (Qubit q = 0; q < circuit.numQubits(); ++q)
+        os << " " << wireName(q);
+    os << "\nBEGIN\n";
+    for (const Gate &g : circuit) {
+        if (g.kind() == GateKind::Barrier)
+            continue;
+        std::string mnemonic;
+        switch (g.kind()) {
+          case GateKind::I:
+            continue;
+          case GateKind::X:
+            mnemonic = g.numControls() == 0 ? "X" : "T";
+            break;
+          case GateKind::Y:
+            mnemonic = "Y";
+            break;
+          case GateKind::Z:
+            mnemonic = "Z";
+            break;
+          case GateKind::H:
+            mnemonic = "H";
+            break;
+          case GateKind::S:
+            mnemonic = "S";
+            break;
+          case GateKind::Sdg:
+            mnemonic = "S*";
+            break;
+          case GateKind::T:
+            if (g.numControls() != 0)
+                unsupported(g, ".qc");
+            mnemonic = "T";
+            break;
+          case GateKind::Tdg:
+            if (g.numControls() != 0)
+                unsupported(g, ".qc");
+            mnemonic = "T*";
+            break;
+          case GateKind::Swap:
+            mnemonic = g.numControls() == 0 ? "swap" : "F";
+            break;
+          default:
+            unsupported(g, ".qc");
+        }
+        os << mnemonic;
+        for (Qubit c : g.controls())
+            os << " " << wireName(c);
+        for (Qubit t : g.targets())
+            os << " " << wireName(t);
+        os << "\n";
+    }
+    os << "END\n";
+    return os.str();
+}
+
+} // namespace qsyn::frontend

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Writers for the reversible-circuit interchange formats the front end
+ * reads: RevLib .real and .qc. Round-tripping circuits through these
+ * formats lets qsyn interoperate with the reversible-logic toolchains
+ * the paper builds on (RevKit, RevLib, the benchmark suites).
+ */
+
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qsyn::frontend {
+
+/**
+ * Serialize an NCT/Fredkin-level circuit as RevLib .real. Accepts X
+ * with any number of controls and (controlled) Swap; everything else
+ * (Clifford+T gates, rotations, measures) throws UserError since the
+ * format has no vocabulary for it.
+ */
+std::string writeReal(const Circuit &circuit);
+
+/**
+ * Serialize as .qc. Accepts the .qc vocabulary: H, X (any controls),
+ * Y, Z (any controls), S/S*, T/T*, swap, Fredkin. Parameterized
+ * rotations and measures throw UserError.
+ */
+std::string writeQc(const Circuit &circuit);
+
+} // namespace qsyn::frontend

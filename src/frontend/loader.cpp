@@ -1,0 +1,41 @@
+#include "frontend/loader.hpp"
+
+#include "common/errors.hpp"
+#include "common/strings.hpp"
+#include "frontend/qasm_parser.hpp"
+#include "frontend/qc_parser.hpp"
+#include "frontend/real_parser.hpp"
+
+namespace qsyn::frontend {
+
+CircuitFormat
+formatFromExtension(const std::string &path)
+{
+    std::string lower = toLower(path);
+    if (endsWith(lower, ".qasm"))
+        return CircuitFormat::Qasm;
+    if (endsWith(lower, ".qc"))
+        return CircuitFormat::Qc;
+    if (endsWith(lower, ".real"))
+        return CircuitFormat::Real;
+    return CircuitFormat::Unknown;
+}
+
+Circuit
+loadCircuitFile(const std::string &path)
+{
+    switch (formatFromExtension(path)) {
+      case CircuitFormat::Qasm:
+        return loadQasmFile(path);
+      case CircuitFormat::Qc:
+        return loadQcFile(path);
+      case CircuitFormat::Real:
+        return loadRealFile(path);
+      case CircuitFormat::Unknown:
+        break;
+    }
+    throw UserError("cannot determine circuit format of '" + path +
+                    "' (expected .qasm, .qc, or .real)");
+}
+
+} // namespace qsyn::frontend

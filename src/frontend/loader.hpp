@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Format-dispatching circuit loader (the paper's "various file formats
+ * are supported for the input specification": .qasm, .qc, .real).
+ */
+
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qsyn::frontend {
+
+/** Circuit source formats the front end understands. */
+enum class CircuitFormat
+{
+    Qasm,
+    Qc,
+    Real,
+    Unknown
+};
+
+/** Guess the format from a file extension. */
+CircuitFormat formatFromExtension(const std::string &path);
+
+/**
+ * Load a circuit, dispatching on the file extension (.qasm, .qc,
+ * .real). Throws UserError for unknown extensions or I/O failures.
+ */
+Circuit loadCircuitFile(const std::string &path);
+
+} // namespace qsyn::frontend

@@ -1,0 +1,141 @@
+#include "frontend/pla_parser.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/errors.hpp"
+#include "common/strings.hpp"
+
+namespace qsyn::frontend {
+
+namespace {
+
+void
+parseCubeLine(PlaFile &pla, const std::string &in_part,
+              const std::string &out_part, int line_no)
+{
+    if (static_cast<int>(in_part.size()) != pla.numInputs) {
+        throw ParseError("cube input width " +
+                             std::to_string(in_part.size()) +
+                             " disagrees with .i " +
+                             std::to_string(pla.numInputs),
+                         line_no, 0);
+    }
+    if (static_cast<int>(out_part.size()) != pla.numOutputs) {
+        throw ParseError("cube output width disagrees with .o", line_no,
+                         0);
+    }
+    PlaCube cube;
+    for (int i = 0; i < pla.numInputs; ++i) {
+        char c = in_part[static_cast<size_t>(i)];
+        if (c == '1') {
+            cube.careMask |= 1ull << i;
+            cube.polarity |= 1ull << i;
+        } else if (c == '0') {
+            cube.careMask |= 1ull << i;
+        } else if (c != '-' && c != '~' && c != '2') {
+            throw ParseError(std::string("bad input literal '") + c + "'",
+                             line_no, 0);
+        }
+    }
+    for (int o = 0; o < pla.numOutputs; ++o) {
+        char c = out_part[static_cast<size_t>(o)];
+        if (c == '1') {
+            cube.outputs |= 1ull << o;
+        } else if (c != '0' && c != '-' && c != '~') {
+            throw ParseError(std::string("bad output literal '") + c + "'",
+                             line_no, 0);
+        }
+    }
+    if (cube.outputs != 0)
+        pla.cubes.push_back(cube);
+}
+
+} // namespace
+
+PlaFile
+parsePla(const std::string &source)
+{
+    PlaFile pla;
+    std::istringstream in(source);
+    std::string line;
+    int line_no = 0;
+    bool ended = false;
+
+    while (std::getline(in, line)) {
+        ++line_no;
+        auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::string text = trim(line);
+        if (text.empty())
+            continue;
+        if (ended)
+            throw ParseError("content after .e", line_no, 0);
+
+        if (text[0] == '.') {
+            auto fields = splitFields(text);
+            std::string dir = toLower(fields[0]);
+            if (dir == ".i") {
+                if (fields.size() != 2)
+                    throw ParseError(".i expects one value", line_no, 0);
+                pla.numInputs = std::stoi(fields[1]);
+                if (pla.numInputs <= 0 || pla.numInputs > 62)
+                    throw ParseError("input count must be in [1, 62]",
+                                     line_no, 0);
+            } else if (dir == ".o") {
+                if (fields.size() != 2)
+                    throw ParseError(".o expects one value", line_no, 0);
+                pla.numOutputs = std::stoi(fields[1]);
+                if (pla.numOutputs <= 0 || pla.numOutputs > 62)
+                    throw ParseError("output count must be in [1, 62]",
+                                     line_no, 0);
+            } else if (dir == ".type") {
+                if (fields.size() == 2 &&
+                    (iequals(fields[1], "esop") ||
+                     iequals(fields[1], "ex")))
+                    pla.isEsop = true;
+            } else if (dir == ".ilb") {
+                pla.inputNames.assign(fields.begin() + 1, fields.end());
+            } else if (dir == ".ob") {
+                pla.outputNames.assign(fields.begin() + 1, fields.end());
+            } else if (dir == ".e" || dir == ".end") {
+                ended = true;
+            }
+            // .p (cube count) and other directives are ignored.
+            continue;
+        }
+
+        if (pla.numInputs == 0 || pla.numOutputs == 0) {
+            throw ParseError("cube before .i/.o declarations", line_no, 0);
+        }
+        auto fields = splitFields(text);
+        if (fields.size() == 2) {
+            parseCubeLine(pla, fields[0], fields[1], line_no);
+        } else if (fields.size() == 1 &&
+                   static_cast<int>(fields[0].size()) ==
+                       pla.numInputs + pla.numOutputs) {
+            parseCubeLine(pla, fields[0].substr(0, pla.numInputs),
+                          fields[0].substr(pla.numInputs), line_no);
+        } else {
+            throw ParseError("malformed cube line", line_no, 0);
+        }
+    }
+
+    if (pla.numInputs == 0 || pla.numOutputs == 0)
+        throw ParseError("missing .i/.o declarations", line_no, 0);
+    return pla;
+}
+
+PlaFile
+loadPlaFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw UserError("cannot open PLA file '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parsePla(buffer.str());
+}
+
+} // namespace qsyn::frontend

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Parser for PLA cube lists — the classical switching-function input of
+ * the paper's front end (Fig. 2 "classical logic" path). A `.type esop`
+ * PLA is consumed directly as an exclusive-OR cube list; plain SOP
+ * PLAs are accepted when their cubes are disjoint (then OR == XOR) and
+ * rejected otherwise.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qsyn::frontend {
+
+/** One PLA cube: per-input literal states plus per-output flags. */
+struct PlaCube
+{
+    /** Bit i set: input i appears in the cube. */
+    std::uint64_t careMask = 0;
+    /** Bit i set (and in careMask): input i appears positively. */
+    std::uint64_t polarity = 0;
+    /** Bit o set: the cube contributes to output o. */
+    std::uint64_t outputs = 0;
+};
+
+/** A parsed PLA file. */
+struct PlaFile
+{
+    int numInputs = 0;
+    int numOutputs = 0;
+    bool isEsop = false; ///< declared `.type esop`
+    std::vector<PlaCube> cubes;
+    std::vector<std::string> inputNames;
+    std::vector<std::string> outputNames;
+};
+
+/** Parse PLA text. Throws ParseError. */
+PlaFile parsePla(const std::string &source);
+
+/** Load and parse a .pla file. Throws UserError / ParseError. */
+PlaFile loadPlaFile(const std::string &path);
+
+} // namespace qsyn::frontend

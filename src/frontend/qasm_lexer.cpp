@@ -1,0 +1,139 @@
+#include "frontend/qasm_lexer.hpp"
+
+#include <cctype>
+
+#include "common/errors.hpp"
+
+namespace qsyn::frontend {
+
+std::vector<Token>
+tokenizeQasm(const std::string &source)
+{
+    std::vector<Token> tokens;
+    int line = 1;
+    int column = 1;
+    size_t i = 0;
+    const size_t n = source.size();
+
+    auto peek = [&](size_t ahead = 0) -> char {
+        return i + ahead < n ? source[i + ahead] : '\0';
+    };
+    auto advance = [&]() {
+        if (source[i] == '\n') {
+            ++line;
+            column = 1;
+        } else {
+            ++column;
+        }
+        ++i;
+    };
+
+    while (i < n) {
+        char c = peek();
+        if (c == '/' && peek(1) == '/') {
+            while (i < n && peek() != '\n')
+                advance();
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+            continue;
+        }
+
+        Token tok;
+        tok.line = line;
+        tok.column = column;
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            while (i < n && (std::isalnum(static_cast<unsigned char>(
+                                 peek())) ||
+                             peek() == '_')) {
+                tok.text += peek();
+                advance();
+            }
+            tok.kind = TokenKind::Identifier;
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && std::isdigit(static_cast<unsigned char>(
+                             peek(1))))) {
+            bool is_real = false;
+            while (i < n) {
+                char d = peek();
+                if (std::isdigit(static_cast<unsigned char>(d))) {
+                    tok.text += d;
+                    advance();
+                } else if (d == '.' && !is_real) {
+                    is_real = true;
+                    tok.text += d;
+                    advance();
+                } else if ((d == 'e' || d == 'E') &&
+                           (std::isdigit(static_cast<unsigned char>(
+                                peek(1))) ||
+                            ((peek(1) == '+' || peek(1) == '-') &&
+                             std::isdigit(static_cast<unsigned char>(
+                                 peek(2)))))) {
+                    is_real = true;
+                    tok.text += d;
+                    advance();
+                    if (peek() == '+' || peek() == '-') {
+                        tok.text += peek();
+                        advance();
+                    }
+                } else {
+                    break;
+                }
+            }
+            tok.kind = is_real ? TokenKind::Real : TokenKind::Integer;
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        if (c == '"') {
+            advance();
+            while (i < n && peek() != '"') {
+                tok.text += peek();
+                advance();
+            }
+            if (i >= n)
+                throw ParseError("unterminated string literal", tok.line,
+                                 tok.column);
+            advance(); // closing quote
+            tok.kind = TokenKind::String;
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        if (c == '-' && peek(1) == '>') {
+            tok.kind = TokenKind::Symbol;
+            tok.text = "->";
+            advance();
+            advance();
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        static const std::string kSymbols = ";,()[]{}+-*/^";
+        if (kSymbols.find(c) != std::string::npos) {
+            tok.kind = TokenKind::Symbol;
+            tok.text = std::string(1, c);
+            advance();
+            tokens.push_back(std::move(tok));
+            continue;
+        }
+
+        throw ParseError(std::string("unexpected character '") + c + "'",
+                         line, column);
+    }
+
+    Token eof;
+    eof.kind = TokenKind::EndOfFile;
+    eof.line = line;
+    eof.column = column;
+    tokens.push_back(eof);
+    return tokens;
+}
+
+} // namespace qsyn::frontend

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Tokenizer for OpenQASM 2.0 source text.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qsyn::frontend {
+
+/** Token categories produced by the lexer. */
+enum class TokenKind
+{
+    Identifier, ///< names and keywords (keywords resolved by the parser)
+    Integer,    ///< unsigned decimal integer
+    Real,       ///< floating-point literal
+    String,     ///< double-quoted string (include paths)
+    Symbol,     ///< one of ; , ( ) [ ] { } + - * / ^ or "->"
+    EndOfFile
+};
+
+/** One lexical token with its source position. */
+struct Token
+{
+    TokenKind kind = TokenKind::EndOfFile;
+    std::string text;
+    int line = 0;
+    int column = 0;
+};
+
+/**
+ * Tokenize OpenQASM 2.0 text. Strips // line comments. Throws
+ * ParseError on an unrecognized character.
+ */
+std::vector<Token> tokenizeQasm(const std::string &source);
+
+} // namespace qsyn::frontend

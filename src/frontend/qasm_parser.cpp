@@ -1,0 +1,788 @@
+#include "frontend/qasm_parser.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <numbers>
+#include <sstream>
+
+#include "common/errors.hpp"
+#include "frontend/qasm_lexer.hpp"
+
+namespace qsyn::frontend {
+
+namespace {
+
+/** Arithmetic expression AST for gate parameters. */
+struct Expr
+{
+    enum class Kind
+    {
+        Number,
+        Pi,
+        Var,
+        Neg,
+        Add,
+        Sub,
+        Mul,
+        Div,
+        Pow,
+        Func
+    };
+
+    Kind kind;
+    double value = 0.0;
+    std::string name; // variable or function name
+    std::unique_ptr<Expr> lhs;
+    std::unique_ptr<Expr> rhs;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+using Env = std::map<std::string, double>;
+
+double
+evalExpr(const Expr &e, const Env &env, int line)
+{
+    switch (e.kind) {
+      case Expr::Kind::Number:
+        return e.value;
+      case Expr::Kind::Pi:
+        return std::numbers::pi;
+      case Expr::Kind::Var: {
+        auto it = env.find(e.name);
+        if (it == env.end())
+            throw ParseError("unknown parameter '" + e.name + "'", line,
+                             0);
+        return it->second;
+      }
+      case Expr::Kind::Neg:
+        return -evalExpr(*e.lhs, env, line);
+      case Expr::Kind::Add:
+        return evalExpr(*e.lhs, env, line) + evalExpr(*e.rhs, env, line);
+      case Expr::Kind::Sub:
+        return evalExpr(*e.lhs, env, line) - evalExpr(*e.rhs, env, line);
+      case Expr::Kind::Mul:
+        return evalExpr(*e.lhs, env, line) * evalExpr(*e.rhs, env, line);
+      case Expr::Kind::Div:
+        return evalExpr(*e.lhs, env, line) / evalExpr(*e.rhs, env, line);
+      case Expr::Kind::Pow:
+        return std::pow(evalExpr(*e.lhs, env, line),
+                        evalExpr(*e.rhs, env, line));
+      case Expr::Kind::Func: {
+        double arg = evalExpr(*e.lhs, env, line);
+        if (e.name == "sin")
+            return std::sin(arg);
+        if (e.name == "cos")
+            return std::cos(arg);
+        if (e.name == "tan")
+            return std::tan(arg);
+        if (e.name == "exp")
+            return std::exp(arg);
+        if (e.name == "ln")
+            return std::log(arg);
+        if (e.name == "sqrt")
+            return std::sqrt(arg);
+        throw ParseError("unknown function '" + e.name + "'", line, 0);
+      }
+    }
+    throw InternalError("bad expression node", __FILE__, __LINE__);
+}
+
+/** A qubit (or cbit) operand: register name plus optional index. */
+struct Operand
+{
+    std::string reg;
+    long index = -1; // -1: whole register (broadcast)
+    int line = 0;
+};
+
+/** One gate application inside a `gate` body or at the top level. */
+struct GateCall
+{
+    std::string name;
+    std::vector<ExprPtr> params;
+    std::vector<Operand> operands;
+    int line = 0;
+};
+
+/** A user gate definition. */
+struct GateDef
+{
+    std::vector<std::string> params;
+    std::vector<std::string> qubits;
+    std::vector<GateCall> body;
+    bool opaque = false;
+};
+
+struct Register
+{
+    Qubit offset = 0;
+    Qubit size = 0;
+};
+
+class Parser
+{
+  public:
+    Parser(const std::string &source, std::string name)
+        : tokens_(tokenizeQasm(source)), name_(std::move(name))
+    {
+    }
+
+    Circuit parse();
+
+  private:
+    const Token &peek(size_t ahead = 0) const
+    {
+        size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+        return tokens_[i];
+    }
+    const Token &advance() { return tokens_[pos_++]; }
+    bool atEnd() const { return peek().kind == TokenKind::EndOfFile; }
+
+    bool
+    checkSymbol(const std::string &s) const
+    {
+        return peek().kind == TokenKind::Symbol && peek().text == s;
+    }
+    bool
+    checkIdent(const std::string &s) const
+    {
+        return peek().kind == TokenKind::Identifier && peek().text == s;
+    }
+    void
+    expectSymbol(const std::string &s)
+    {
+        if (!checkSymbol(s)) {
+            throw ParseError("expected '" + s + "', got '" + peek().text +
+                                 "'",
+                             peek().line, peek().column);
+        }
+        advance();
+    }
+    std::string
+    expectIdent()
+    {
+        if (peek().kind != TokenKind::Identifier) {
+            throw ParseError("expected identifier, got '" + peek().text +
+                                 "'",
+                             peek().line, peek().column);
+        }
+        return advance().text;
+    }
+    long
+    expectInteger()
+    {
+        if (peek().kind != TokenKind::Integer) {
+            throw ParseError("expected integer, got '" + peek().text + "'",
+                             peek().line, peek().column);
+        }
+        return std::stol(advance().text);
+    }
+
+    ExprPtr parseExpr();
+    ExprPtr parseTerm();
+    ExprPtr parseFactor();
+
+    Operand parseOperand();
+    GateCall parseGateCall();
+    void parseGateDef();
+    void parseRegisterDecl(bool quantum);
+    void parseMeasure();
+    void parseBarrier();
+
+    /** Expand one call (after broadcasting) into concrete gates. */
+    void emitCall(const GateCall &call, const Env &env,
+                  const std::map<std::string, Qubit> &qubit_env,
+                  int depth);
+
+    /** Emit a builtin gate; returns false when `name` is not builtin. */
+    bool emitBuiltin(const std::string &name, int line,
+                     const std::vector<double> &params,
+                     const std::vector<Qubit> &qubits);
+
+    Qubit resolveQubit(const Operand &op,
+                       const std::map<std::string, Qubit> &qubit_env,
+                       long broadcast_index) const;
+    Cbit resolveCbit(const Operand &op, long broadcast_index) const;
+
+    std::vector<Token> tokens_;
+    size_t pos_ = 0;
+    std::string name_;
+    std::map<std::string, Register> qregs_;
+    std::map<std::string, Register> cregs_;
+    std::map<std::string, GateDef> gate_defs_;
+    Circuit circuit_{0};
+};
+
+ExprPtr
+Parser::parseExpr()
+{
+    ExprPtr lhs = parseTerm();
+    while (checkSymbol("+") || checkSymbol("-")) {
+        bool add = peek().text == "+";
+        advance();
+        auto node = std::make_unique<Expr>();
+        node->kind = add ? Expr::Kind::Add : Expr::Kind::Sub;
+        node->lhs = std::move(lhs);
+        node->rhs = parseTerm();
+        lhs = std::move(node);
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseTerm()
+{
+    ExprPtr lhs = parseFactor();
+    while (checkSymbol("*") || checkSymbol("/")) {
+        bool mul = peek().text == "*";
+        advance();
+        auto node = std::make_unique<Expr>();
+        node->kind = mul ? Expr::Kind::Mul : Expr::Kind::Div;
+        node->lhs = std::move(lhs);
+        node->rhs = parseFactor();
+        lhs = std::move(node);
+    }
+    return lhs;
+}
+
+ExprPtr
+Parser::parseFactor()
+{
+    if (checkSymbol("-")) {
+        advance();
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::Neg;
+        node->lhs = parseFactor();
+        return node;
+    }
+    if (checkSymbol("(")) {
+        advance();
+        ExprPtr inner = parseExpr();
+        expectSymbol(")");
+        if (checkSymbol("^")) {
+            advance();
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Pow;
+            node->lhs = std::move(inner);
+            node->rhs = parseFactor();
+            return node;
+        }
+        return inner;
+    }
+    if (peek().kind == TokenKind::Integer ||
+        peek().kind == TokenKind::Real) {
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::Number;
+        node->value = std::stod(advance().text);
+        return node;
+    }
+    if (peek().kind == TokenKind::Identifier) {
+        std::string name = advance().text;
+        if (name == "pi") {
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Pi;
+            return node;
+        }
+        if (checkSymbol("(")) {
+            advance();
+            auto node = std::make_unique<Expr>();
+            node->kind = Expr::Kind::Func;
+            node->name = name;
+            node->lhs = parseExpr();
+            expectSymbol(")");
+            return node;
+        }
+        auto node = std::make_unique<Expr>();
+        node->kind = Expr::Kind::Var;
+        node->name = name;
+        return node;
+    }
+    throw ParseError("expected expression, got '" + peek().text + "'",
+                     peek().line, peek().column);
+}
+
+Operand
+Parser::parseOperand()
+{
+    Operand op;
+    op.line = peek().line;
+    op.reg = expectIdent();
+    if (checkSymbol("[")) {
+        advance();
+        op.index = expectInteger();
+        expectSymbol("]");
+    }
+    return op;
+}
+
+GateCall
+Parser::parseGateCall()
+{
+    GateCall call;
+    call.line = peek().line;
+    call.name = expectIdent();
+    if (checkSymbol("(")) {
+        advance();
+        if (!checkSymbol(")")) {
+            call.params.push_back(parseExpr());
+            while (checkSymbol(",")) {
+                advance();
+                call.params.push_back(parseExpr());
+            }
+        }
+        expectSymbol(")");
+    }
+    call.operands.push_back(parseOperand());
+    while (checkSymbol(",")) {
+        advance();
+        call.operands.push_back(parseOperand());
+    }
+    expectSymbol(";");
+    return call;
+}
+
+void
+Parser::parseGateDef()
+{
+    bool opaque = checkIdent("opaque");
+    advance(); // 'gate' or 'opaque'
+    std::string name = expectIdent();
+    GateDef def;
+    def.opaque = opaque;
+    if (checkSymbol("(")) {
+        advance();
+        if (!checkSymbol(")")) {
+            def.params.push_back(expectIdent());
+            while (checkSymbol(",")) {
+                advance();
+                def.params.push_back(expectIdent());
+            }
+        }
+        expectSymbol(")");
+    }
+    def.qubits.push_back(expectIdent());
+    while (checkSymbol(",")) {
+        advance();
+        def.qubits.push_back(expectIdent());
+    }
+    if (opaque) {
+        expectSymbol(";");
+    } else {
+        expectSymbol("{");
+        while (!checkSymbol("}")) {
+            if (atEnd())
+                throw ParseError("unterminated gate body", peek().line,
+                                 peek().column);
+            if (checkIdent("barrier")) {
+                // Barriers inside gate bodies have no mapping effect.
+                advance();
+                while (!checkSymbol(";"))
+                    advance();
+                advance();
+                continue;
+            }
+            def.body.push_back(parseGateCall());
+        }
+        advance(); // '}'
+    }
+    gate_defs_[name] = std::move(def);
+}
+
+void
+Parser::parseRegisterDecl(bool quantum)
+{
+    advance(); // qreg / creg
+    std::string name = expectIdent();
+    expectSymbol("[");
+    long size = expectInteger();
+    expectSymbol("]");
+    expectSymbol(";");
+    if (size <= 0)
+        throw ParseError("register size must be positive", peek().line, 0);
+    auto &table = quantum ? qregs_ : cregs_;
+    if (table.count(name) || (quantum ? cregs_ : qregs_).count(name))
+        throw ParseError("duplicate register '" + name + "'", peek().line,
+                         0);
+    Register reg;
+    reg.size = static_cast<Qubit>(size);
+    if (quantum) {
+        reg.offset = circuit_.numQubits();
+        circuit_.resize(circuit_.numQubits() + reg.size);
+    } else {
+        Cbit total = 0;
+        for (const auto &[n, r] : cregs_)
+            total += r.size;
+        reg.offset = total;
+    }
+    table[name] = reg;
+}
+
+Qubit
+Parser::resolveQubit(const Operand &op,
+                     const std::map<std::string, Qubit> &qubit_env,
+                     long broadcast_index) const
+{
+    auto env_it = qubit_env.find(op.reg);
+    if (env_it != qubit_env.end()) {
+        if (op.index >= 0)
+            throw ParseError("cannot index a gate-body qubit", op.line, 0);
+        return env_it->second;
+    }
+    auto it = qregs_.find(op.reg);
+    if (it == qregs_.end())
+        throw ParseError("unknown quantum register '" + op.reg + "'",
+                         op.line, 0);
+    long index = op.index >= 0 ? op.index : broadcast_index;
+    if (index < 0 || index >= static_cast<long>(it->second.size))
+        throw ParseError("index out of range for register '" + op.reg +
+                             "'",
+                         op.line, 0);
+    return it->second.offset + static_cast<Qubit>(index);
+}
+
+Cbit
+Parser::resolveCbit(const Operand &op, long broadcast_index) const
+{
+    auto it = cregs_.find(op.reg);
+    if (it == cregs_.end())
+        throw ParseError("unknown classical register '" + op.reg + "'",
+                         op.line, 0);
+    long index = op.index >= 0 ? op.index : broadcast_index;
+    if (index < 0 || index >= static_cast<long>(it->second.size))
+        throw ParseError("index out of range for register '" + op.reg +
+                             "'",
+                         op.line, 0);
+    return it->second.offset + static_cast<Cbit>(index);
+}
+
+bool
+Parser::emitBuiltin(const std::string &name, int line,
+                    const std::vector<double> &params,
+                    const std::vector<Qubit> &qubits)
+{
+    auto need = [&](size_t nq, size_t np) {
+        if (qubits.size() != nq) {
+            throw ParseError("gate '" + name + "' expects " +
+                                 std::to_string(nq) + " qubits",
+                             line, 0);
+        }
+        if (params.size() != np) {
+            throw ParseError("gate '" + name + "' expects " +
+                                 std::to_string(np) + " parameters",
+                             line, 0);
+        }
+    };
+
+    static const std::map<std::string, GateKind> kSimple = {
+        {"id", GateKind::I},  {"x", GateKind::X},   {"y", GateKind::Y},
+        {"z", GateKind::Z},   {"h", GateKind::H},   {"s", GateKind::S},
+        {"sdg", GateKind::Sdg}, {"t", GateKind::T}, {"tdg", GateKind::Tdg}};
+    auto simple = kSimple.find(name);
+    if (simple != kSimple.end()) {
+        need(1, 0);
+        circuit_.add(Gate(simple->second, {}, {qubits[0]}));
+        return true;
+    }
+
+    static const std::map<std::string, GateKind> kRot = {
+        {"rx", GateKind::Rx}, {"ry", GateKind::Ry}, {"rz", GateKind::Rz},
+        {"p", GateKind::P},   {"u1", GateKind::P}};
+    auto rot = kRot.find(name);
+    if (rot != kRot.end()) {
+        need(1, 1);
+        circuit_.add(Gate(rot->second, {}, {qubits[0]}, params[0]));
+        return true;
+    }
+
+    if (name == "u0") {
+        need(1, 1);
+        return true; // explicit idle; no unitary action
+    }
+    if (name == "u2") {
+        need(1, 2);
+        // u2(phi, lambda) = u3(pi/2, phi, lambda)
+        circuit_.add(Gate::rz(qubits[0], params[1]));
+        circuit_.add(Gate::ry(qubits[0], std::numbers::pi / 2));
+        circuit_.add(Gate::rz(qubits[0], params[0]));
+        return true;
+    }
+    if (name == "u3" || name == "u") {
+        need(1, 3);
+        // u3(theta, phi, lambda) = Rz(phi) Ry(theta) Rz(lambda), up to
+        // global phase.
+        circuit_.add(Gate::rz(qubits[0], params[2]));
+        circuit_.add(Gate::ry(qubits[0], params[0]));
+        circuit_.add(Gate::rz(qubits[0], params[1]));
+        return true;
+    }
+
+    if (name == "cx" || name == "CX") {
+        need(2, 0);
+        circuit_.addCnot(qubits[0], qubits[1]);
+        return true;
+    }
+    if (name == "cz") {
+        need(2, 0);
+        circuit_.addCz(qubits[0], qubits[1]);
+        return true;
+    }
+    if (name == "cy") {
+        need(2, 0);
+        circuit_.add(Gate(GateKind::Y, {qubits[0]}, {qubits[1]}));
+        return true;
+    }
+    if (name == "ch") {
+        need(2, 0);
+        circuit_.add(Gate(GateKind::H, {qubits[0]}, {qubits[1]}));
+        return true;
+    }
+    if (name == "crz") {
+        need(2, 1);
+        circuit_.add(Gate(GateKind::Rz, {qubits[0]}, {qubits[1]},
+                          params[0]));
+        return true;
+    }
+    if (name == "cu1" || name == "cp") {
+        need(2, 1);
+        circuit_.add(Gate(GateKind::P, {qubits[0]}, {qubits[1]},
+                          params[0]));
+        return true;
+    }
+    if (name == "ccx") {
+        need(3, 0);
+        circuit_.addCcx(qubits[0], qubits[1], qubits[2]);
+        return true;
+    }
+    if (name == "swap") {
+        need(2, 0);
+        circuit_.addSwap(qubits[0], qubits[1]);
+        return true;
+    }
+    if (name == "cswap") {
+        need(3, 0);
+        circuit_.add(Gate::fredkin(qubits[0], qubits[1], qubits[2]));
+        return true;
+    }
+    return false;
+}
+
+void
+Parser::emitCall(const GateCall &call, const Env &env,
+                 const std::map<std::string, Qubit> &qubit_env, int depth)
+{
+    if (depth > 64)
+        throw ParseError("gate expansion too deep (recursive definition?)",
+                         call.line, 0);
+
+    // Broadcasting: any whole-register operand repeats the call across
+    // the register; all whole-register operands must have equal size.
+    long broadcast = -1;
+    for (const Operand &op : call.operands) {
+        if (op.index >= 0 || qubit_env.count(op.reg))
+            continue;
+        auto it = qregs_.find(op.reg);
+        if (it == qregs_.end())
+            throw ParseError("unknown quantum register '" + op.reg + "'",
+                             op.line, 0);
+        long size = static_cast<long>(it->second.size);
+        if (broadcast == -1)
+            broadcast = size;
+        else if (broadcast != size)
+            throw ParseError("mismatched broadcast register sizes",
+                             op.line, 0);
+    }
+
+    std::vector<double> params;
+    params.reserve(call.params.size());
+    for (const ExprPtr &p : call.params)
+        params.push_back(evalExpr(*p, env, call.line));
+
+    long reps = broadcast == -1 ? 1 : broadcast;
+    for (long rep = 0; rep < reps; ++rep) {
+        std::vector<Qubit> qubits;
+        qubits.reserve(call.operands.size());
+        for (const Operand &op : call.operands)
+            qubits.push_back(resolveQubit(op, qubit_env, rep));
+
+        if (emitBuiltin(call.name, call.line, params, qubits))
+            continue;
+
+        auto def_it = gate_defs_.find(call.name);
+        if (def_it == gate_defs_.end())
+            throw ParseError("unknown gate '" + call.name + "'", call.line,
+                             0);
+        const GateDef &def = def_it->second;
+        if (def.opaque)
+            throw ParseError("cannot expand opaque gate '" + call.name +
+                                 "'",
+                             call.line, 0);
+        if (def.params.size() != params.size())
+            throw ParseError("gate '" + call.name + "' expects " +
+                                 std::to_string(def.params.size()) +
+                                 " parameters",
+                             call.line, 0);
+        if (def.qubits.size() != qubits.size())
+            throw ParseError("gate '" + call.name + "' expects " +
+                                 std::to_string(def.qubits.size()) +
+                                 " qubits",
+                             call.line, 0);
+        Env inner_env;
+        for (size_t i = 0; i < def.params.size(); ++i)
+            inner_env[def.params[i]] = params[i];
+        std::map<std::string, Qubit> inner_qubits;
+        for (size_t i = 0; i < def.qubits.size(); ++i)
+            inner_qubits[def.qubits[i]] = qubits[i];
+        for (const GateCall &inner : def.body)
+            emitCall(inner, inner_env, inner_qubits, depth + 1);
+    }
+}
+
+void
+Parser::parseMeasure()
+{
+    int line = peek().line;
+    advance(); // 'measure'
+    Operand src = parseOperand();
+    expectSymbol("->");
+    Operand dst = parseOperand();
+    expectSymbol(";");
+
+    if (src.index < 0) {
+        auto it = qregs_.find(src.reg);
+        if (it == qregs_.end())
+            throw ParseError("unknown quantum register '" + src.reg + "'",
+                             line, 0);
+        for (long i = 0; i < static_cast<long>(it->second.size); ++i) {
+            circuit_.add(Gate::measure(resolveQubit(src, {}, i),
+                                       resolveCbit(dst, i)));
+        }
+    } else {
+        circuit_.add(Gate::measure(resolveQubit(src, {}, -1),
+                                   resolveCbit(dst, dst.index)));
+    }
+}
+
+void
+Parser::parseBarrier()
+{
+    advance(); // 'barrier'
+    std::vector<Qubit> wires;
+    Operand op = parseOperand();
+    auto add_operand = [&](const Operand &o) {
+        if (o.index >= 0) {
+            wires.push_back(resolveQubit(o, {}, -1));
+        } else {
+            auto it = qregs_.find(o.reg);
+            if (it == qregs_.end())
+                throw ParseError("unknown quantum register '" + o.reg +
+                                     "'",
+                                 o.line, 0);
+            for (Qubit i = 0; i < it->second.size; ++i)
+                wires.push_back(it->second.offset + i);
+        }
+    };
+    add_operand(op);
+    while (checkSymbol(",")) {
+        advance();
+        add_operand(parseOperand());
+    }
+    expectSymbol(";");
+    circuit_.add(Gate::barrier(std::move(wires)));
+}
+
+Circuit
+Parser::parse()
+{
+    circuit_.setName(name_);
+
+    // Optional version header.
+    if (checkIdent("OPENQASM")) {
+        advance();
+        if (peek().kind != TokenKind::Real &&
+            peek().kind != TokenKind::Integer) {
+            throw ParseError("expected version number", peek().line,
+                             peek().column);
+        }
+        advance();
+        expectSymbol(";");
+    }
+
+    while (!atEnd()) {
+        if (checkIdent("include")) {
+            advance();
+            if (peek().kind != TokenKind::String)
+                throw ParseError("expected include path string",
+                                 peek().line, peek().column);
+            std::string path = advance().text;
+            expectSymbol(";");
+            if (path != "qelib1.inc") {
+                throw ParseError("only qelib1.inc includes are supported, "
+                                 "got '" +
+                                     path + "'",
+                                 peek().line, 0);
+            }
+            continue; // qelib1 gates are built in
+        }
+        if (checkIdent("qreg")) {
+            parseRegisterDecl(/*quantum=*/true);
+            continue;
+        }
+        if (checkIdent("creg")) {
+            parseRegisterDecl(/*quantum=*/false);
+            continue;
+        }
+        if (checkIdent("gate") || checkIdent("opaque")) {
+            parseGateDef();
+            continue;
+        }
+        if (checkIdent("measure")) {
+            parseMeasure();
+            continue;
+        }
+        if (checkIdent("barrier")) {
+            parseBarrier();
+            continue;
+        }
+        if (checkIdent("reset")) {
+            throw ParseError("'reset' is not supported", peek().line,
+                             peek().column);
+        }
+        if (checkIdent("if")) {
+            throw ParseError("classical conditionals are not supported",
+                             peek().line, peek().column);
+        }
+        if (peek().kind != TokenKind::Identifier) {
+            throw ParseError("unexpected token '" + peek().text + "'",
+                             peek().line, peek().column);
+        }
+        GateCall call = parseGateCall();
+        emitCall(call, {}, {}, 0);
+    }
+    return std::move(circuit_);
+}
+
+} // namespace
+
+Circuit
+parseQasm(const std::string &source, const std::string &name)
+{
+    Parser parser(source, name);
+    return parser.parse();
+}
+
+Circuit
+loadQasmFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw UserError("cannot open QASM file '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string name = std::filesystem::path(path).stem().string();
+    return parseQasm(buffer.str(), name);
+}
+
+} // namespace qsyn::frontend

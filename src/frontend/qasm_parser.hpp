@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Recursive-descent parser for OpenQASM 2.0 producing a qsyn Circuit.
+ *
+ * Supported: OPENQASM/include headers, qreg/creg declarations (multiple
+ * registers are flattened in declaration order), the qelib1 standard
+ * gates, user `gate` definitions (expanded inline, recursively),
+ * parameter expressions (+ - * / ^, pi, sin/cos/tan/exp/ln/sqrt),
+ * whole-register broadcasting, measure and barrier.
+ *
+ * Not supported (rejected with ParseError): `if` conditionals, `reset`,
+ * and calls to `opaque` gates — none of which appear in technology
+ * mapping inputs.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qsyn::frontend {
+
+/** Parse OpenQASM 2.0 source text into a circuit. Throws ParseError. */
+Circuit parseQasm(const std::string &source, const std::string &name = "");
+
+/** Load and parse a .qasm file. Throws UserError / ParseError. */
+Circuit loadQasmFile(const std::string &path);
+
+} // namespace qsyn::frontend

@@ -1,0 +1,230 @@
+#include "frontend/qc_parser.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/errors.hpp"
+#include "common/strings.hpp"
+
+namespace qsyn::frontend {
+
+namespace {
+
+class QcParser
+{
+  public:
+    QcParser(const std::string &source, std::string name)
+        : source_(source), name_(std::move(name))
+    {
+    }
+
+    Circuit
+    parse()
+    {
+        std::istringstream in(source_);
+        std::string line;
+        bool in_body = false;
+        bool saw_begin = false;
+        while (std::getline(in, line)) {
+            ++line_no_;
+            std::string text = trim(stripComment(line));
+            if (text.empty())
+                continue;
+            if (text[0] == '.') {
+                if (in_body)
+                    throw ParseError("directive inside circuit body",
+                                     line_no_, 0);
+                handleDirective(text);
+                continue;
+            }
+            if (iequals(text, "BEGIN")) {
+                ensureCircuit();
+                in_body = true;
+                saw_begin = true;
+                continue;
+            }
+            if (iequals(text, "END")) {
+                in_body = false;
+                continue;
+            }
+            if (!in_body) {
+                throw ParseError("gate outside BEGIN/END block", line_no_,
+                                 0);
+            }
+            handleGate(text);
+        }
+        if (!saw_begin)
+            throw ParseError("missing BEGIN block", line_no_, 0);
+        circuit_.setName(name_);
+        return std::move(circuit_);
+    }
+
+  private:
+    static std::string
+    stripComment(const std::string &line)
+    {
+        auto pos = line.find('#');
+        return pos == std::string::npos ? line : line.substr(0, pos);
+    }
+
+    void
+    handleDirective(const std::string &text)
+    {
+        auto fields = splitFields(text);
+        const std::string &dir = fields[0];
+        if (dir == ".v") {
+            for (size_t i = 1; i < fields.size(); ++i) {
+                if (vars_.count(fields[i]))
+                    throw ParseError("duplicate variable '" + fields[i] +
+                                         "'",
+                                     line_no_, 0);
+                vars_[fields[i]] = static_cast<Qubit>(vars_.size());
+            }
+        }
+        // .i / .o / .c / .ol etc. carry I/O metadata that does not
+        // affect the unitary; accepted and ignored.
+    }
+
+    void
+    ensureCircuit()
+    {
+        if (vars_.empty())
+            throw ParseError("no .v variable declaration before BEGIN",
+                             line_no_, 0);
+        circuit_ = Circuit(static_cast<Qubit>(vars_.size()), name_);
+    }
+
+    Qubit
+    wireOf(const std::string &token)
+    {
+        auto it = vars_.find(token);
+        if (it == vars_.end())
+            throw ParseError("unknown wire '" + token + "'", line_no_, 0);
+        return it->second;
+    }
+
+    void
+    handleGate(const std::string &text)
+    {
+        auto fields = splitFields(text);
+        std::string op = fields[0];
+        std::vector<Qubit> wires;
+        for (size_t i = 1; i < fields.size(); ++i)
+            wires.push_back(wireOf(fields[i]));
+        if (wires.empty())
+            throw ParseError("gate '" + op + "' with no operands",
+                             line_no_, 0);
+
+        bool adjoint = endsWith(op, "*") || endsWith(op, "'");
+        if (adjoint)
+            op.pop_back();
+        std::string lower = toLower(op);
+
+        auto controls_and_target = [&]() {
+            std::vector<Qubit> cs(wires.begin(), wires.end() - 1);
+            return std::pair{cs, wires.back()};
+        };
+
+        if (lower == "h" || lower == "x" || lower == "not" ||
+            lower == "y" || lower == "z" || lower == "s" || lower == "t" ||
+            lower == "tof" || lower == "cnot" || lower == "cx") {
+            if (wires.size() == 1) {
+                GateKind kind;
+                if (lower == "h")
+                    kind = GateKind::H;
+                else if (lower == "x" || lower == "not" || lower == "tof" ||
+                         lower == "cnot" || lower == "cx")
+                    kind = GateKind::X;
+                else if (lower == "y")
+                    kind = GateKind::Y;
+                else if (lower == "z")
+                    kind = GateKind::Z;
+                else if (lower == "s")
+                    kind = adjoint ? GateKind::Sdg : GateKind::S;
+                else
+                    kind = adjoint ? GateKind::Tdg : GateKind::T;
+                circuit_.add(Gate(kind, {}, {wires[0]}));
+                return;
+            }
+            // Multi-operand X/T/tof/cnot: Toffoli family. Multi-operand
+            // Z: controlled-Z family. Multi-operand H/S/Y: controlled
+            // versions.
+            auto [cs, target] = controls_and_target();
+            GateKind kind;
+            if (lower == "z")
+                kind = GateKind::Z;
+            else if (lower == "h")
+                kind = GateKind::H;
+            else if (lower == "y")
+                kind = GateKind::Y;
+            else if (lower == "s")
+                kind = adjoint ? GateKind::Sdg : GateKind::S;
+            else
+                kind = GateKind::X;
+            circuit_.add(Gate(kind, cs, {target}));
+            return;
+        }
+
+        if (lower == "swap") {
+            if (wires.size() != 2)
+                throw ParseError("swap expects two operands", line_no_, 0);
+            circuit_.addSwap(wires[0], wires[1]);
+            return;
+        }
+        if (lower == "f" || lower == "fredkin" || lower == "cswap") {
+            if (wires.size() < 2)
+                throw ParseError("fredkin expects at least two operands",
+                                 line_no_, 0);
+            std::vector<Qubit> cs(wires.begin(), wires.end() - 2);
+            circuit_.add(Gate(GateKind::Swap, cs,
+                              {wires[wires.size() - 2], wires.back()}));
+            return;
+        }
+
+        // tN notation: t1 = NOT, t2 = CNOT, t3 = Toffoli, ...
+        if (lower.size() >= 2 && lower[0] == 't' &&
+            std::isdigit(static_cast<unsigned char>(lower[1]))) {
+            size_t n = std::stoul(lower.substr(1));
+            if (n != wires.size())
+                throw ParseError("gate '" + op + "' expects " +
+                                     std::to_string(n) + " operands",
+                                 line_no_, 0);
+            auto [cs, target] = controls_and_target();
+            circuit_.add(Gate::mcx(cs, target));
+            return;
+        }
+
+        throw ParseError("unknown gate '" + fields[0] + "'", line_no_, 0);
+    }
+
+    const std::string &source_;
+    std::string name_;
+    int line_no_ = 0;
+    std::map<std::string, Qubit> vars_;
+    Circuit circuit_{0};
+};
+
+} // namespace
+
+Circuit
+parseQc(const std::string &source, const std::string &name)
+{
+    QcParser parser(source, name);
+    return parser.parse();
+}
+
+Circuit
+loadQcFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw UserError("cannot open .qc file '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string name = std::filesystem::path(path).stem().string();
+    return parseQc(buffer.str(), name);
+}
+
+} // namespace qsyn::frontend

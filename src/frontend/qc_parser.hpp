@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Parser for the .qc circuit format (used by the "Optimal single-target
+ * gate" benchmark suite the paper draws from reference [23]).
+ *
+ * Format sketch:
+ *
+ *     .v a b c        # variable (wire) declaration
+ *     .i a b          # optional input subset
+ *     .o c            # optional output subset
+ *     BEGIN
+ *     H a
+ *     T a b c         # multi-operand T/X/tof = (generalized) Toffoli
+ *     T* a            # adjoint of the pi/8 gate
+ *     CNOT a b
+ *     Z a b c         # multi-operand Z = controlled-Z family
+ *     F a b c         # Fredkin (controlled swap)
+ *     END
+ *
+ * Single-operand T is the pi/8 gate; multi-operand T is the Toffoli
+ * family with the last operand as target, matching common usage in the
+ * benchmark suites.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qsyn::frontend {
+
+/** Parse .qc text into a circuit. Throws ParseError. */
+Circuit parseQc(const std::string &source, const std::string &name = "");
+
+/** Load and parse a .qc file. Throws UserError / ParseError. */
+Circuit loadQcFile(const std::string &path);
+
+} // namespace qsyn::frontend

@@ -1,0 +1,220 @@
+#include "frontend/real_parser.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/errors.hpp"
+#include "common/strings.hpp"
+
+namespace qsyn::frontend {
+
+namespace {
+
+class RealParser
+{
+  public:
+    RealParser(const std::string &source, std::string name)
+        : source_(source), name_(std::move(name))
+    {
+    }
+
+    Circuit
+    parse()
+    {
+        std::istringstream in(source_);
+        std::string line;
+        bool in_body = false;
+        while (std::getline(in, line)) {
+            ++line_no_;
+            std::string text = trim(stripComment(line));
+            if (text.empty())
+                continue;
+            if (text[0] == '.') {
+                std::string lower = toLower(splitFields(text)[0]);
+                if (lower == ".begin") {
+                    beginBody();
+                    in_body = true;
+                } else if (lower == ".end") {
+                    in_body = false;
+                } else if (!in_body) {
+                    handleDirective(text);
+                } else {
+                    throw ParseError("directive inside circuit body",
+                                     line_no_, 0);
+                }
+                continue;
+            }
+            if (!in_body)
+                throw ParseError("gate outside .begin/.end", line_no_, 0);
+            handleGate(text);
+        }
+        circuit_.setName(name_);
+        return std::move(circuit_);
+    }
+
+  private:
+    static std::string
+    stripComment(const std::string &line)
+    {
+        auto pos = line.find('#');
+        return pos == std::string::npos ? line : line.substr(0, pos);
+    }
+
+    void
+    handleDirective(const std::string &text)
+    {
+        auto fields = splitFields(text);
+        std::string dir = toLower(fields[0]);
+        if (dir == ".numvars") {
+            if (fields.size() != 2)
+                throw ParseError(".numvars expects one value", line_no_,
+                                 0);
+            num_vars_ = static_cast<Qubit>(std::stoul(fields[1]));
+        } else if (dir == ".variables") {
+            for (size_t i = 1; i < fields.size(); ++i) {
+                if (vars_.count(fields[i]))
+                    throw ParseError("duplicate variable '" + fields[i] +
+                                         "'",
+                                     line_no_, 0);
+                vars_[fields[i]] = static_cast<Qubit>(vars_.size());
+            }
+        }
+        // .version/.inputs/.outputs/.constants/.garbage/.inputbus/...
+        // carry metadata that does not affect the unitary.
+    }
+
+    void
+    beginBody()
+    {
+        if (num_vars_ == 0 && !vars_.empty())
+            num_vars_ = static_cast<Qubit>(vars_.size());
+        if (num_vars_ == 0)
+            throw ParseError("missing .numvars / .variables", line_no_, 0);
+        if (!vars_.empty() && vars_.size() != num_vars_)
+            throw ParseError(".variables count disagrees with .numvars",
+                             line_no_, 0);
+        if (vars_.empty()) {
+            for (Qubit i = 0; i < num_vars_; ++i)
+                vars_["x" + std::to_string(i)] = i;
+        }
+        circuit_ = Circuit(num_vars_, name_);
+    }
+
+    /** Resolve a possibly-negated operand; returns (wire, negated). */
+    std::pair<Qubit, bool>
+    operandOf(std::string token)
+    {
+        bool negated = false;
+        if (!token.empty() && token[0] == '-') {
+            negated = true;
+            token = token.substr(1);
+        }
+        auto it = vars_.find(token);
+        if (it == vars_.end())
+            throw ParseError("unknown variable '" + token + "'", line_no_,
+                             0);
+        return {it->second, negated};
+    }
+
+    void
+    handleGate(const std::string &text)
+    {
+        auto fields = splitFields(text);
+        std::string op = toLower(fields[0]);
+        if (op.size() < 2)
+            throw ParseError("bad gate '" + fields[0] + "'", line_no_, 0);
+
+        char family = op[0];
+        size_t arity = 0;
+        try {
+            arity = std::stoul(op.substr(1));
+        } catch (const std::exception &) {
+            throw ParseError("bad gate arity in '" + fields[0] + "'",
+                             line_no_, 0);
+        }
+        if (fields.size() - 1 != arity) {
+            throw ParseError("gate '" + fields[0] + "' expects " +
+                                 std::to_string(arity) + " operands",
+                             line_no_, 0);
+        }
+
+        std::vector<Qubit> wires;
+        std::vector<Qubit> negated;
+        for (size_t i = 1; i < fields.size(); ++i) {
+            auto [wire, neg] = operandOf(fields[i]);
+            wires.push_back(wire);
+            // Only control operands may be negated; for every family
+            // the targets are the trailing operands.
+            size_t num_targets = family == 'f' ? 2 : 1;
+            bool is_control = i - 1 < arity - num_targets;
+            if (neg) {
+                if (!is_control)
+                    throw ParseError("negated target in '" + fields[0] +
+                                         "'",
+                                     line_no_, 0);
+                negated.push_back(wire);
+            }
+        }
+
+        // Negative controls become X conjugation around the gate.
+        for (Qubit q : negated)
+            circuit_.addX(q);
+
+        if (family == 't') {
+            std::vector<Qubit> cs(wires.begin(), wires.end() - 1);
+            circuit_.add(Gate::mcx(cs, wires.back()));
+        } else if (family == 'f') {
+            if (arity < 2)
+                throw ParseError("fredkin needs two targets", line_no_, 0);
+            std::vector<Qubit> cs(wires.begin(), wires.end() - 2);
+            circuit_.add(Gate(GateKind::Swap, cs,
+                              {wires[wires.size() - 2], wires.back()}));
+        } else if (family == 'p') {
+            // Peres gate p3 a b c = Toffoli(a,b;c) then CNOT(a;b).
+            if (arity != 3)
+                throw ParseError("only 3-operand Peres gates supported",
+                                 line_no_, 0);
+            circuit_.addCcx(wires[0], wires[1], wires[2]);
+            circuit_.addCnot(wires[0], wires[1]);
+        } else {
+            throw ParseError("unsupported gate family '" +
+                                 std::string(1, family) + "'",
+                             line_no_, 0);
+        }
+
+        for (Qubit q : negated)
+            circuit_.addX(q);
+    }
+
+    const std::string &source_;
+    std::string name_;
+    int line_no_ = 0;
+    Qubit num_vars_ = 0;
+    std::map<std::string, Qubit> vars_;
+    Circuit circuit_{0};
+};
+
+} // namespace
+
+Circuit
+parseReal(const std::string &source, const std::string &name)
+{
+    RealParser parser(source, name);
+    return parser.parse();
+}
+
+Circuit
+loadRealFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw UserError("cannot open .real file '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string name = std::filesystem::path(path).stem().string();
+    return parseReal(buffer.str(), name);
+}
+
+} // namespace qsyn::frontend

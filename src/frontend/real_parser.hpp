@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Parser for the RevLib .real reversible-circuit format (the paper's
+ * second benchmark set, reference [24], uses RevLib Toffoli cascades).
+ *
+ * Supported gate types: tN (generalized Toffoli, including t1 = NOT and
+ * t2 = CNOT), fN (generalized Fredkin / controlled swap), and pN
+ * (Peres, expanded into Toffoli + CNOT). Negative controls (RevLib's
+ * `-var` syntax) are expanded into X conjugation. Header directives
+ * (.numvars, .variables, .inputs, .outputs, .constants, .garbage,
+ * .version) are honored or safely ignored.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "ir/circuit.hpp"
+
+namespace qsyn::frontend {
+
+/** Parse .real text into a circuit. Throws ParseError. */
+Circuit parseReal(const std::string &source, const std::string &name = "");
+
+/** Load and parse a .real file. Throws UserError / ParseError. */
+Circuit loadRealFile(const std::string &path);
+
+} // namespace qsyn::frontend

@@ -1,0 +1,125 @@
+#include "ir/gate_kind.hpp"
+
+#include "common/errors.hpp"
+
+namespace qsyn {
+
+int
+baseArity(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Swap:
+        return 2;
+      case GateKind::Barrier:
+        return 0; // applies to a whole register; targets list is free-form
+      default:
+        return 1;
+    }
+}
+
+bool
+isParameterized(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Rx:
+      case GateKind::Ry:
+      case GateKind::Rz:
+      case GateKind::P:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isDiagonal(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::I:
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+      case GateKind::Rz:
+      case GateKind::P:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isSelfInverse(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::I:
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::Z:
+      case GateKind::H:
+      case GateKind::Swap:
+        return true;
+      default:
+        return false;
+    }
+}
+
+GateKind
+inverseKind(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::S:
+        return GateKind::Sdg;
+      case GateKind::Sdg:
+        return GateKind::S;
+      case GateKind::T:
+        return GateKind::Tdg;
+      case GateKind::Tdg:
+        return GateKind::T;
+      default:
+        return kind;
+    }
+}
+
+std::string
+kindName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::I:
+        return "id";
+      case GateKind::X:
+        return "x";
+      case GateKind::Y:
+        return "y";
+      case GateKind::Z:
+        return "z";
+      case GateKind::H:
+        return "h";
+      case GateKind::S:
+        return "s";
+      case GateKind::Sdg:
+        return "sdg";
+      case GateKind::T:
+        return "t";
+      case GateKind::Tdg:
+        return "tdg";
+      case GateKind::Rx:
+        return "rx";
+      case GateKind::Ry:
+        return "ry";
+      case GateKind::Rz:
+        return "rz";
+      case GateKind::P:
+        return "p";
+      case GateKind::Swap:
+        return "swap";
+      case GateKind::Measure:
+        return "measure";
+      case GateKind::Barrier:
+        return "barrier";
+    }
+    throw InternalError("unknown gate kind", __FILE__, __LINE__);
+}
+
+} // namespace qsyn

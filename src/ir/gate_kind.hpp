@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Gate kinds available in the qsyn intermediate representation.
+ *
+ * A gate in the IR is a *base* operation (one of these kinds) plus an
+ * optional list of positive controls. The technology-independent front
+ * end uses X with 0..n controls (NOT / CNOT / Toffoli / generalized
+ * Toffoli) exactly as in the paper; the technology-dependent back end
+ * restricts circuits to the transmon library
+ * {X, Y, Z, H, S, S†, T, T†, rotations, CNOT}.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+
+namespace qsyn {
+
+/** Base operation applied to the target qubit(s). */
+enum class GateKind : std::uint8_t
+{
+    I,      ///< identity (used by some input formats; removable)
+    X,      ///< Pauli-X / NOT; with controls: CNOT, Toffoli, MCX
+    Y,      ///< Pauli-Y
+    Z,      ///< Pauli-Z; with one control: CZ
+    H,      ///< Hadamard
+    S,      ///< phase gate diag(1, i)
+    Sdg,    ///< adjoint phase gate diag(1, -i)
+    T,      ///< pi/8 gate diag(1, e^{i pi/4})
+    Tdg,    ///< adjoint pi/8 gate diag(1, e^{-i pi/4})
+    Rx,     ///< rotation about X by param (matrix e^{-i param X / 2})
+    Ry,     ///< rotation about Y by param
+    Rz,     ///< rotation about Z by param (global-phase-free vs P)
+    P,      ///< phase rotation diag(1, e^{i param}) (OpenQASM u1)
+    Swap,   ///< exchange two targets; with controls: Fredkin
+    Measure,///< computational-basis measurement into a classical bit
+    Barrier ///< scheduling barrier; no unitary action
+};
+
+/** Number of distinct GateKind values. */
+inline constexpr int kNumGateKinds = static_cast<int>(GateKind::Barrier) + 1;
+
+/** Number of target wires the base operation acts on (1, or 2 for Swap). */
+int baseArity(GateKind kind);
+
+/** True for kinds parameterized by an angle (Rx, Ry, Rz, P). */
+bool isParameterized(GateKind kind);
+
+/** True for kinds whose base matrix is diagonal (Z, S, S†, T, T†, Rz, P). */
+bool isDiagonal(GateKind kind);
+
+/** True for self-inverse kinds (I, X, Y, Z, H, Swap). */
+bool isSelfInverse(GateKind kind);
+
+/**
+ * Kind of the inverse gate for non-parameterized kinds
+ * (S <-> S†, T <-> T†, self-inverse kinds map to themselves).
+ * Parameterized kinds keep their kind; the angle negates instead.
+ */
+GateKind inverseKind(GateKind kind);
+
+/** Lower-case mnemonic, e.g. "x", "h", "sdg", "swap". */
+std::string kindName(GateKind kind);
+
+/** True when the kind represents a unitary operation. */
+inline bool
+isUnitary(GateKind kind)
+{
+    return kind != GateKind::Measure && kind != GateKind::Barrier;
+}
+
+} // namespace qsyn

@@ -1,0 +1,83 @@
+#include "ir/random_circuit.hpp"
+
+#include <numbers>
+
+#include "common/errors.hpp"
+
+namespace qsyn {
+
+namespace {
+
+/** Pick `count` distinct qubits from [0, n). */
+std::vector<Qubit>
+pickDistinct(Rng &rng, Qubit n, size_t count)
+{
+    QSYN_ASSERT(count <= n, "cannot pick more qubits than exist");
+    std::vector<Qubit> picked;
+    while (picked.size() < count) {
+        Qubit q = static_cast<Qubit>(rng.below(n));
+        bool dup = false;
+        for (Qubit p : picked)
+            dup = dup || p == q;
+        if (!dup)
+            picked.push_back(q);
+    }
+    return picked;
+}
+
+} // namespace
+
+Circuit
+randomCircuit(Rng &rng, const RandomCircuitOptions &opts)
+{
+    QSYN_ASSERT(opts.numQubits >= 1, "need at least one qubit");
+    Circuit c(opts.numQubits, "random");
+    const GateKind singles[] = {GateKind::X, GateKind::Y, GateKind::Z,
+                                GateKind::H, GateKind::S, GateKind::Sdg,
+                                GateKind::T, GateKind::Tdg};
+    const GateKind rotations[] = {GateKind::Rx, GateKind::Ry, GateKind::Rz,
+                                  GateKind::P};
+    while (c.size() < opts.numGates) {
+        if (opts.numQubits >= 2 && rng.chance(opts.cnotFraction)) {
+            size_t max_c = std::min<size_t>(opts.maxControls,
+                                            opts.numQubits - 1);
+            size_t nc = 1;
+            if (max_c > 1 && rng.chance(0.3))
+                nc = 2 + rng.below(max_c - 1);
+            auto wires = pickDistinct(rng, opts.numQubits, nc + 1);
+            Qubit target = wires.back();
+            wires.pop_back();
+            c.add(Gate::mcx(wires, target));
+            continue;
+        }
+        Qubit q = static_cast<Qubit>(rng.below(opts.numQubits));
+        if (opts.allowRotations && rng.chance(0.25)) {
+            GateKind k = rotations[rng.below(4)];
+            double angle =
+                (rng.uniform() * 2 - 1) * std::numbers::pi;
+            c.add(Gate(k, {}, {q}, angle));
+        } else {
+            c.add(Gate(singles[rng.below(8)], {}, {q}));
+        }
+    }
+    return c;
+}
+
+Circuit
+randomNctCascade(Rng &rng, Qubit num_qubits, size_t num_gates,
+                 size_t max_controls)
+{
+    QSYN_ASSERT(num_qubits >= 1, "need at least one qubit");
+    Circuit c(num_qubits, "random_nct");
+    size_t cap = std::min<size_t>(max_controls, num_qubits - 1);
+    while (c.size() < num_gates) {
+        size_t nc = rng.below(cap + 1);
+        auto wires = pickDistinct(rng, num_qubits, nc + 1);
+        Qubit target = wires.back();
+        wires.pop_back();
+        c.add(Gate::mcx(wires, target));
+    }
+    return c;
+}
+
+} // namespace qsyn

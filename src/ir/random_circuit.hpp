@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Random circuit generators used by property tests and microbenchmarks.
+ */
+
+#pragma once
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+
+namespace qsyn {
+
+/** Knobs for random circuit generation. */
+struct RandomCircuitOptions
+{
+    Qubit numQubits = 4;
+    size_t numGates = 20;
+    /** Probability that a generated gate is a CNOT. */
+    double cnotFraction = 0.4;
+    /** Allow Toffoli gates (up to this many controls; 1 disables). */
+    size_t maxControls = 1;
+    /** Include parameterized rotations (off keeps Clifford+T only). */
+    bool allowRotations = false;
+};
+
+/**
+ * Generate a random unitary circuit from the transmon-style library
+ * {X, Y, Z, H, S, S†, T, T†, CNOT} (+ optional rotations / Toffolis).
+ */
+Circuit randomCircuit(Rng &rng, const RandomCircuitOptions &opts);
+
+/** Generate a random NCT cascade (NOT / CNOT / Toffoli / MCX gates). */
+Circuit randomNctCascade(Rng &rng, Qubit num_qubits, size_t num_gates,
+                         size_t max_controls);
+
+} // namespace qsyn

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The quantum cost function of Eqn. 2:
+ *
+ *     q_cost = 0.5 * t + 0.25 * c + a
+ *
+ * where t is the T/T-dagger count, c the CNOT count, and a the total
+ * gate volume. The weights are user-configurable, matching the paper's
+ * statement that "each technologically-dependent quantum cell library
+ * will be characterized and annotated with custom cost functions".
+ */
+
+#pragma once
+
+#include "ir/circuit.hpp"
+
+namespace qsyn::opt {
+
+/** Weights of the linear cost function. */
+struct CostWeights
+{
+    double tWeight = 0.5;    ///< extra cost per T / T-dagger gate
+    double cnotWeight = 0.25;///< extra cost per CNOT
+    double gateWeight = 1.0; ///< cost per gate of any kind (volume)
+};
+
+/** Evaluates Eqn. 2 (or a reweighted variant) on circuits. */
+class CostModel
+{
+  public:
+    CostModel() = default;
+    explicit CostModel(const CostWeights &weights) : weights_(weights) {}
+
+    const CostWeights &weights() const { return weights_; }
+
+    /** Cost from precomputed statistics. */
+    double
+    cost(const CircuitStats &stats) const
+    {
+        return weights_.tWeight * static_cast<double>(stats.tCount) +
+               weights_.cnotWeight * static_cast<double>(stats.cnotCount) +
+               weights_.gateWeight * static_cast<double>(stats.volume);
+    }
+
+    /** Cost of a circuit. */
+    double
+    cost(const Circuit &circuit) const
+    {
+        return cost(computeStats(circuit));
+    }
+
+  private:
+    CostWeights weights_;
+};
+
+} // namespace qsyn::opt

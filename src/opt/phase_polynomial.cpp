@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Phase-polynomial rotation merging, an extension beyond the paper's
+ * local optimizer (Section 6 future work: "more optimizations to
+ * further reduce a circuit's quantum cost").
+ *
+ * Every wire carries an affine GF(2) function of *virtual variables*:
+ * initially its own input; CNOT(c,t) adds the control's function onto
+ * the target's; X flips the constant; any other gate makes its wires
+ * opaque by assigning fresh variables. A diagonal gate applies a
+ * phase e^{i theta [f(v)]} that, in path-sum form, multiplies the path
+ * weight independent of its position - so diagonal gates whose wires
+ * carry the *same* affine function merge exactly (including global
+ * phase, since the constant bit is part of the merge key), even with
+ * unrelated Hadamards in between. Measurements and barriers refresh
+ * every wire, which conservatively fences merging across them. The
+ * classic payoff is Clifford+T T-count reduction (Amy et al., paper
+ * ref. [10]).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "opt/passes.hpp"
+#include "opt/phase_utils.hpp"
+
+namespace qsyn::opt {
+
+namespace {
+
+/** Affine GF(2) function of virtual variables: parity mask + const. */
+struct Affine
+{
+    std::vector<std::uint64_t> mask;
+    bool constant = false;
+
+    bool
+    operator<(const Affine &o) const
+    {
+        if (mask != o.mask)
+            return mask < o.mask;
+        return constant < o.constant;
+    }
+};
+
+/** Merge family: phase gates and Rz compose within themselves. */
+enum class Family
+{
+    Phase,
+    Rz
+};
+
+/** Gates the linear tracker understands without going opaque. */
+bool
+isLinearGate(const Gate &g)
+{
+    return g.isCnot() ||
+           (g.numControls() == 0 &&
+            (g.kind() == GateKind::X || g.kind() == GateKind::I));
+}
+
+/** Diagonal gates that become phase terms. */
+bool
+isDiagonalTerm(const Gate &g)
+{
+    if (g.numControls() != 0)
+        return false;
+    switch (g.kind()) {
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+      case GateKind::P:
+      case GateKind::Rz:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+bool
+mergePhasePolynomial(Circuit &circuit)
+{
+    Qubit n = circuit.numQubits();
+    if (n == 0 || circuit.empty())
+        return false;
+
+    // Worst-case virtual variable count: one per wire plus one per
+    // (opaque gate, wire) incidence.
+    size_t max_vars = n;
+    for (const Gate &g : circuit) {
+        if (!isLinearGate(g) && !isDiagonalTerm(g))
+            max_vars += g.kind() == GateKind::Barrier ||
+                                g.kind() == GateKind::Measure
+                            ? n
+                            : g.numQubits();
+    }
+    size_t words = (max_vars + 63) / 64;
+
+    std::vector<Affine> state(n);
+    size_t next_var = 0;
+    auto fresh = [&](Qubit q) {
+        state[q].mask.assign(words, 0);
+        state[q].mask[next_var / 64] = std::uint64_t{1}
+                                       << (next_var % 64);
+        state[q].constant = false;
+        ++next_var;
+    };
+    for (Qubit q = 0; q < n; ++q)
+        fresh(q);
+
+    // Pass 1: track wire functions, group diagonal gates.
+    std::map<std::pair<Affine, Family>, size_t> first_of;
+    std::map<size_t, double> merged_angle;
+    std::map<size_t, std::vector<size_t>> followers;
+
+    for (size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit[i];
+        if (g.isCnot()) {
+            Qubit c = g.controls()[0];
+            Qubit t = g.target();
+            for (size_t w = 0; w < words; ++w)
+                state[t].mask[w] ^= state[c].mask[w];
+            state[t].constant = state[t].constant != state[c].constant;
+            continue;
+        }
+        if (g.numControls() == 0 && g.kind() == GateKind::X) {
+            state[g.target()].constant = !state[g.target()].constant;
+            continue;
+        }
+        if (g.kind() == GateKind::I)
+            continue;
+        if (isDiagonalTerm(g)) {
+            Family family = g.kind() == GateKind::Rz ? Family::Rz
+                                                     : Family::Phase;
+            double angle = family == Family::Rz
+                               ? g.param()
+                               : *phaseFamilyAngle(g);
+            auto key = std::make_pair(state[g.target()], family);
+            auto it = first_of.find(key);
+            if (it == first_of.end()) {
+                first_of.emplace(key, i);
+                merged_angle[i] = angle;
+            } else {
+                merged_angle[it->second] += angle;
+                followers[it->second].push_back(i);
+            }
+            continue;
+        }
+        if (g.kind() == GateKind::Barrier ||
+            g.kind() == GateKind::Measure) {
+            // Non-unitary / fence semantics: refresh every wire so no
+            // phase term ever crosses.
+            for (Qubit q = 0; q < n; ++q)
+                fresh(q);
+            // A fence also invalidates open groups: later functions
+            // use fresh variables, so nothing can match anyway.
+            continue;
+        }
+        // Any other gate: its wires become opaque.
+        for (Qubit q : g.qubits())
+            fresh(q);
+    }
+
+    // Pass 2: rewrite.
+    std::map<size_t, Gate> replacements;
+    std::vector<size_t> dead;
+    for (const auto &[index, angle] : merged_angle) {
+        const auto &group_followers = followers[index];
+        if (group_followers.empty())
+            continue;
+        const Gate &host = circuit[index];
+        for (size_t f : group_followers)
+            dead.push_back(f);
+        if (host.kind() == GateKind::Rz) {
+            double theta = wrapAngle(angle, 4 * M_PI);
+            if (theta < kAngleEps || theta > 4 * M_PI - kAngleEps)
+                dead.push_back(index);
+            else
+                replacements.emplace(index,
+                                     Gate::rz(host.target(), theta));
+        } else {
+            auto canonical = canonicalPhaseGate(host, angle);
+            if (!canonical)
+                dead.push_back(index);
+            else
+                replacements.emplace(index, *canonical);
+        }
+    }
+
+    if (replacements.empty() && dead.empty())
+        return false;
+    for (const auto &[index, gate] : replacements)
+        circuit.replace(index, gate);
+    std::sort(dead.begin(), dead.end());
+    circuit.eraseMany(dead);
+    return true;
+}
+
+} // namespace qsyn::opt

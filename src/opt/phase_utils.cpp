@@ -1,0 +1,66 @@
+#include "opt/phase_utils.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace qsyn::opt {
+
+namespace {
+
+using std::numbers::pi;
+
+} // namespace
+
+std::optional<double>
+phaseFamilyAngle(const Gate &g)
+{
+    switch (g.kind()) {
+      case GateKind::Z:
+        return pi;
+      case GateKind::S:
+        return pi / 2;
+      case GateKind::Sdg:
+        return -pi / 2;
+      case GateKind::T:
+        return pi / 4;
+      case GateKind::Tdg:
+        return -pi / 4;
+      case GateKind::P:
+        return g.param();
+      default:
+        return std::nullopt;
+    }
+}
+
+double
+wrapAngle(double theta, double period)
+{
+    theta = std::fmod(theta, period);
+    if (theta < 0)
+        theta += period;
+    return theta;
+}
+
+std::optional<Gate>
+canonicalPhaseGate(const Gate &like, double theta)
+{
+    theta = wrapAngle(theta, 2 * pi);
+    auto make = [&](GateKind kind, double param = 0.0) {
+        return Gate(kind, like.controls(), like.targets(), param);
+    };
+    if (theta < kAngleEps || theta > 2 * pi - kAngleEps)
+        return std::nullopt;
+    if (std::abs(theta - pi / 4) < kAngleEps)
+        return make(GateKind::T);
+    if (std::abs(theta - pi / 2) < kAngleEps)
+        return make(GateKind::S);
+    if (std::abs(theta - pi) < kAngleEps)
+        return make(GateKind::Z);
+    if (std::abs(theta - 3 * pi / 2) < kAngleEps)
+        return make(GateKind::Sdg);
+    if (std::abs(theta - 7 * pi / 4) < kAngleEps)
+        return make(GateKind::Tdg);
+    return make(GateKind::P, theta);
+}
+
+} // namespace qsyn::opt

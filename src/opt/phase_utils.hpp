@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Shared helpers for the phase-gate family {Z, S, S†, T, T†, P}: these
+ * gates are all diag(1, e^{i theta}) for theta a multiple of pi/4 (or
+ * arbitrary for P), so they compose by angle addition — used by both
+ * the local rotation merger and the phase-polynomial pass.
+ */
+
+#pragma once
+
+#include <optional>
+
+#include "ir/gate.hpp"
+
+namespace qsyn::opt {
+
+/** Angle of diag(1, e^{i theta}) when `g`'s base kind is in the phase
+ *  family; nullopt otherwise (controls are allowed and preserved). */
+std::optional<double> phaseFamilyAngle(const Gate &g);
+
+/**
+ * Canonical phase gate for angle `theta` on `like`'s wires: named
+ * gates (T, S, Z, S†, T†) where the angle matches, P otherwise,
+ * nullopt when theta is 0 mod 2*pi (the identity).
+ */
+std::optional<Gate> canonicalPhaseGate(const Gate &like, double theta);
+
+/** Wrap an angle into [0, period). */
+double wrapAngle(double theta, double period);
+
+/** Tolerance for angle comparisons in the merging passes. */
+inline constexpr double kAngleEps = 1e-9;
+
+} // namespace qsyn::opt

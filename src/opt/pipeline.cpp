@@ -1,0 +1,52 @@
+#include "opt/pipeline.hpp"
+
+namespace qsyn::opt {
+
+Circuit
+optimizeCircuit(const Circuit &circuit, const OptimizerOptions &options,
+                OptimizeReport *report)
+{
+    CostModel model(options.weights);
+    Circuit current = circuit;
+
+    double cost = model.cost(current);
+    if (report) {
+        report->initialCost = cost;
+        report->initialGates = computeStats(current).volume;
+        report->rounds = 0;
+    }
+
+    for (int round = 0; round < options.maxRounds; ++round) {
+        bool changed = false;
+        if (options.enableCancellation)
+            changed |= cancelInversePairs(current);
+        if (options.enableRotationMerge)
+            changed |= mergeRotations(current);
+        if (options.enableHadamardRules)
+            changed |= applyHadamardRules(current, options.device);
+        if (options.enableWindowIdentity) {
+            changed |= removeIdentityWindows(current, options.windowQubits,
+                                             options.windowGates);
+        }
+        if (options.enablePhasePolynomial)
+            changed |= mergePhasePolynomial(current);
+        if (report)
+            report->rounds = round + 1;
+        double new_cost = model.cost(current);
+        // Passes only delete or shrink gates, so cost is monotone; stop
+        // at the fixed point.
+        if (!changed || new_cost >= cost) {
+            cost = new_cost;
+            break;
+        }
+        cost = new_cost;
+    }
+
+    if (report) {
+        report->finalCost = cost;
+        report->finalGates = computeStats(current).volume;
+    }
+    return current;
+}
+
+} // namespace qsyn::opt

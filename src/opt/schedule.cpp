@@ -1,0 +1,96 @@
+#include "opt/schedule.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/errors.hpp"
+
+namespace qsyn::opt {
+
+Schedule
+scheduleAsap(const Circuit &circuit)
+{
+    Schedule schedule;
+    std::vector<size_t> wire_ready(circuit.numQubits(), 0);
+    size_t barrier_floor = 0;
+
+    for (size_t i = 0; i < circuit.size(); ++i) {
+        const Gate &g = circuit[i];
+        if (g.kind() == GateKind::Barrier) {
+            // A barrier fences everything before it and takes a layer.
+            size_t layer = barrier_floor;
+            for (Qubit q = 0; q < circuit.numQubits(); ++q)
+                layer = std::max(layer, wire_ready[q]);
+            if (schedule.layers.size() <= layer)
+                schedule.layers.resize(layer + 1);
+            schedule.layers[layer].push_back(i);
+            barrier_floor = layer + 1;
+            for (Qubit q = 0; q < circuit.numQubits(); ++q)
+                wire_ready[q] = barrier_floor;
+            continue;
+        }
+        size_t layer = barrier_floor;
+        for (Qubit q : g.qubits())
+            layer = std::max(layer, wire_ready[q]);
+        if (schedule.layers.size() <= layer)
+            schedule.layers.resize(layer + 1);
+        schedule.layers[layer].push_back(i);
+        for (Qubit q : g.qubits())
+            wire_ready[q] = layer + 1;
+    }
+    return schedule;
+}
+
+ScheduleStats
+computeScheduleStats(const Circuit &circuit, const Schedule &schedule)
+{
+    ScheduleStats stats;
+    stats.depth = schedule.depth();
+
+    // First/last layer each wire is touched, plus per-wire busy count.
+    constexpr size_t kNone = static_cast<size_t>(-1);
+    std::vector<size_t> first(circuit.numQubits(), kNone);
+    std::vector<size_t> last(circuit.numQubits(), 0);
+    std::vector<size_t> busy(circuit.numQubits(), 0);
+
+    for (size_t t = 0; t < schedule.layers.size(); ++t) {
+        stats.maxLayerWidth =
+            std::max(stats.maxLayerWidth, schedule.layers[t].size());
+        for (size_t index : schedule.layers[t]) {
+            ++stats.gates;
+            for (Qubit q : circuit[index].qubits()) {
+                if (first[q] == kNone)
+                    first[q] = t;
+                last[q] = t;
+                ++busy[q];
+            }
+        }
+    }
+    for (Qubit q = 0; q < circuit.numQubits(); ++q) {
+        if (first[q] == kNone)
+            continue;
+        size_t live = last[q] - first[q] + 1;
+        stats.idleWireLayers += live - busy[q];
+    }
+    stats.parallelism =
+        stats.depth == 0
+            ? 0.0
+            : static_cast<double>(stats.gates) /
+                  static_cast<double>(stats.depth);
+    return stats;
+}
+
+std::string
+scheduleToString(const Circuit &circuit, const Schedule &schedule)
+{
+    std::ostringstream os;
+    for (size_t t = 0; t < schedule.layers.size(); ++t) {
+        os << "t" << t << ":";
+        for (size_t index : schedule.layers[t])
+            os << "  " << circuit[index].toString();
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace qsyn::opt

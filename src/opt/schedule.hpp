@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ASAP scheduling and depth analysis. The paper's cost model counts
+ * gates because "the likelihood of decoherence increases as a set of
+ * qubits undergoes more transformations"; wall-clock decoherence is
+ * governed by circuit *depth*, so the scheduler exposes the layered
+ * view: which gates run concurrently, the critical path, and per-wire
+ * idle time.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qsyn::opt {
+
+/** An ASAP schedule: gate indices grouped into concurrent layers. */
+struct Schedule
+{
+    /** layers[t] = indices of gates executing in time step t. */
+    std::vector<std::vector<size_t>> layers;
+
+    size_t depth() const { return layers.size(); }
+};
+
+/** Per-circuit timing summary derived from a schedule. */
+struct ScheduleStats
+{
+    size_t depth = 0;        ///< critical path length (layers)
+    size_t gates = 0;        ///< scheduled gate count
+    double parallelism = 0;  ///< gates / depth (average layer width)
+    size_t maxLayerWidth = 0;
+    /** Total wire-layers spent idle while the wire is live (between
+     *  its first and last gate) — a decoherence-exposure proxy. */
+    size_t idleWireLayers = 0;
+};
+
+/**
+ * ASAP-schedule a circuit: every gate is placed in the earliest layer
+ * after all gates it depends on (shared-wire predecessors). Barriers
+ * occupy a full layer of their own and fence reordering.
+ */
+Schedule scheduleAsap(const Circuit &circuit);
+
+/** Summarize a schedule. */
+ScheduleStats computeScheduleStats(const Circuit &circuit,
+                                   const Schedule &schedule);
+
+/** Multi-line listing: one line per layer with its gates. */
+std::string scheduleToString(const Circuit &circuit,
+                             const Schedule &schedule);
+
+} // namespace qsyn::opt

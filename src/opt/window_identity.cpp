@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Identity-window elimination — the literal reading of optimization
+ * step 5: "removing partitions of gates that equal the identity
+ * function". A window is a run of gates confined to a small wire set
+ * (gates on disjoint wires may interleave and are untouched); the
+ * window's unitary is accumulated as a small dense matrix, and the
+ * first prefix multiplying to the exact identity is deleted.
+ */
+
+#include <algorithm>
+#include <vector>
+
+#include "ir/matrix.hpp"
+#include "opt/passes.hpp"
+
+namespace qsyn::opt {
+
+namespace {
+
+/** Gates members of a window must be unitary and control-count-simple
+ *  enough for DenseMatrix::applyGate. */
+bool
+isWindowable(const Gate &g)
+{
+    return g.isUnitary() && g.kind() != GateKind::I;
+}
+
+/**
+ * Collect a window starting at `start`: member gate indices whose
+ * wires stay inside a growing set of at most `max_qubits` wires.
+ * Gates fully disjoint from the set are skipped over; expansion past a
+ * skipped gate's wires is refused (that gate might not commute).
+ */
+struct Window
+{
+    std::vector<size_t> members;
+    std::vector<Qubit> wires;
+};
+
+Window
+collectWindow(const Circuit &circuit, size_t start, int max_qubits,
+              size_t max_gates)
+{
+    Window win;
+    std::vector<Qubit> skipped_wires;
+
+    auto in_set = [](const std::vector<Qubit> &set, Qubit q) {
+        return std::find(set.begin(), set.end(), q) != set.end();
+    };
+
+    for (size_t j = start;
+         j < circuit.size() && win.members.size() < max_gates; ++j) {
+        const Gate &g = circuit[j];
+        if (!isWindowable(g)) {
+            // Barriers / measures end the window for safety.
+            bool touches = std::any_of(
+                win.wires.begin(), win.wires.end(),
+                [&](Qubit q) { return g.usesQubit(q); });
+            if (touches || g.kind() == GateKind::Barrier)
+                break;
+            continue;
+        }
+        auto wires = g.qubits();
+        std::vector<Qubit> fresh;
+        bool overlaps = false;
+        for (Qubit q : wires) {
+            if (in_set(win.wires, q))
+                overlaps = true;
+            else
+                fresh.push_back(q);
+        }
+        if (fresh.empty()) {
+            win.members.push_back(j);
+            continue;
+        }
+        if (!overlaps && !win.members.empty()) {
+            // Fully disjoint: skip over, but remember its wires so we
+            // never expand onto them later.
+            for (Qubit q : fresh)
+                skipped_wires.push_back(q);
+            continue;
+        }
+        // Overlapping (or the very first gate): try to expand.
+        bool blocked = std::any_of(fresh.begin(), fresh.end(),
+                                   [&](Qubit q) {
+                                       return in_set(skipped_wires, q);
+                                   });
+        if (blocked ||
+            win.wires.size() + fresh.size() >
+                static_cast<size_t>(max_qubits))
+            break;
+        for (Qubit q : fresh)
+            win.wires.push_back(q);
+        win.members.push_back(j);
+    }
+    return win;
+}
+
+/**
+ * Longest prefix of the window whose product is the identity; 0 when
+ * none (prefixes of length < 2 do not count).
+ */
+size_t
+identityPrefix(const Circuit &circuit, const Window &win)
+{
+    DenseMatrix m(static_cast<int>(win.wires.size()));
+    auto local = [&](Qubit q) {
+        auto it = std::find(win.wires.begin(), win.wires.end(), q);
+        return static_cast<int>(it - win.wires.begin());
+    };
+
+    size_t best = 0;
+    for (size_t k = 0; k < win.members.size(); ++k) {
+        const Gate &g = circuit[win.members[k]];
+        std::vector<int> controls;
+        for (Qubit c : g.controls())
+            controls.push_back(local(c));
+        if (g.kind() == GateKind::Swap) {
+            m.applySwap(controls, local(g.targets()[0]),
+                        local(g.targets()[1]));
+        } else {
+            m.applyGate(g.baseMatrix(), controls, local(g.target()));
+        }
+        if (k >= 1 && m.isIdentity())
+            best = k + 1;
+    }
+    return best;
+}
+
+} // namespace
+
+bool
+removeIdentityWindows(Circuit &circuit, int max_qubits, size_t max_gates)
+{
+    bool any = false;
+    bool changed = true;
+
+    while (changed) {
+        changed = false;
+        std::vector<size_t> dead;
+        std::vector<bool> used(circuit.size(), false);
+
+        for (size_t start = 0; start < circuit.size(); ++start) {
+            if (used[start] || !isWindowable(circuit[start]))
+                continue;
+            Window win = collectWindow(circuit, start, max_qubits,
+                                       max_gates);
+            if (win.members.size() < 2)
+                continue;
+            if (std::any_of(win.members.begin(), win.members.end(),
+                            [&](size_t i) { return used[i]; }))
+                continue;
+            size_t prefix = identityPrefix(circuit, win);
+            if (prefix < 2)
+                continue;
+            for (size_t k = 0; k < prefix; ++k) {
+                dead.push_back(win.members[k]);
+                used[win.members[k]] = true;
+            }
+        }
+
+        if (!dead.empty()) {
+            std::sort(dead.begin(), dead.end());
+            circuit.eraseMany(dead);
+            changed = true;
+            any = true;
+        }
+    }
+    return any;
+}
+
+} // namespace qsyn::opt

@@ -1,0 +1,91 @@
+#include "qmdd/complex_table.hpp"
+
+#include <cmath>
+
+namespace qsyn::dd {
+
+namespace {
+
+/** Bucket width; a value can only match entries in its own or an
+ *  adjacent bucket, so the width must exceed 2 * kWeightEps. */
+constexpr double kBucketWidth = 4 * kWeightEps;
+
+} // namespace
+
+ComplexTable::ComplexTable()
+{
+    zero_ = lookup(Cplx(0.0, 0.0));
+    one_ = lookup(Cplx(1.0, 0.0));
+}
+
+std::int64_t
+ComplexTable::gridOf(double v)
+{
+    return static_cast<std::int64_t>(std::floor(v / kBucketWidth));
+}
+
+ComplexTable::BucketKey
+ComplexTable::keyOf(std::int64_t gr, std::int64_t gi)
+{
+    // Mix the two 32-ish bit grid coordinates into one 64-bit key.
+    auto ur = static_cast<std::uint64_t>(gr) * 0x9e3779b97f4a7c15ull;
+    auto ui = static_cast<std::uint64_t>(gi) * 0xc2b2ae3d27d4eb4full;
+    return ur ^ (ui + 0x165667b19e3779f9ull + (ur << 6) + (ur >> 2));
+}
+
+const Cplx *
+ComplexTable::findInBucket(BucketKey key, const Cplx &value) const
+{
+    auto it = buckets_.find(key);
+    if (it == buckets_.end())
+        return nullptr;
+    for (const Cplx *entry : it->second) {
+        if (approxEqual(*entry, value, kWeightEps))
+            return entry;
+    }
+    return nullptr;
+}
+
+const Cplx *
+ComplexTable::lookup(const Cplx &value)
+{
+    std::int64_t gr = gridOf(value.real());
+    std::int64_t gi = gridOf(value.imag());
+
+    // A match within kWeightEps can only live in a neighboring bucket
+    // when the coordinate sits within kWeightEps of that boundary; with
+    // buckets 4x the tolerance wide, each axis needs at most one extra
+    // probe, and usually none.
+    auto offsets = [](double v, std::int64_t g,
+                      std::int64_t (&out)[2]) -> int {
+        out[0] = 0;
+        double lo = static_cast<double>(g) * kBucketWidth;
+        double frac = v - lo;
+        if (frac < kWeightEps) {
+            out[1] = -1;
+            return 2;
+        }
+        if (frac > kBucketWidth - kWeightEps) {
+            out[1] = 1;
+            return 2;
+        }
+        return 1;
+    };
+    std::int64_t drs[2], dis[2];
+    int nr = offsets(value.real(), gr, drs);
+    int ni = offsets(value.imag(), gi, dis);
+    for (int r = 0; r < nr; ++r) {
+        for (int i = 0; i < ni; ++i) {
+            if (const Cplx *hit = findInBucket(
+                    keyOf(gr + drs[r], gi + dis[i]), value)) {
+                return hit;
+            }
+        }
+    }
+    entries_.push_back(value);
+    const Cplx *inserted = &entries_.back();
+    buckets_[keyOf(gr, gi)].push_back(inserted);
+    return inserted;
+}
+
+} // namespace qsyn::dd

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Interned complex values for the QMDD package.
+ *
+ * QMDD canonicity requires that equal edge weights be *identical*
+ * objects, so weights are interned: every distinct complex value lives
+ * exactly once in a ComplexTable and edges refer to it by pointer.
+ * Lookups snap values within kWeightEps onto the existing
+ * representative, which both makes equality O(1) (pointer compare) and
+ * prevents floating-point drift from accumulating across long gate
+ * products: each product step re-snaps onto canonical values.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace qsyn::dd {
+
+/** Tolerance under which two weights are considered the same value. */
+inline constexpr double kWeightEps = 1e-10;
+
+/** Interning table for complex edge weights. */
+class ComplexTable
+{
+  public:
+    ComplexTable();
+
+    ComplexTable(const ComplexTable &) = delete;
+    ComplexTable &operator=(const ComplexTable &) = delete;
+
+    /**
+     * Canonical pointer for `value`. Returns an existing entry when one
+     * lies within kWeightEps (componentwise), otherwise inserts.
+     */
+    const Cplx *lookup(const Cplx &value);
+
+    /** Canonical zero (cached; lookup(0) returns the same pointer). */
+    const Cplx *zero() const { return zero_; }
+
+    /** Canonical one. */
+    const Cplx *one() const { return one_; }
+
+    /** Number of distinct values interned so far. */
+    size_t size() const { return entries_.size(); }
+
+  private:
+    using BucketKey = std::uint64_t;
+
+    /** Grid bucket of a coordinate (buckets are ~4x the tolerance). */
+    static std::int64_t gridOf(double v);
+
+    static BucketKey keyOf(std::int64_t gr, std::int64_t gi);
+
+    const Cplx *findInBucket(BucketKey key, const Cplx &value) const;
+
+    /** Entry storage; deque keeps pointers stable across growth. */
+    std::deque<Cplx> entries_;
+    std::unordered_map<BucketKey, std::vector<const Cplx *>> buckets_;
+    const Cplx *zero_;
+    const Cplx *one_;
+};
+
+} // namespace qsyn::dd

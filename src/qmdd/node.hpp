@@ -1,0 +1,72 @@
+/**
+ * @file
+ * QMDD node and edge structures (Section 2.4 of the paper).
+ *
+ * A non-terminal node carries a variable (qubit level; level 0 is the
+ * top / most significant qubit) and four outgoing edges which are, in
+ * order, the U00, U01, U10, U11 quadrants of the transfer matrix the
+ * node represents.
+ *
+ * Convention — identity skipping: an edge whose node's variable is
+ * *larger* than the level where the edge appears represents an identity
+ * on all skipped levels; an edge to the terminal node represents
+ * weight x identity on every remaining level. This keeps a gate's QMDD
+ * size independent of the total qubit count and is canonicalized by the
+ * reduction rule in Package::makeNode.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace qsyn::dd {
+
+struct Node;
+
+/** A weighted pointer to a node; the unit of sharing in the QMDD. */
+struct Edge
+{
+    Node *node = nullptr;
+    const Cplx *weight = nullptr;
+
+    bool operator==(const Edge &o) const
+    {
+        return node == o.node && weight == o.weight;
+    }
+    bool operator!=(const Edge &o) const { return !(*this == o); }
+};
+
+/** Variable value of the terminal node. */
+inline constexpr std::int32_t kTerminalVar = -1;
+
+/** A QMDD vertex with its four quadrant edges. */
+struct Node
+{
+    std::array<Edge, 4> e{};
+    std::int32_t var = kTerminalVar;
+    /** Garbage-collection mark epoch (see Package::collectGarbage). */
+    std::uint32_t mark = 0;
+    /**
+     * Intrusive link: the unique-table bucket chain while the node is
+     * live, the free list after a sweep reclaims it.
+     */
+    Node *next = nullptr;
+};
+
+/** True for the unique terminal vertex. */
+inline bool
+isTerminal(const Node *n)
+{
+    return n->var == kTerminalVar;
+}
+
+inline bool
+isTerminal(const Edge &e)
+{
+    return isTerminal(e.node);
+}
+
+} // namespace qsyn::dd

@@ -1,0 +1,520 @@
+#include "qmdd/package.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace qsyn::dd {
+
+namespace {
+
+/** Power-of-two sizes of the hash structures. */
+constexpr size_t kUniqueBuckets = size_t{1} << 19;
+constexpr size_t kMulCacheSize = size_t{1} << 19;
+constexpr size_t kAddCacheSize = size_t{1} << 19;
+constexpr size_t kCtCacheSize = size_t{1} << 14;
+
+size_t
+hashCombine(size_t seed, size_t v)
+{
+    return seed ^ (v + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+size_t
+hashPtr(const void *p)
+{
+    auto v = reinterpret_cast<std::uintptr_t>(p);
+    // Pointer values are alignment-structured; mix them.
+    return static_cast<size_t>((v >> 4) * 0x9e3779b97f4a7c15ull);
+}
+
+size_t
+hashEdge(const Edge &e)
+{
+    return hashCombine(hashPtr(e.node), hashPtr(e.weight));
+}
+
+} // namespace
+
+size_t
+Package::hashNode(std::int32_t var, const std::array<Edge, 4> &e)
+{
+    size_t h = static_cast<size_t>(var) * 0xc2b2ae3d27d4eb4full;
+    for (const Edge &child : e)
+        h = hashCombine(h, hashEdge(child));
+    return h;
+}
+
+Package::Package()
+    : unique_buckets_(kUniqueBuckets, nullptr),
+      unique_mask_(kUniqueBuckets - 1),
+      mul_cache_(kMulCacheSize),
+      add_cache_(kAddCacheSize),
+      ct_cache_(kCtCacheSize)
+{
+    terminal_.var = kTerminalVar;
+}
+
+Edge
+Package::zeroEdge()
+{
+    return Edge{&terminal_, ctab_.zero()};
+}
+
+Edge
+Package::identityEdge()
+{
+    return Edge{&terminal_, ctab_.one()};
+}
+
+Edge
+Package::terminalEdge(const Cplx &w)
+{
+    const Cplx *cw = ctab_.lookup(w);
+    return Edge{&terminal_, cw};
+}
+
+Node *
+Package::allocNode()
+{
+    Node *n;
+    if (free_list_ != nullptr) {
+        n = free_list_;
+        free_list_ = n->next;
+        n->next = nullptr;
+        n->mark = 0;
+    } else {
+        arena_.emplace_back();
+        n = &arena_.back();
+    }
+    stats_.peakNodes = std::max(stats_.peakNodes, unique_size_ + 1);
+    return n;
+}
+
+Edge
+Package::makeNode(std::int32_t var, const std::array<Edge, 4> &edges)
+{
+    std::array<Edge, 4> e = edges;
+    // Zero-edge canonicalization: weight zero always points at terminal.
+    for (Edge &child : e) {
+        if (child.weight == ctab_.zero()) {
+            child.node = &terminal_;
+        } else {
+            QSYN_ASSERT(isTerminal(child.node) || child.node->var > var,
+                        "QMDD child variable out of order");
+        }
+    }
+
+    // Identity-skip reduction (also catches the all-zero node).
+    if (e[1].weight == ctab_.zero() && e[2].weight == ctab_.zero() &&
+        e[0] == e[3]) {
+        return e[0];
+    }
+
+    // Normalize by the leftmost edge of maximal magnitude.
+    double max_mag = 0.0;
+    for (const Edge &child : e)
+        max_mag = std::max(max_mag, std::abs(*child.weight));
+    QSYN_ASSERT(max_mag > 0.0, "all-zero node escaped reduction");
+    int norm_idx = 0;
+    while (std::abs(*e[norm_idx].weight) < max_mag - kWeightEps)
+        ++norm_idx;
+    Cplx norm = *e[norm_idx].weight;
+    for (int i = 0; i < 4; ++i) {
+        if (e[i].weight == ctab_.zero())
+            continue;
+        if (i == norm_idx) {
+            e[i].weight = ctab_.one();
+        } else {
+            e[i].weight = ctab_.lookup(*e[i].weight / norm);
+            if (e[i].weight == ctab_.zero())
+                e[i].node = &terminal_;
+        }
+    }
+
+    ++stats_.uniqueLookups;
+    size_t bucket = hashNode(var, e) & unique_mask_;
+    for (Node *n = unique_buckets_[bucket]; n != nullptr; n = n->next) {
+        if (n->var == var && n->e == e) {
+            ++stats_.uniqueHits;
+            return Edge{n, ctab_.lookup(norm)};
+        }
+    }
+    Node *n = allocNode();
+    n->var = var;
+    n->e = e;
+    n->next = unique_buckets_[bucket];
+    unique_buckets_[bucket] = n;
+    ++unique_size_;
+    return Edge{n, ctab_.lookup(norm)};
+}
+
+Edge
+Package::scaled(const Edge &e, const Cplx &factor)
+{
+    if (e.weight == ctab_.zero())
+        return zeroEdge();
+    const Cplx *w = ctab_.lookup(*e.weight * factor);
+    if (w == ctab_.zero())
+        return zeroEdge();
+    return Edge{e.node, w};
+}
+
+Edge
+Package::child(const Edge &x, int r, int c, std::int32_t var)
+{
+    if (isTerminal(x.node) || x.node->var > var) {
+        // Identity-skip: diagonal continues, off-diagonal is zero.
+        return r == c ? x : zeroEdge();
+    }
+    QSYN_ASSERT(x.node->var == var, "child() level mismatch");
+    Edge stored = x.node->e[2 * r + c];
+    if (stored.weight == ctab_.zero())
+        return zeroEdge();
+    if (x.weight == ctab_.one())
+        return stored;
+    return Edge{stored.node, ctab_.lookup(*x.weight * *stored.weight)};
+}
+
+Edge
+Package::multiply(const Edge &a, const Edge &b)
+{
+    if (a.weight == ctab_.zero() || b.weight == ctab_.zero())
+        return zeroEdge();
+    Edge r = mulNodes(a.node, b.node);
+    return scaled(r, *a.weight * *b.weight);
+}
+
+Edge
+Package::mulNodes(Node *x, Node *y)
+{
+    ++stats_.multiplies;
+    if (isTerminal(x))
+        return Edge{y, ctab_.one()};
+    if (isTerminal(y))
+        return Edge{x, ctab_.one()};
+
+    size_t slot = hashCombine(hashPtr(x), hashPtr(y)) & (kMulCacheSize - 1);
+    MulSlot &cache = mul_cache_[slot];
+    if (cache.a == x && cache.b == y)
+        return cache.result;
+
+    std::int32_t top = std::min(x->var, y->var);
+    Edge ex{x, ctab_.one()};
+    Edge ey{y, ctab_.one()};
+    std::array<Edge, 4> res;
+    for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+            Edge p0 = multiply(child(ex, i, 0, top), child(ey, 0, j, top));
+            Edge p1 = multiply(child(ex, i, 1, top), child(ey, 1, j, top));
+            res[2 * i + j] = add(p0, p1);
+        }
+    }
+    Edge result = makeNode(top, res);
+    cache = MulSlot{x, y, result};
+    return result;
+}
+
+Edge
+Package::add(const Edge &a, const Edge &b)
+{
+    ++stats_.additions;
+    if (a.weight == ctab_.zero())
+        return b;
+    if (b.weight == ctab_.zero())
+        return a;
+    if (a.node == b.node) {
+        const Cplx *w = ctab_.lookup(*a.weight + *b.weight);
+        if (w == ctab_.zero())
+            return zeroEdge();
+        return Edge{a.node, w};
+    }
+
+    // Addition is commutative; canonicalize the cache key order.
+    Edge ka = a, kb = b;
+    if (std::make_pair(kb.node, kb.weight) <
+        std::make_pair(ka.node, ka.weight))
+        std::swap(ka, kb);
+    size_t slot =
+        hashCombine(hashEdge(ka), hashEdge(kb)) & (kAddCacheSize - 1);
+    AddSlot &cache = add_cache_[slot];
+    if (cache.valid && cache.a == ka && cache.b == kb)
+        return cache.result;
+
+    std::int32_t top = kTerminalVar;
+    if (!isTerminal(a.node))
+        top = a.node->var;
+    if (!isTerminal(b.node))
+        top = top == kTerminalVar ? b.node->var
+                                  : std::min(top, b.node->var);
+    QSYN_ASSERT(top != kTerminalVar,
+                "add of two terminals must hit the same-node case");
+
+    std::array<Edge, 4> res;
+    for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+            res[2 * i + j] =
+                add(child(a, i, j, top), child(b, i, j, top));
+        }
+    }
+    Edge result = makeNode(top, res);
+    cache = AddSlot{ka, kb, result, true};
+    return result;
+}
+
+Edge
+Package::conjugateTranspose(const Edge &a)
+{
+    Edge r;
+    if (isTerminal(a.node)) {
+        r = identityEdge();
+    } else {
+        size_t slot = hashPtr(a.node) & (kCtCacheSize - 1);
+        CtSlot &cache = ct_cache_[slot];
+        if (cache.a == a.node) {
+            r = cache.result;
+        } else {
+            std::array<Edge, 4> res;
+            for (int i = 0; i < 2; ++i) {
+                for (int j = 0; j < 2; ++j) {
+                    res[2 * i + j] =
+                        conjugateTranspose(a.node->e[2 * j + i]);
+                }
+            }
+            r = makeNode(a.node->var, res);
+            cache = CtSlot{a.node, r};
+        }
+    }
+    return scaled(r, std::conj(*a.weight));
+}
+
+Edge
+Package::makeGateDD(const Mat2 &u, const std::vector<Qubit> &controls,
+                    Qubit target)
+{
+    std::array<Edge, 4> em;
+    for (int i = 0; i < 4; ++i)
+        em[i] = terminalEdge(u.e[i]);
+
+    std::vector<Qubit> sorted = controls;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+
+    // Controls below the target (larger var): fold into the quadrant
+    // edges before the target node is built. When such a control is 0
+    // the whole gate is inactive: diagonal quadrants fall back to the
+    // identity, off-diagonal quadrants to zero.
+    size_t idx = 0;
+    while (idx < sorted.size() && sorted[idx] > target) {
+        auto var = static_cast<std::int32_t>(sorted[idx]);
+        for (int i = 0; i < 2; ++i) {
+            for (int j = 0; j < 2; ++j) {
+                Edge inactive = i == j ? identityEdge() : zeroEdge();
+                em[2 * i + j] = makeNode(
+                    var, {inactive, zeroEdge(), zeroEdge(), em[2 * i + j]});
+            }
+        }
+        ++idx;
+    }
+
+    Edge e = makeNode(static_cast<std::int32_t>(target), em);
+
+    // Controls above the target, bottom-up.
+    while (idx < sorted.size()) {
+        QSYN_ASSERT(sorted[idx] < target, "control equals target");
+        e = makeNode(static_cast<std::int32_t>(sorted[idx]),
+                     {identityEdge(), zeroEdge(), zeroEdge(), e});
+        ++idx;
+    }
+    return e;
+}
+
+Edge
+Package::makeSwapDD(const std::vector<Qubit> &controls, Qubit a, Qubit b)
+{
+    // (c-)SWAP(a,b) = CNOT(b,a) . MCX(controls + {a}, b) . CNOT(b,a)
+    Mat2 x = baseMatrix(GateKind::X);
+    Edge outer = makeGateDD(x, {b}, a);
+    std::vector<Qubit> cs = controls;
+    cs.push_back(a);
+    Edge inner = makeGateDD(x, cs, b);
+    return multiply(outer, multiply(inner, outer));
+}
+
+Edge
+Package::gateDD(const Gate &gate)
+{
+    switch (gate.kind()) {
+      case GateKind::I:
+      case GateKind::Barrier:
+        return identityEdge();
+      case GateKind::Swap:
+        return makeSwapDD(gate.controls(), gate.targets()[0],
+                          gate.targets()[1]);
+      case GateKind::Measure:
+        throw InternalError("cannot build a DD for a measurement",
+                            __FILE__, __LINE__);
+      default:
+        return makeGateDD(gate.baseMatrix(), gate.controls(),
+                          gate.target());
+    }
+}
+
+Edge
+Package::buildCircuit(const Circuit &circuit)
+{
+    Edge e = identityEdge();
+    for (const Gate &g : circuit) {
+        if (g.kind() == GateKind::Barrier)
+            continue;
+        e = multiply(gateDD(g), e);
+        if (unique_size_ > gc_threshold_)
+            collectGarbage({e});
+    }
+    return e;
+}
+
+Edge
+Package::makeProjector(const std::vector<Qubit> &zero_wires)
+{
+    std::vector<Qubit> sorted = zero_wires;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    Edge e = identityEdge();
+    for (Qubit v : sorted) {
+        e = makeNode(static_cast<std::int32_t>(v),
+                     {e, zeroEdge(), zeroEdge(), zeroEdge()});
+    }
+    return e;
+}
+
+Cplx
+Package::getEntry(const Edge &e, std::uint64_t row, std::uint64_t col,
+                  int num_qubits)
+{
+    Cplx w = *e.weight;
+    const Node *p = e.node;
+    for (int v = 0; v < num_qubits; ++v) {
+        int rb = static_cast<int>((row >> (num_qubits - 1 - v)) & 1);
+        int cb = static_cast<int>((col >> (num_qubits - 1 - v)) & 1);
+        if (isTerminal(p) || p->var > v) {
+            if (rb != cb)
+                return Cplx(0, 0);
+            continue;
+        }
+        const Edge &next = p->e[2 * rb + cb];
+        if (next.weight == ctab_.zero())
+            return Cplx(0, 0);
+        w *= *next.weight;
+        p = next.node;
+    }
+    QSYN_ASSERT(isTerminal(p), "edge deeper than the qubit context");
+    return w;
+}
+
+size_t
+Package::countNodes(const Edge &e)
+{
+    std::vector<const Node *> stack{e.node};
+    std::unordered_map<const Node *, bool> seen;
+    size_t count = 0;
+    while (!stack.empty()) {
+        const Node *n = stack.back();
+        stack.pop_back();
+        if (isTerminal(n) || seen.count(n))
+            continue;
+        seen.emplace(n, true);
+        ++count;
+        for (const Edge &c : n->e) {
+            if (c.node != nullptr)
+                stack.push_back(c.node);
+        }
+    }
+    return count;
+}
+
+double
+Package::maxMagnitude(const Edge &e)
+{
+    if (e.weight == ctab_.zero())
+        return 0.0;
+    // Max |entry| = max over paths of the product of |weight|s, which
+    // decomposes level by level into a per-node maximum.
+    struct Rec
+    {
+        Package *pkg;
+        double
+        operator()(const Node *n)
+        {
+            if (isTerminal(n))
+                return 1.0;
+            auto it = pkg->mag_cache_.find(n);
+            if (it != pkg->mag_cache_.end())
+                return it->second;
+            double m = 0.0;
+            for (const Edge &c : n->e) {
+                if (c.weight == pkg->ctab_.zero())
+                    continue;
+                m = std::max(m, std::abs(*c.weight) * (*this)(c.node));
+            }
+            pkg->mag_cache_.emplace(n, m);
+            return m;
+        }
+    } rec{this};
+    return std::abs(*e.weight) * rec(e.node);
+}
+
+bool
+Package::approxEqualEdges(const Edge &a, const Edge &b, double eps)
+{
+    if (a == b)
+        return true;
+    Edge diff = add(a, scaled(b, Cplx(-1, 0)));
+    return maxMagnitude(diff) < eps;
+}
+
+void
+Package::markReachable(Node *n, std::uint32_t epoch)
+{
+    if (isTerminal(n) || n->mark == epoch)
+        return;
+    n->mark = epoch;
+    for (Edge &c : n->e) {
+        if (c.node != nullptr)
+            markReachable(c.node, epoch);
+    }
+}
+
+void
+Package::collectGarbage(const std::vector<Edge> &roots)
+{
+    ++stats_.gcRuns;
+    ++mark_epoch_;
+    for (const Edge &r : roots) {
+        if (r.node != nullptr)
+            markReachable(r.node, mark_epoch_);
+    }
+    for (Node *&bucket : unique_buckets_) {
+        Node **link = &bucket;
+        while (*link != nullptr) {
+            Node *n = *link;
+            if (n->mark != mark_epoch_) {
+                *link = n->next;
+                n->next = free_list_;
+                free_list_ = n;
+                --unique_size_;
+            } else {
+                link = &n->next;
+            }
+        }
+    }
+    std::fill(mul_cache_.begin(), mul_cache_.end(), MulSlot{});
+    std::fill(add_cache_.begin(), add_cache_.end(), AddSlot{});
+    std::fill(ct_cache_.begin(), ct_cache_.end(), CtSlot{});
+    mag_cache_.clear();
+    // If the survivors alone still exceed the threshold, raise it so we
+    // do not thrash in a GC loop.
+    if (unique_size_ > gc_threshold_ / 2)
+        gc_threshold_ *= 2;
+}
+
+} // namespace qsyn::dd

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The QMDD package: canonical decision-diagram representation of
+ * quantum transfer matrices (Miller & Thornton, ISMVL 2006; Niemann et
+ * al., TCAD 2016), used by the compiler for formal equivalence checking.
+ *
+ * All nodes live in one Package; canonicity is global to the package,
+ * so two circuits compare equal iff building them yields the *same*
+ * root edge (pointer + weight pointer). See node.hpp for the
+ * identity-skipping edge convention.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "ir/matrix.hpp"
+#include "qmdd/complex_table.hpp"
+#include "qmdd/node.hpp"
+
+namespace qsyn::dd {
+
+/** Counters exposed for the micro-benchmarks and tests. */
+struct PackageStats
+{
+    size_t uniqueLookups = 0;
+    size_t uniqueHits = 0;
+    size_t multiplies = 0;
+    size_t additions = 0;
+    size_t gcRuns = 0;
+    size_t peakNodes = 0;
+};
+
+/** Owner of all QMDD nodes plus the unique/compute tables. */
+class Package
+{
+  public:
+    Package();
+
+    Package(const Package &) = delete;
+    Package &operator=(const Package &) = delete;
+
+    /** @name Leaf edges */
+    /// @{
+    /** The zero matrix (of any dimension). */
+    Edge zeroEdge();
+    /** The identity (of any dimension) — terminal with weight 1. */
+    Edge identityEdge();
+    /** w x identity. */
+    Edge terminalEdge(const Cplx &w);
+    /// @}
+
+    /**
+     * Canonical node constructor: applies zero-edge canonicalization,
+     * the identity-skip reduction, weight normalization, and the unique
+     * table. `edges[i]` is quadrant U_{rc} with i = 2r + c. Children
+     * must be at variables strictly greater than `var`.
+     */
+    Edge makeNode(std::int32_t var, const std::array<Edge, 4> &edges);
+
+    /** @name Matrix algebra */
+    /// @{
+    Edge multiply(const Edge &a, const Edge &b);
+    Edge add(const Edge &a, const Edge &b);
+    Edge conjugateTranspose(const Edge &a);
+    /** Edge with weight scaled by `factor`. */
+    Edge scaled(const Edge &e, const Cplx &factor);
+    /**
+     * Quadrant (r, c) of matrix edge `x` viewed at level `var`: the
+     * stored child when x's node sits exactly at `var`, otherwise the
+     * identity-skip expansion (diagonal continues, off-diagonal is
+     * zero). Exposed for the vector engine.
+     */
+    Edge child(const Edge &x, int r, int c, std::int32_t var);
+    /// @}
+
+    /** @name Gate and circuit construction */
+    /// @{
+    /** DD of a base 2x2 unitary with positive controls. */
+    Edge makeGateDD(const Mat2 &u, const std::vector<Qubit> &controls,
+                    Qubit target);
+    /** DD of a (controlled) SWAP. */
+    Edge makeSwapDD(const std::vector<Qubit> &controls, Qubit a, Qubit b);
+    /** DD of an arbitrary IR gate (must be unitary). */
+    Edge gateDD(const Gate &gate);
+    /** DD of a whole circuit: product of its gate DDs. */
+    Edge buildCircuit(const Circuit &circuit);
+    /** Projector |0><0| on `zero_wires`, identity on all other wires. */
+    Edge makeProjector(const std::vector<Qubit> &zero_wires);
+    /// @}
+
+    /** @name Inspection */
+    /// @{
+    /** Matrix entry at (row, col) for an n-qubit context. Qubit 0 is
+     *  the most significant bit of the index. */
+    Cplx getEntry(const Edge &e, std::uint64_t row, std::uint64_t col,
+                  int num_qubits);
+    /** Distinct nodes reachable from `e` (terminal excluded). */
+    size_t countNodes(const Edge &e);
+    /** Largest entry magnitude of the represented matrix. */
+    double maxMagnitude(const Edge &e);
+    /** Nodes currently alive in the unique table. */
+    size_t activeNodes() const { return unique_size_; }
+    const PackageStats &stats() const { return stats_; }
+    /// @}
+
+    /**
+     * Tolerant structural comparison: true when the two matrices agree
+     * entrywise within eps (computed as max|A - B| < eps). Used as a
+     * fallback when float drift breaks exact pointer canonicity.
+     */
+    bool approxEqualEdges(const Edge &a, const Edge &b, double eps = 1e-6);
+
+    /**
+     * Mark-and-sweep garbage collection. Everything reachable from
+     * `roots` survives; compute tables are cleared. Called
+     * automatically by buildCircuit when the node count passes the GC
+     * threshold.
+     */
+    void collectGarbage(const std::vector<Edge> &roots);
+
+    /** Node-count threshold that triggers automatic GC. */
+    void setGcThreshold(size_t threshold) { gc_threshold_ = threshold; }
+    size_t gcThreshold() const { return gc_threshold_; }
+
+  private:
+    /** Direct-mapped (lossy) cache slot for node products. */
+    struct MulSlot
+    {
+        const Node *a = nullptr;
+        const Node *b = nullptr;
+        Edge result;
+    };
+    /** Direct-mapped cache slot for edge sums. */
+    struct AddSlot
+    {
+        Edge a{};
+        Edge b{};
+        Edge result;
+        bool valid = false;
+    };
+    /** Direct-mapped cache slot for conjugate transposes. */
+    struct CtSlot
+    {
+        const Node *a = nullptr;
+        Edge result;
+    };
+
+    Node *allocNode();
+
+    Edge mulNodes(Node *x, Node *y);
+
+    void markReachable(Node *n, std::uint32_t epoch);
+
+    static size_t hashNode(std::int32_t var,
+                           const std::array<Edge, 4> &e);
+
+    ComplexTable ctab_;
+    Node terminal_;
+    std::deque<Node> arena_;
+    Node *free_list_ = nullptr;
+
+    /** Chained unique table (buckets link through Node::next). */
+    std::vector<Node *> unique_buckets_;
+    size_t unique_mask_;
+    size_t unique_size_ = 0;
+
+    std::vector<MulSlot> mul_cache_;
+    std::vector<AddSlot> add_cache_;
+    std::vector<CtSlot> ct_cache_;
+    std::unordered_map<const Node *, double, std::hash<const Node *>>
+        mag_cache_;
+    std::uint32_t mark_epoch_ = 0;
+    size_t gc_threshold_ = 1u << 20;
+    PackageStats stats_;
+};
+
+} // namespace qsyn::dd

@@ -1,0 +1,258 @@
+#include "route/ctr.hpp"
+
+#include "common/errors.hpp"
+#include <cmath>
+
+#include "decompose/toffoli.hpp"
+
+namespace qsyn::route {
+
+namespace {
+
+void
+emitSwapPath(Circuit &out, const CouplingMap &map,
+             const std::vector<Qubit> &path, RouteStats *stats)
+{
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+        decompose::appendSwap(out, &map, path[i], path[i + 1]);
+        if (stats)
+            ++stats->swapsInserted;
+    }
+}
+
+void
+emitSwapPathReversed(Circuit &out, const CouplingMap &map,
+                     const std::vector<Qubit> &path, RouteStats *stats)
+{
+    for (size_t i = path.size() - 1; i >= 1; --i) {
+        decompose::appendSwap(out, &map, path[i], path[i - 1]);
+        if (stats)
+            ++stats->swapsInserted;
+    }
+}
+
+void
+routeCnotCtr(Circuit &out, const Device &device, Qubit control,
+             Qubit target, RouteStats *stats, bool fidelity_aware)
+{
+    const CouplingMap &map = device.coupling();
+    // Shortest path from the control to any neighbor of the target
+    // (BFS == breadth-first expansion of the paper's connectivity
+    // tree); with calibration data, a Dijkstra search minimizing
+    // accumulated two-qubit error instead.
+    std::vector<Qubit> path;
+    const Calibration *cal = device.calibration();
+    if (fidelity_aware && cal != nullptr) {
+        // One SWAP on an edge costs three CNOTs on it.
+        auto edge_weight = [&](Qubit a, Qubit b) {
+            return -3.0 * std::log1p(-cal->twoQubitError(a, b));
+        };
+        auto goal_weight = [&](Qubit n) {
+            return -std::log1p(-cal->twoQubitError(n, target));
+        };
+        path = map.weightedPathToNeighbor(control, target, edge_weight,
+                                          goal_weight);
+    } else {
+        path = map.shortestPathToNeighbor(control, target);
+    }
+    if (path.empty()) {
+        throw MappingError("no coupling path between q" +
+                           std::to_string(control) + " and q" +
+                           std::to_string(target));
+    }
+    if (stats)
+        ++stats->reroutedCnots;
+
+    emitSwapPath(out, map, path, stats);
+    Qubit moved = path.back();
+    if (map.hasEdge(moved, target)) {
+        out.addCnot(moved, target);
+    } else {
+        decompose::appendReversedCnot(out, moved, target);
+    }
+    emitSwapPathReversed(out, map, path, stats);
+}
+
+void
+routeCnotMeetInMiddle(Circuit &out, const CouplingMap &map, Qubit control,
+                      Qubit target, RouteStats *stats)
+{
+    std::vector<Qubit> path = map.shortestPath(control, target);
+    if (path.empty()) {
+        throw MappingError("no coupling path between q" +
+                           std::to_string(control) + " and q" +
+                           std::to_string(target));
+    }
+    if (stats)
+        ++stats->reroutedCnots;
+
+    // path = [control, ..., target]; walk the control to index j and
+    // the target back to index j+1.
+    size_t j = (path.size() - 2) / 2;
+    std::vector<Qubit> control_leg(path.begin(),
+                                   path.begin() +
+                                       static_cast<ptrdiff_t>(j + 1));
+    std::vector<Qubit> target_leg(path.rbegin(),
+                                  path.rend() -
+                                      static_cast<ptrdiff_t>(j + 1));
+
+    emitSwapPath(out, map, control_leg, stats);
+    emitSwapPath(out, map, target_leg, stats);
+    Qubit moved_control = control_leg.back();
+    Qubit moved_target = target_leg.back();
+    if (map.hasEdge(moved_control, moved_target)) {
+        out.addCnot(moved_control, moved_target);
+    } else {
+        decompose::appendReversedCnot(out, moved_control, moved_target);
+    }
+    emitSwapPathReversed(out, map, target_leg, stats);
+    emitSwapPathReversed(out, map, control_leg, stats);
+}
+
+/**
+ * Dynamic-layout router: tracks where every virtual wire currently
+ * sits; SWAP chains move the control next to the target and stay in
+ * place; the epilogue sorts every wire home so the circuit's unitary
+ * equals the swap-back style exactly.
+ */
+Circuit
+routeDynamic(const Circuit &circuit, const Device &device,
+             RouteStats *stats)
+{
+    const CouplingMap &map = device.coupling();
+    Qubit n = device.numQubits();
+    Circuit out(n, circuit.name());
+
+    // pos[v] = physical qubit currently holding virtual wire v;
+    // inv[p] = virtual wire at physical p.
+    std::vector<Qubit> pos(n), inv(n);
+    for (Qubit q = 0; q < n; ++q)
+        pos[q] = inv[q] = q;
+
+    auto apply_swap = [&](Qubit pa, Qubit pb) {
+        decompose::appendSwap(out, &map, pa, pb);
+        if (stats)
+            ++stats->swapsInserted;
+        Qubit va = inv[pa], vb = inv[pb];
+        std::swap(inv[pa], inv[pb]);
+        pos[va] = pb;
+        pos[vb] = pa;
+    };
+
+    for (const Gate &g : circuit) {
+        if (!g.isCnot()) {
+            QSYN_ASSERT(g.numQubits() <= 1 ||
+                            g.kind() == GateKind::Barrier,
+                        "routing expects a primitive-level circuit");
+            // Remap single-qubit gates (and barriers) through the
+            // current layout.
+            if (g.kind() == GateKind::Barrier) {
+                out.add(g);
+            } else if (g.numQubits() == 1) {
+                std::vector<Qubit> remap(n);
+                for (Qubit v = 0; v < n; ++v)
+                    remap[v] = pos[v];
+                Circuit one(n);
+                one.add(g);
+                out.append(one.remapped(remap, n));
+            } else {
+                out.add(g);
+            }
+            continue;
+        }
+        Qubit pc = pos[g.controls()[0]];
+        Qubit pt = pos[g.target()];
+        if (device.isFullyConnected() || map.hasEdge(pc, pt)) {
+            out.addCnot(pc, pt);
+            if (stats)
+                ++stats->nativeCnots;
+            continue;
+        }
+        if (map.hasUndirectedEdge(pc, pt)) {
+            decompose::appendReversedCnot(out, pc, pt);
+            if (stats)
+                ++stats->reversedCnots;
+            continue;
+        }
+        std::vector<Qubit> path = map.shortestPathToNeighbor(pc, pt);
+        if (path.empty()) {
+            throw MappingError("no coupling path between q" +
+                               std::to_string(pc) + " and q" +
+                               std::to_string(pt));
+        }
+        if (stats)
+            ++stats->reroutedCnots;
+        for (size_t i = 0; i + 1 < path.size(); ++i)
+            apply_swap(path[i], path[i + 1]);
+        Qubit moved = path.back();
+        if (map.hasEdge(moved, pt)) {
+            out.addCnot(moved, pt);
+        } else {
+            decompose::appendReversedCnot(out, moved, pt);
+        }
+    }
+
+    // Epilogue: restore the identity layout (selection sort by swap
+    // chains along shortest paths).
+    for (Qubit p = 0; p < n; ++p) {
+        while (inv[p] != p) {
+            Qubit src = pos[p]; // physical currently holding virtual p
+            std::vector<Qubit> path = map.shortestPath(src, p);
+            QSYN_ASSERT(path.size() >= 2, "broken repair path");
+            apply_swap(path[0], path[1]);
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Circuit
+routeCircuit(const Circuit &circuit, const Device &device,
+             RouteStats *stats, const RouteOptions &options)
+{
+    if (circuit.numQubits() > device.numQubits()) {
+        throw MappingError(
+            "circuit needs " + std::to_string(circuit.numQubits()) +
+            " qubits but " + device.name() + " has only " +
+            std::to_string(device.numQubits()));
+    }
+    if (options.dynamicLayout)
+        return routeDynamic(circuit, device, stats);
+
+    Circuit out(device.numQubits(), circuit.name());
+    const CouplingMap &map = device.coupling();
+
+    for (const Gate &g : circuit) {
+        if (!g.isCnot()) {
+            QSYN_ASSERT(g.numQubits() <= 1 ||
+                            g.kind() == GateKind::Barrier,
+                        "routing expects a primitive-level circuit, got " +
+                            g.toString());
+            out.add(g);
+            continue;
+        }
+        Qubit control = g.controls()[0];
+        Qubit target = g.target();
+        if (device.isFullyConnected() || map.hasEdge(control, target)) {
+            out.addCnot(control, target);
+            if (stats)
+                ++stats->nativeCnots;
+            continue;
+        }
+        if (map.hasUndirectedEdge(control, target)) {
+            decompose::appendReversedCnot(out, control, target);
+            if (stats)
+                ++stats->reversedCnots;
+            continue;
+        }
+        if (options.meetInMiddle)
+            routeCnotMeetInMiddle(out, map, control, target, stats);
+        else
+            routeCnotCtr(out, device, control, target, stats,
+                         options.fidelityAware);
+    }
+    return out;
+}
+
+} // namespace qsyn::route

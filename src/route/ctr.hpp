@@ -1,0 +1,72 @@
+/**
+ * @file
+ * The Connectivity Tree Reroute (CTR) algorithm — the paper's core
+ * routing contribution (Section 4, Figs. 4-5).
+ *
+ * A CNOT whose endpoints are not coupled is legalized by moving the
+ * *control* along the shortest SWAP path (found by BFS over the
+ * undirected coupling graph, which explores exactly the paper's
+ * connectivity tree level by level) to a qubit coupled with the
+ * target, executing the CNOT there, and swapping back so the original
+ * qubit assignment is preserved. Each SWAP costs at most 7 gates
+ * (3 CNOTs + 4 H) under unidirectional coupling.
+ */
+
+#pragma once
+
+#include "device/device.hpp"
+#include "ir/circuit.hpp"
+
+namespace qsyn::route {
+
+/** Counters describing what routing had to do. */
+struct RouteStats
+{
+    size_t nativeCnots = 0;   ///< already legal
+    size_t reversedCnots = 0; ///< fixed with four Hadamards (Fig. 6)
+    size_t reroutedCnots = 0; ///< needed a SWAP path (CTR)
+    size_t swapsInserted = 0; ///< total SWAPs emitted (incl. swap-back)
+};
+
+/** Routing options. */
+struct RouteOptions
+{
+    /**
+     * Ablation variant: instead of walking the control all the way to
+     * the target's neighborhood (the paper's CTR), walk control and
+     * target toward each other and meet in the middle. Same legality,
+     * different SWAP counts.
+     */
+    bool meetInMiddle = false;
+
+    /**
+     * Fidelity-aware path selection: when the device carries
+     * calibration data, SWAP paths minimize accumulated two-qubit
+     * error (Dijkstra over -log(1-e) edge weights) instead of hop
+     * count. Extension of the paper's "qubit and operator fidelity"
+     * cost direction.
+     */
+    bool fidelityAware = false;
+
+    /**
+     * Dynamic-layout routing (extension): SWAPs persist instead of
+     * being undone after every CNOT (the paper's CTR swaps the control
+     * back each time); a permutation-repair epilogue restores the
+     * original assignment at the end so the overall unitary is
+     * unchanged. Usually far fewer SWAPs on reroute-heavy circuits.
+     */
+    bool dynamicLayout = false;
+};
+
+/**
+ * Legalize a primitive-level circuit (single-qubit gates, CNOTs,
+ * measures, barriers) for `device`. Circuit wires are interpreted as
+ * physical qubits (apply a placement first). The result uses only
+ * native CNOT directions. Throws MappingError when the circuit is
+ * wider than the device or endpoints are disconnected.
+ */
+Circuit routeCircuit(const Circuit &circuit, const Device &device,
+                     RouteStats *stats = nullptr,
+                     const RouteOptions &options = {});
+
+} // namespace qsyn::route

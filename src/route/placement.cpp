@@ -1,0 +1,160 @@
+#include "route/placement.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "common/errors.hpp"
+
+namespace qsyn::route {
+
+namespace {
+
+void
+checkFits(Qubit num_logical, const Device &device)
+{
+    if (num_logical > device.numQubits()) {
+        throw MappingError("circuit needs " + std::to_string(num_logical) +
+                           " qubits but " + device.name() +
+                           " has only " +
+                           std::to_string(device.numQubits()));
+    }
+}
+
+/** BFS-nearest unoccupied physical qubit from `from`. */
+Qubit
+nearestFree(const CouplingMap &map, Qubit from,
+            const std::vector<bool> &occupied)
+{
+    std::vector<bool> seen(map.numQubits(), false);
+    std::deque<Qubit> frontier{from};
+    seen[from] = true;
+    while (!frontier.empty()) {
+        Qubit q = frontier.front();
+        frontier.pop_front();
+        if (!occupied[q])
+            return q;
+        for (Qubit n : map.neighborsOf(q)) {
+            if (!seen[n]) {
+                seen[n] = true;
+                frontier.push_back(n);
+            }
+        }
+    }
+    return kNoQubit;
+}
+
+} // namespace
+
+std::vector<Qubit>
+identityPlacement(Qubit num_logical, const Device &device)
+{
+    checkFits(num_logical, device);
+    std::vector<Qubit> placement(num_logical);
+    for (Qubit i = 0; i < num_logical; ++i)
+        placement[i] = i;
+    return placement;
+}
+
+std::vector<Qubit>
+greedyPlacement(const Circuit &circuit, const Device &device)
+{
+    Qubit n = circuit.numQubits();
+    checkFits(n, device);
+    const CouplingMap &map = device.coupling();
+
+    // Interaction weights between logical wires.
+    std::map<std::pair<Qubit, Qubit>, size_t> weight;
+    std::vector<size_t> degree(n, 0);
+    for (const Gate &g : circuit) {
+        auto qs = g.qubits();
+        for (size_t i = 0; i < qs.size(); ++i) {
+            for (size_t j = i + 1; j < qs.size(); ++j) {
+                auto key = std::minmax(qs[i], qs[j]);
+                ++weight[{key.first, key.second}];
+                ++degree[qs[i]];
+                ++degree[qs[j]];
+            }
+        }
+    }
+
+    // Place logical wires in order of decreasing interaction degree.
+    std::vector<Qubit> order(n);
+    for (Qubit i = 0; i < n; ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](Qubit a, Qubit b) {
+        return degree[a] > degree[b];
+    });
+
+    std::vector<Qubit> placement(n, kNoQubit);
+    std::vector<bool> occupied(device.numQubits(), false);
+
+    for (Qubit logical : order) {
+        // Score each free physical qubit by adjacency to the already
+        // placed interaction partners.
+        Qubit best = kNoQubit;
+        size_t best_score = 0;
+        for (Qubit phys = 0; phys < device.numQubits(); ++phys) {
+            if (occupied[phys])
+                continue;
+            size_t score = 0;
+            for (Qubit other = 0; other < n; ++other) {
+                if (placement[other] == kNoQubit)
+                    continue;
+                auto key = std::minmax(logical, other);
+                auto it = weight.find({key.first, key.second});
+                if (it == weight.end())
+                    continue;
+                if (map.hasUndirectedEdge(phys, placement[other]))
+                    score += it->second;
+            }
+            if (best == kNoQubit || score > best_score) {
+                best = phys;
+                best_score = score;
+            }
+        }
+        if (best != kNoQubit && best_score == 0) {
+            // No placed partner is adjacent to any free qubit; stay
+            // close to the already-placed cluster instead.
+            for (Qubit other : order) {
+                if (placement[other] != kNoQubit) {
+                    Qubit near =
+                        nearestFree(map, placement[other], occupied);
+                    if (near != kNoQubit) {
+                        best = near;
+                        break;
+                    }
+                }
+            }
+        }
+        QSYN_ASSERT(best != kNoQubit, "placement ran out of qubits");
+        placement[logical] = best;
+        occupied[best] = true;
+    }
+    return placement;
+}
+
+std::vector<Qubit>
+computePlacement(const Circuit &circuit, const Device &device,
+                 PlacementStrategy strategy)
+{
+    switch (strategy) {
+      case PlacementStrategy::Identity:
+        return identityPlacement(circuit.numQubits(), device);
+      case PlacementStrategy::Greedy:
+        return greedyPlacement(circuit, device);
+    }
+    throw InternalError("unknown placement strategy", __FILE__, __LINE__);
+}
+
+Circuit
+applyPlacement(const Circuit &circuit, const std::vector<Qubit> &placement,
+               const Device &device)
+{
+    checkFits(circuit.numQubits(), device);
+    QSYN_ASSERT(placement.size() >= circuit.numQubits(),
+                "placement table too small");
+    return circuit.remapped(placement, device.numQubits());
+}
+
+} // namespace qsyn::route

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Initial logical-to-physical placement. The paper's tool maps logical
+ * wire i onto physical qubit i (benchmark wires already name device
+ * qubits); "optimizations that minimize cost by finding ideal qubit
+ * placement" are listed as future work (Section 6). Both are provided:
+ * the identity placement used for the paper's tables and a greedy
+ * interaction-graph placement as the extension.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "device/device.hpp"
+#include "ir/circuit.hpp"
+
+namespace qsyn::route {
+
+/** Placement strategy selector. */
+enum class PlacementStrategy
+{
+    Identity, ///< logical i -> physical i (the paper's behavior)
+    Greedy    ///< interaction-weighted subgraph embedding (extension)
+};
+
+/**
+ * Identity placement map for `num_logical` wires. Throws MappingError
+ * when the device is smaller than the circuit.
+ */
+std::vector<Qubit> identityPlacement(Qubit num_logical,
+                                     const Device &device);
+
+/**
+ * Greedy placement: weighs logical pairs by their two-qubit gate
+ * count, then embeds wires one by one, putting each next to its
+ * already-placed partners (BFS-nearest free qubit as fallback).
+ */
+std::vector<Qubit> greedyPlacement(const Circuit &circuit,
+                                   const Device &device);
+
+/** Compute a placement by strategy. */
+std::vector<Qubit> computePlacement(const Circuit &circuit,
+                                    const Device &device,
+                                    PlacementStrategy strategy);
+
+/**
+ * Rewrite `circuit` onto the device register through `placement`
+ * (logical -> physical). The result has device-many wires.
+ */
+Circuit applyPlacement(const Circuit &circuit,
+                       const std::vector<Qubit> &placement,
+                       const Device &device);
+
+} // namespace qsyn::route

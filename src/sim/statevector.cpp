@@ -1,0 +1,148 @@
+#include "sim/statevector.hpp"
+
+#include <cmath>
+
+#include "common/errors.hpp"
+
+namespace qsyn::sim {
+
+StateVector::StateVector(Qubit num_qubits)
+    : num_qubits_(num_qubits),
+      amps_(size_t{1} << num_qubits, Cplx(0, 0))
+{
+    QSYN_ASSERT(num_qubits <= 24, "state vector limited to 24 qubits");
+    amps_[0] = Cplx(1, 0);
+}
+
+void
+StateVector::setBasisState(size_t index)
+{
+    QSYN_ASSERT(index < amps_.size(), "basis index out of range");
+    std::fill(amps_.begin(), amps_.end(), Cplx(0, 0));
+    amps_[index] = Cplx(1, 0);
+}
+
+void
+StateVector::setRandom(Rng &rng)
+{
+    double norm2 = 0.0;
+    for (Cplx &a : amps_) {
+        // Box-Muller for approximately Gaussian components gives a
+        // Haar-uniform direction after normalization.
+        double u1 = rng.uniform();
+        double u2 = rng.uniform();
+        if (u1 < 1e-300)
+            u1 = 1e-300;
+        double r = std::sqrt(-2.0 * std::log(u1));
+        a = Cplx(r * std::cos(2 * M_PI * u2), r * std::sin(2 * M_PI * u2));
+        norm2 += std::norm(a);
+    }
+    double inv = 1.0 / std::sqrt(norm2);
+    for (Cplx &a : amps_)
+        a *= inv;
+}
+
+void
+StateVector::apply(const Gate &gate)
+{
+    if (gate.kind() == GateKind::Barrier)
+        return;
+    QSYN_ASSERT(gate.isUnitary(), "simulator only applies unitary gates");
+
+    size_t cmask = 0;
+    for (Qubit c : gate.controls())
+        cmask |= bitOf(c);
+
+    if (gate.kind() == GateKind::Swap) {
+        size_t abit = bitOf(gate.targets()[0]);
+        size_t bbit = bitOf(gate.targets()[1]);
+        for (size_t i = 0; i < amps_.size(); ++i) {
+            if ((i & cmask) != cmask)
+                continue;
+            if ((i & abit) != 0 && (i & bbit) == 0) {
+                size_t j = (i & ~abit) | bbit;
+                std::swap(amps_[i], amps_[j]);
+            }
+        }
+        return;
+    }
+
+    Mat2 u = gate.baseMatrix();
+    size_t tbit = bitOf(gate.target());
+    for (size_t i = 0; i < amps_.size(); ++i) {
+        if ((i & tbit) != 0 || (i & cmask) != cmask)
+            continue;
+        size_t j = i | tbit;
+        Cplx a0 = amps_[i], a1 = amps_[j];
+        amps_[i] = u.at(0, 0) * a0 + u.at(0, 1) * a1;
+        amps_[j] = u.at(1, 0) * a0 + u.at(1, 1) * a1;
+    }
+}
+
+void
+StateVector::apply(const Circuit &circuit)
+{
+    QSYN_ASSERT(circuit.numQubits() <= num_qubits_,
+                "circuit wider than the simulated register");
+    for (const Gate &g : circuit)
+        apply(g);
+}
+
+double
+StateVector::normSquared() const
+{
+    double n = 0.0;
+    for (const Cplx &a : amps_)
+        n += std::norm(a);
+    return n;
+}
+
+Cplx
+StateVector::innerProduct(const StateVector &other) const
+{
+    QSYN_ASSERT(other.num_qubits_ == num_qubits_, "dimension mismatch");
+    Cplx acc(0, 0);
+    for (size_t i = 0; i < amps_.size(); ++i)
+        acc += std::conj(amps_[i]) * other.amps_[i];
+    return acc;
+}
+
+double
+StateVector::fidelityWith(const StateVector &other) const
+{
+    return std::norm(innerProduct(other));
+}
+
+double
+StateVector::probabilityOfOne(Qubit q) const
+{
+    size_t qbit = bitOf(q);
+    double p = 0.0;
+    for (size_t i = 0; i < amps_.size(); ++i) {
+        if ((i & qbit) != 0)
+            p += std::norm(amps_[i]);
+    }
+    return p;
+}
+
+bool
+StateVector::approxEquals(const StateVector &other, double eps) const
+{
+    if (other.num_qubits_ != num_qubits_)
+        return false;
+    for (size_t i = 0; i < amps_.size(); ++i) {
+        if (!approxEqual(amps_[i], other.amps_[i], eps))
+            return false;
+    }
+    return true;
+}
+
+bool
+StateVector::equalsUpToPhase(const StateVector &other, double eps) const
+{
+    if (other.num_qubits_ != num_qubits_)
+        return false;
+    return std::abs(fidelityWith(other) - 1.0) < eps;
+}
+
+} // namespace qsyn::sim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Dense state-vector simulator.
+ *
+ * Not part of the paper's tool (which never simulates quantum state);
+ * qsyn uses it as an independent test oracle: a compiled circuit must
+ * transform random states exactly like its source circuit, which
+ * cross-validates the QMDD equivalence checker and every rewrite pass.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ir/circuit.hpp"
+
+namespace qsyn::sim {
+
+/** State vector over n qubits; qubit 0 is the most significant bit of
+ *  the amplitude index (matching the QMDD convention). */
+class StateVector
+{
+  public:
+    /** |0...0> on `num_qubits` wires (limited to 24 for memory). */
+    explicit StateVector(Qubit num_qubits);
+
+    Qubit numQubits() const { return num_qubits_; }
+    size_t dim() const { return amps_.size(); }
+
+    const Cplx &amp(size_t index) const { return amps_[index]; }
+    Cplx &amp(size_t index) { return amps_[index]; }
+
+    /** Reset to the computational basis state |index>. */
+    void setBasisState(size_t index);
+
+    /** Fill with a Haar-ish random normalized state. */
+    void setRandom(Rng &rng);
+
+    /** Apply one unitary gate (Measure/Barrier are rejected). */
+    void apply(const Gate &gate);
+
+    /** Apply a whole circuit. */
+    void apply(const Circuit &circuit);
+
+    /** Squared norm (should stay 1 within round-off). */
+    double normSquared() const;
+
+    /** Fidelity |<this|other>|^2. */
+    double fidelityWith(const StateVector &other) const;
+
+    /** Inner product <this|other>. */
+    Cplx innerProduct(const StateVector &other) const;
+
+    /** Probability of measuring wire `q` as 1. */
+    double probabilityOfOne(Qubit q) const;
+
+    /** True when the two states agree amplitude-wise within eps. */
+    bool approxEquals(const StateVector &other, double eps = 1e-8) const;
+
+    /**
+     * True when the states are equal up to a global phase: checks
+     * |<this|other>|^2 == 1 within eps.
+     */
+    bool equalsUpToPhase(const StateVector &other,
+                         double eps = 1e-8) const;
+
+  private:
+    size_t bitOf(Qubit q) const
+    {
+        return size_t{1} << (num_qubits_ - 1 - q);
+    }
+
+    Qubit num_qubits_;
+    std::vector<Cplx> amps_;
+};
+
+} // namespace qsyn::sim

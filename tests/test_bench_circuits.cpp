@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the benchmark suites: metadata consistency and functional
+ * correctness of the regenerated circuits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench_circuits/mcx_suite.hpp"
+#include "bench_circuits/nct_suite.hpp"
+#include "bench_circuits/single_target_suite.hpp"
+#include "esop/truth_table.hpp"
+#include "sim/statevector.hpp"
+
+using namespace qsyn;
+using namespace qsyn::bench;
+
+TEST(SingleTargetSuite, HasTheTwentyFourTable3Functions)
+{
+    EXPECT_EQ(singleTargetSuite().size(), 24u);
+    EXPECT_EQ(singleTargetSuite().front().name, "#1");
+    EXPECT_EQ(singleTargetSuite().back().name, "#035f");
+}
+
+TEST(SingleTargetSuite, CascadesComputeTheirTruthTables)
+{
+    for (const auto &bench : singleTargetSuite()) {
+        Circuit cascade = buildSingleTargetCascade(bench);
+        esop::TruthTable t = esop::TruthTable::fromHex(bench.hex);
+        auto n = static_cast<Qubit>(t.numVars());
+        ASSERT_GE(cascade.numQubits(), n + 1) << bench.name;
+
+        // Simulate every input; the target wire (index n) must flip
+        // exactly when f(input) = 1.
+        for (std::uint32_t in = 0; in < t.numRows(); ++in) {
+            sim::StateVector sv(cascade.numQubits());
+            size_t index = 0;
+            for (int i = 0; i < t.numVars(); ++i) {
+                if ((in >> i) & 1)
+                    index |= size_t{1}
+                             << (cascade.numQubits() - 1 - i);
+            }
+            sv.setBasisState(index);
+            sv.apply(cascade);
+            size_t target_bit = size_t{1}
+                                << (cascade.numQubits() - 1 - n);
+            double p1 = 0.0;
+            for (size_t j = 0; j < sv.dim(); ++j) {
+                if ((j & target_bit) != 0)
+                    p1 += std::norm(sv.amp(j));
+            }
+            EXPECT_NEAR(p1, t.bit(in) ? 1.0 : 0.0, 1e-9)
+                << bench.name << " input " << in;
+        }
+    }
+}
+
+TEST(SingleTargetSuite, PrimitiveFormIsCliffordTPlusRotationsFree)
+{
+    const auto &bench = singleTargetSuite()[2]; // #01
+    Circuit primitive = buildSingleTarget(bench);
+    for (const Gate &g : primitive) {
+        EXPECT_TRUE(g.numControls() == 0 || g.isCnot()) << g.toString();
+    }
+}
+
+TEST(NctSuite, MetadataMatchesTable5)
+{
+    const auto &suite = nctSuite();
+    ASSERT_EQ(suite.size(), 5u);
+    EXPECT_EQ(suite[0].name, "3_17_14");
+    EXPECT_EQ(suite[0].qubits, 3u);
+    EXPECT_EQ(suite[0].gateCount, 6u);
+    EXPECT_EQ(suite[1].name, "fred6");
+    EXPECT_EQ(suite[1].gateCount, 3u);
+    EXPECT_EQ(suite[2].name, "4_49_17");
+    EXPECT_EQ(suite[2].gateCount, 12u);
+    EXPECT_EQ(suite[3].largestGate, "T5");
+    EXPECT_EQ(suite[4].largestGate, "T4");
+    for (const auto &bench : suite) {
+        Circuit c = buildNctBenchmark(bench);
+        EXPECT_TRUE(c.isNctCascade()) << bench.name;
+    }
+}
+
+TEST(NctSuite, Fred6IsAControlledSwap)
+{
+    // The 3-Toffoli reconstruction of fred6 must equal a Fredkin gate.
+    Circuit fred = buildNctBenchmark(nctSuite()[1]);
+    for (std::uint32_t in = 0; in < 8; ++in) {
+        sim::StateVector sv(3);
+        sv.setBasisState(in);
+        sv.apply(fred);
+        // Expected: controlled swap of wires 1,2 on control wire 0
+        // (wire 0 = MSB).
+        std::uint32_t want = in;
+        if (in & 4) {
+            std::uint32_t a = (in >> 1) & 1, b = in & 1;
+            want = (in & 4) | (b << 1) | a;
+        }
+        EXPECT_GT(std::abs(sv.amp(want)), 0.99) << "in=" << in;
+    }
+}
+
+TEST(McxSuite, MatchesTable7Layout)
+{
+    const auto &suite = mcxSuite();
+    ASSERT_EQ(suite.size(), 5u);
+    EXPECT_EQ(suite[0].name, "T6_b");
+    EXPECT_EQ(suite[4].name, "T10_b");
+    for (const auto &bench : suite) {
+        ASSERT_EQ(bench.gates.size(), 4u);
+        for (size_t g = 0; g < 4; ++g) {
+            const auto &[controls, target] = bench.gates[g];
+            EXPECT_EQ(controls.size(),
+                      static_cast<size_t>(bench.n - 1));
+            EXPECT_EQ(controls.front(), 20 * g + 1);
+            EXPECT_EQ(target, 20 * g + 25);
+        }
+    }
+    // T8_b gate 1 per Table 7: controls q1..q7, target q25.
+    const auto &t8 = suite[2];
+    EXPECT_EQ(t8.gates[0].first.back(), 7u);
+    EXPECT_EQ(t8.gates[0].second, 25u);
+}
+
+TEST(McxSuite, ConsecutiveGatesShareAQubit)
+{
+    // Table 7 placement: each gate's target is among the next gate's
+    // controls (q25 in {q21..}, etc.).
+    for (const auto &bench : mcxSuite()) {
+        Circuit c = buildMcxBenchmark(bench);
+        EXPECT_EQ(c.numQubits(), 96u);
+        for (size_t g = 0; g + 1 < 4; ++g) {
+            Qubit target = bench.gates[g].second;
+            const auto &next_controls = bench.gates[g + 1].first;
+            bool shared =
+                std::find(next_controls.begin(), next_controls.end(),
+                          target) != next_controls.end();
+            EXPECT_TRUE(shared) << bench.name << " gate " << g;
+        }
+    }
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the qsync command-line driver: argument parsing, help and
+ * device listing, and end-to-end file compilation through runCli.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/options.hpp"
+#include "common/errors.hpp"
+#include "frontend/qasm_parser.hpp"
+#include "qmdd/equivalence.hpp"
+
+using namespace qsyn;
+using namespace qsyn::cli;
+
+namespace {
+
+/** Write a temp file; returns its path. */
+std::string
+writeTemp(const std::string &name, const std::string &content)
+{
+    std::string path = ::testing::TempDir() + name;
+    std::ofstream out(path);
+    out << content;
+    return path;
+}
+
+} // namespace
+
+TEST(CliParse, Defaults)
+{
+    CliOptions opts = parseCliArguments({"circuit.qasm"});
+    EXPECT_EQ(opts.inputPath, "circuit.qasm");
+    EXPECT_EQ(opts.deviceName, "ibmqx4");
+    EXPECT_TRUE(opts.compile.optimize);
+    EXPECT_EQ(opts.compile.verify, VerifyMode::Full);
+}
+
+TEST(CliParse, AllTheFlags)
+{
+    CliOptions opts = parseCliArguments(
+        {"-d", "ibmqx5", "-o", "out.qasm", "--placement", "greedy",
+         "--mcx", "dirty", "--meet-in-middle", "--weight-t", "2",
+         "--weight-cnot", "0.5", "--weight-gate", "3", "--no-verify",
+         "--quiet", "in.real"});
+    EXPECT_EQ(opts.deviceName, "ibmqx5");
+    EXPECT_EQ(opts.outputPath, "out.qasm");
+    EXPECT_EQ(opts.compile.placement, route::PlacementStrategy::Greedy);
+    EXPECT_EQ(opts.compile.mcxStrategy,
+              decompose::McxStrategy::DirtyVChain);
+    EXPECT_TRUE(opts.compile.routing.meetInMiddle);
+    EXPECT_DOUBLE_EQ(opts.compile.optimizer.weights.tWeight, 2.0);
+    EXPECT_DOUBLE_EQ(opts.compile.optimizer.weights.cnotWeight, 0.5);
+    EXPECT_DOUBLE_EQ(opts.compile.optimizer.weights.gateWeight, 3.0);
+    EXPECT_EQ(opts.compile.verify, VerifyMode::Off);
+    EXPECT_FALSE(opts.printStats);
+    EXPECT_EQ(opts.inputPath, "in.real");
+}
+
+TEST(CliParse, Errors)
+{
+    EXPECT_THROW(parseCliArguments({}), UserError);
+    EXPECT_THROW(parseCliArguments({"--bogus", "x.qasm"}), UserError);
+    EXPECT_THROW(parseCliArguments({"--device"}), UserError);
+    EXPECT_THROW(parseCliArguments({"--weight-t", "abc", "x.qasm"}),
+                 UserError);
+    EXPECT_THROW(parseCliArguments({"--mcx", "magic", "x.qasm"}),
+                 UserError);
+    EXPECT_THROW(parseCliArguments({"a.qasm", "b.qasm"}), UserError);
+}
+
+TEST(CliRun, HelpAndDeviceList)
+{
+    std::ostringstream out, err;
+    CliOptions help = parseCliArguments({"--help"});
+    EXPECT_EQ(runCli(help, out, err), 0);
+    EXPECT_NE(out.str().find("qsync"), std::string::npos);
+
+    std::ostringstream out2, err2;
+    CliOptions list = parseCliArguments({"--list-devices"});
+    EXPECT_EQ(runCli(list, out2, err2), 0);
+    EXPECT_NE(out2.str().find("ibmqx4"), std::string::npos);
+    EXPECT_NE(out2.str().find("proposed_96"), std::string::npos);
+}
+
+TEST(CliRun, CompilesQasmFileEndToEnd)
+{
+    std::string path = writeTemp(
+        "cli_in.qasm",
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\n"
+        "ccx q[0],q[1],q[2];\n");
+    std::ostringstream out, err;
+    CliOptions opts = parseCliArguments({"-d", "ibmqx4", path});
+    EXPECT_EQ(runCli(opts, out, err), 0);
+    // Output must be valid QASM of the device width.
+    Circuit compiled = frontend::parseQasm(out.str());
+    EXPECT_EQ(compiled.numQubits(), 5u);
+    EXPECT_NE(err.str().find("verification:      equivalent"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CliRun, CompilesPlaThroughEsopFrontEnd)
+{
+    std::string path = writeTemp("cli_in.pla", ".i 2\n.o 1\n"
+                                               ".type esop\n"
+                                               "11 1\n.e\n");
+    std::ostringstream out, err;
+    CliOptions opts = parseCliArguments({"-d", "simulator", path});
+    EXPECT_EQ(runCli(opts, out, err), 0);
+    EXPECT_NE(out.str().find("OPENQASM"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(CliRun, CustomDeviceFile)
+{
+    std::string dev_path = writeTemp("cli_ring.txt", "device ring3 3\n"
+                                                     "0: 1\n1: 2\n2: 0\n");
+    std::string circ_path = writeTemp(
+        "cli_ring.qasm", "OPENQASM 2.0;\nqreg q[3];\ncx q[2],q[1];\n");
+    std::ostringstream out, err;
+    CliOptions opts = parseCliArguments(
+        {"--device-file", dev_path, circ_path});
+    EXPECT_EQ(runCli(opts, out, err), 0);
+    EXPECT_NE(err.str().find("ring3"), std::string::npos);
+    std::remove(dev_path.c_str());
+    std::remove(circ_path.c_str());
+}
+
+TEST(CliRun, MissingInputReportsError)
+{
+    std::ostringstream out, err;
+    CliOptions opts = parseCliArguments({"/nonexistent/foo.qasm"});
+    EXPECT_EQ(runCli(opts, out, err), 1);
+    EXPECT_NE(err.str().find("error:"), std::string::npos);
+}
+
+TEST(CliRun, WritesOutputFile)
+{
+    std::string in_path = writeTemp(
+        "cli_out_test.qasm", "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\n");
+    std::string out_path = ::testing::TempDir() + "cli_result.qasm";
+    std::ostringstream out, err;
+    CliOptions opts = parseCliArguments(
+        {"-d", "ibmqx2", "-o", out_path, "--quiet", in_path});
+    EXPECT_EQ(runCli(opts, out, err), 0);
+    std::ifstream check(out_path);
+    EXPECT_TRUE(check.good());
+    std::remove(in_path.c_str());
+    std::remove(out_path.c_str());
+}
+
+TEST(CliRun, DrawScheduleAndReportFlags)
+{
+    std::string in_path = writeTemp(
+        "cli_extras.qasm",
+        "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n");
+    std::string report_path = ::testing::TempDir() + "cli_report.json";
+    std::ostringstream out, err;
+    CliOptions opts = parseCliArguments({"-d", "ibmqx2", "--draw",
+                                         "--schedule", "--report",
+                                         report_path, "--no-emit",
+                                         in_path});
+    EXPECT_TRUE(opts.drawCircuits);
+    EXPECT_TRUE(opts.printSchedule);
+    EXPECT_EQ(opts.reportPath, report_path);
+    EXPECT_EQ(runCli(opts, out, err), 0);
+    EXPECT_NE(err.str().find("--- input ---"), std::string::npos);
+    EXPECT_NE(err.str().find("schedule:"), std::string::npos);
+    std::ifstream report(report_path);
+    ASSERT_TRUE(report.good());
+    std::stringstream buffer;
+    buffer << report.rdbuf();
+    EXPECT_NE(buffer.str().find("\"verification\": \"equivalent\""),
+              std::string::npos);
+    std::remove(in_path.c_str());
+    std::remove(report_path.c_str());
+}
+
+TEST(CliRun, FidelityAndPhasePolyFlagsParse)
+{
+    CliOptions opts = parseCliArguments(
+        {"--fidelity-aware", "--phase-poly", "x.qasm"});
+    EXPECT_TRUE(opts.compile.routing.fidelityAware);
+    EXPECT_TRUE(opts.compile.optimizer.enablePhasePolynomial);
+}
+
+TEST(CliRun, RebaseToCzEmitsCzBasis)
+{
+    std::string in_path = writeTemp(
+        "cli_rebase.qasm",
+        "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\n");
+    std::ostringstream out, err;
+    CliOptions opts = parseCliArguments(
+        {"-d", "ibmqx2", "--rebase", "cz", "--quiet", in_path});
+    EXPECT_EQ(runCli(opts, out, err), 0);
+    EXPECT_NE(out.str().find("cz "), std::string::npos);
+    EXPECT_EQ(out.str().find("cx "), std::string::npos);
+    // The rebased output still parses and equals the original.
+    Circuit emitted = frontend::parseQasm(out.str());
+    Circuit original(5);
+    original.addCnot(0, 1);
+    dd::Package pkg;
+    dd::EquivalenceChecker checker(pkg);
+    EXPECT_TRUE(dd::isEquivalent(checker.check(original, emitted)));
+    std::remove(in_path.c_str());
+    EXPECT_THROW(parseCliArguments({"--rebase", "xy", "a.qasm"}),
+                 UserError);
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the common substrate: strings, tables, RNG, errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "common/strings.hpp"
+#include "common/table_printer.hpp"
+#include "common/types.hpp"
+
+using namespace qsyn;
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitFields)
+{
+    auto fields = splitFields("  a  b\tc ");
+    ASSERT_EQ(fields.size(), 3u);
+    EXPECT_EQ(fields[0], "a");
+    EXPECT_EQ(fields[2], "c");
+    EXPECT_TRUE(splitFields("").empty());
+    auto commas = splitFields("1,2, 3", " ,");
+    ASSERT_EQ(commas.size(), 3u);
+}
+
+TEST(Strings, SplitOnKeepsEmptyFields)
+{
+    auto parts = splitOn("a::b", ':');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "");
+}
+
+TEST(Strings, CaseHelpers)
+{
+    EXPECT_TRUE(iequals("BEGIN", "begin"));
+    EXPECT_FALSE(iequals("BEGIN", "begun"));
+    EXPECT_EQ(toLower("AbC"), "abc");
+    EXPECT_TRUE(startsWith("ibmqx4", "ibm"));
+    EXPECT_TRUE(endsWith("foo.qasm", ".qasm"));
+    EXPECT_FALSE(endsWith("qasm", ".qasm"));
+}
+
+TEST(Strings, FormatNumber)
+{
+    EXPECT_EQ(formatNumber(0.3), "0.3");
+    EXPECT_EQ(formatNumber(22.25), "22.25");
+    EXPECT_EQ(formatNumber(3.0), "3");
+    EXPECT_EQ(formatNumber(0.098901, 6), "0.098901");
+}
+
+TEST(TablePrinterTest, AlignsColumns)
+{
+    TablePrinter table({"Name", "Qubits"});
+    table.addRow({"ibmqx2", "5"});
+    table.addRow({"ibmq_16", "14"});
+    std::string out = table.toString();
+    EXPECT_NE(out.find("Name    | Qubits"), std::string::npos);
+    EXPECT_NE(out.find("ibmq_16 | 14"), std::string::npos);
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+TEST(TablePrinterTest, PadsShortRows)
+{
+    TablePrinter table({"A", "B", "C"});
+    table.addRow({"1"});
+    EXPECT_NE(table.toString().find("1"), std::string::npos);
+}
+
+TEST(RngTest, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, BelowIsInRange)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(7), 7u);
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(5);
+    double sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 1000, 0.5, 0.05);
+}
+
+TEST(Errors, ParseErrorCarriesLocation)
+{
+    ParseError err("bad token", 12, 3);
+    EXPECT_EQ(err.line(), 12);
+    EXPECT_EQ(err.column(), 3);
+    EXPECT_NE(std::string(err.what()).find("line 12:3"),
+              std::string::npos);
+}
+
+TEST(Errors, AssertThrowsInternalError)
+{
+    EXPECT_THROW(QSYN_ASSERT(false, "boom"), InternalError);
+    EXPECT_NO_THROW(QSYN_ASSERT(true, "fine"));
+}
+
+TEST(Types, ApproxHelpers)
+{
+    EXPECT_TRUE(approxEqual(1.0, 1.0 + 1e-12));
+    EXPECT_FALSE(approxEqual(1.0, 1.001));
+    EXPECT_TRUE(approxZero(Cplx(1e-12, -1e-12)));
+    EXPECT_TRUE(approxOne(Cplx(1.0, 1e-12)));
+    EXPECT_FALSE(approxOne(Cplx(0.0, 1.0)));
+}
+
+TEST(StopwatchTest, MeasuresForward)
+{
+    Stopwatch sw;
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i)
+        sink = sink + i;
+    EXPECT_GE(sw.seconds(), 0.0);
+    sw.reset();
+    EXPECT_LT(sw.seconds(), 1.0);
+}

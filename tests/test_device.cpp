@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the device library: the Table 2 coupling complexities
+ * must come out exactly, the Section 3 coupling maps must match the
+ * paper's dictionaries, BFS pathfinding must find the Fig. 5 route,
+ * and the custom-device loader must round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "device/loader.hpp"
+#include "device/registry.hpp"
+
+using namespace qsyn;
+
+TEST(CouplingMapTest, BasicEdgeQueries)
+{
+    CouplingMap map(3);
+    map.addEdge(0, 1);
+    EXPECT_TRUE(map.hasEdge(0, 1));
+    EXPECT_FALSE(map.hasEdge(1, 0));
+    EXPECT_TRUE(map.hasUndirectedEdge(1, 0));
+    EXPECT_EQ(map.couplingCount(), 1u);
+    map.addEdge(0, 1); // idempotent
+    EXPECT_EQ(map.couplingCount(), 1u);
+}
+
+TEST(CouplingMapTest, SelfEdgeRejected)
+{
+    CouplingMap map(2);
+    EXPECT_THROW(map.addEdge(1, 1), InternalError);
+}
+
+TEST(CouplingMapTest, FullyConnected)
+{
+    CouplingMap map = CouplingMap::fullyConnected(4);
+    EXPECT_EQ(map.couplingCount(), 12u);
+    EXPECT_TRUE(map.isConnected());
+}
+
+TEST(CouplingMapTest, ShortestPathIsBfsOptimal)
+{
+    // Chain 0-1-2-3 plus shortcut 0-3.
+    CouplingMap map(4);
+    map.addEdge(0, 1);
+    map.addEdge(1, 2);
+    map.addEdge(2, 3);
+    map.addEdge(0, 3);
+    auto path = map.shortestPath(1, 3);
+    // 1-0-3 and 1-2-3 both have length 3; BFS with sorted neighbors
+    // picks the smaller-index route.
+    ASSERT_EQ(path.size(), 3u);
+    EXPECT_EQ(path.front(), 1u);
+    EXPECT_EQ(path.back(), 3u);
+}
+
+TEST(CouplingMapTest, PathToNeighborStopsEarly)
+{
+    CouplingMap map(4);
+    map.addEdge(0, 1);
+    map.addEdge(1, 2);
+    map.addEdge(2, 3);
+    // Neighbor query: q0 is already... q0 -> neighbor of q2 is q1.
+    auto path = map.shortestPathToNeighbor(0, 2);
+    ASSERT_EQ(path.size(), 2u);
+    EXPECT_EQ(path.back(), 1u);
+    // Already adjacent: single-element path.
+    auto direct = map.shortestPathToNeighbor(1, 2);
+    ASSERT_EQ(direct.size(), 1u);
+    EXPECT_EQ(direct[0], 1u);
+}
+
+TEST(CouplingMapTest, DictStringMatchesPaperFormat)
+{
+    Device qx2 = makeIbmqx2();
+    EXPECT_EQ(qx2.coupling().toDictString(),
+              "{0: [1, 2], 1: [2], 3: [2, 4], 4: [2]}");
+}
+
+TEST(DeviceTest, Table2CouplingComplexities)
+{
+    // Table 2 of the paper, exactly.
+    EXPECT_NEAR(makeIbmqx2().couplingComplexity(), 0.3, 1e-12);
+    EXPECT_NEAR(makeIbmqx3().couplingComplexity(), 20.0 / 240.0, 1e-12);
+    EXPECT_NEAR(makeIbmqx4().couplingComplexity(), 0.3, 1e-12);
+    EXPECT_NEAR(makeIbmqx5().couplingComplexity(), 22.0 / 240.0, 1e-12);
+    EXPECT_NEAR(makeIbmq16().couplingComplexity(), 18.0 / 182.0, 1e-12);
+    // 0.0833..., 0.0916..., 0.098901... as printed in the table.
+    EXPECT_NEAR(makeIbmqx3().couplingComplexity(), 0.0833, 1e-4);
+    EXPECT_NEAR(makeIbmqx5().couplingComplexity(), 0.09166, 1e-4);
+    EXPECT_NEAR(makeIbmq16().couplingComplexity(), 0.098901, 1e-6);
+}
+
+TEST(DeviceTest, SimulatorComplexityIsOne)
+{
+    EXPECT_DOUBLE_EQ(Device::simulator(16).couplingComplexity(), 1.0);
+}
+
+TEST(DeviceTest, AllBuiltinMapsAreConnected)
+{
+    for (const Device &dev : allBuiltinDevices()) {
+        EXPECT_TRUE(dev.coupling().isConnected()) << dev.name();
+    }
+}
+
+TEST(DeviceTest, QubitCountsMatchTable2)
+{
+    EXPECT_EQ(makeIbmqx2().numQubits(), 5u);
+    EXPECT_EQ(makeIbmqx3().numQubits(), 16u);
+    EXPECT_EQ(makeIbmqx4().numQubits(), 5u);
+    EXPECT_EQ(makeIbmqx5().numQubits(), 16u);
+    EXPECT_EQ(makeIbmq16().numQubits(), 14u);
+    EXPECT_EQ(makeProposed96().numQubits(), 96u);
+}
+
+TEST(DeviceTest, Figure5RouteExists)
+{
+    // Fig. 5: on ibmqx3, control q5 travels q5 -> q12 -> q11, and q11
+    // couples with q10.
+    Device qx3 = makeIbmqx3();
+    EXPECT_TRUE(qx3.coupling().hasUndirectedEdge(5, 12));
+    EXPECT_TRUE(qx3.coupling().hasUndirectedEdge(12, 11));
+    EXPECT_TRUE(qx3.coupling().hasUndirectedEdge(11, 10));
+    auto path = qx3.coupling().shortestPathToNeighbor(5, 10);
+    EXPECT_EQ(path.size(), 3u); // two swaps, as in the paper
+}
+
+TEST(DeviceTest, SupportsGate)
+{
+    Device qx4 = makeIbmqx4();
+    EXPECT_TRUE(qx4.supportsGate(Gate::h(0)));
+    EXPECT_TRUE(qx4.supportsGate(Gate::cnot(1, 0)));  // native edge
+    EXPECT_FALSE(qx4.supportsGate(Gate::cnot(0, 1))); // reversed
+    EXPECT_FALSE(qx4.supportsGate(Gate::ccx(0, 1, 2)));
+    EXPECT_FALSE(qx4.supportsGate(Gate::swap(0, 1)));
+    EXPECT_FALSE(qx4.supportsGate(Gate::h(7))); // out of range
+    Device sim = Device::simulator(5);
+    EXPECT_TRUE(sim.supportsGate(Gate::cnot(0, 4)));
+}
+
+TEST(DeviceTest, Proposed96Layout)
+{
+    Device dev = makeProposed96();
+    const CouplingMap &map = dev.coupling();
+    // Row chains: q5-q6 coupled; row boundary q19 / q20 not directly.
+    EXPECT_TRUE(map.hasUndirectedEdge(5, 6));
+    EXPECT_FALSE(map.hasUndirectedEdge(19, 20));
+    // Vertical rung every 4 columns: q4-q24 yes, q5-q25 no (reached
+    // through q4/q24 or q8/q28).
+    EXPECT_TRUE(map.hasUndirectedEdge(4, 24));
+    EXPECT_FALSE(map.hasUndirectedEdge(5, 25));
+    // Complexity far below the small machines (paper: it decreases
+    // with size).
+    EXPECT_LT(dev.couplingComplexity(),
+              makeIbmqx3().couplingComplexity());
+}
+
+TEST(DeviceTest, BuiltinLookup)
+{
+    EXPECT_EQ(builtinDevice("ibmqx4").numQubits(), 5u);
+    EXPECT_EQ(builtinDevice("proposed_96").numQubits(), 96u);
+    EXPECT_THROW(builtinDevice("nonexistent"), UserError);
+}
+
+TEST(LoaderTest, ParsesPaperStyleDictionary)
+{
+    Device dev = parseDeviceString("# my device\n"
+                                   "device toy 5\n"
+                                   "0: 1 2\n"
+                                   "1: 2\n"
+                                   "3: 2, 4\n"
+                                   "4: 2\n");
+    EXPECT_EQ(dev.name(), "toy");
+    EXPECT_EQ(dev.numQubits(), 5u);
+    EXPECT_NEAR(dev.couplingComplexity(), 0.3, 1e-12); // same as qx2
+}
+
+TEST(LoaderTest, RoundTripsEveryBuiltin)
+{
+    for (const Device &dev : allBuiltinDevices()) {
+        Device reparsed = parseDeviceString(deviceToText(dev));
+        EXPECT_EQ(reparsed.name(), dev.name());
+        EXPECT_EQ(reparsed.numQubits(), dev.numQubits());
+        EXPECT_EQ(reparsed.coupling().couplingCount(),
+                  dev.coupling().couplingCount());
+        for (Qubit c = 0; c < dev.numQubits(); ++c) {
+            EXPECT_EQ(reparsed.coupling().targetsOf(c),
+                      dev.coupling().targetsOf(c));
+        }
+    }
+}
+
+TEST(LoaderTest, Errors)
+{
+    EXPECT_THROW(parseDeviceString(""), ParseError);
+    EXPECT_THROW(parseDeviceString("device x 0\n"), ParseError);
+    EXPECT_THROW(parseDeviceString("device x 2\n0: 5\n"), ParseError);
+    EXPECT_THROW(parseDeviceString("device x 2\n0: 0\n"), ParseError);
+    EXPECT_THROW(parseDeviceString("device x 2\nbogus line\n"),
+                 ParseError);
+    EXPECT_THROW(loadDeviceFile("/nonexistent/device.txt"), UserError);
+}

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the classical front end: truth tables, Reed-Muller / FPRM
+ * synthesis, ESOP minimization, and cascade generation. Cascades are
+ * validated functionally: simulating the reversible circuit on every
+ * basis input must compute target XOR f(inputs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "esop/cascade.hpp"
+#include "esop/reed_muller.hpp"
+#include "frontend/pla_parser.hpp"
+#include "sim/statevector.hpp"
+
+using namespace qsyn;
+using namespace qsyn::esop;
+
+namespace {
+
+/** Evaluate f computed by a cascade: wires 0..n-1 inputs, wire n out. */
+bool
+cascadeOutput(const Circuit &circuit, int num_vars, std::uint32_t input)
+{
+    sim::StateVector sv(circuit.numQubits());
+    // Wire i is the MSB-side bit; build the basis index.
+    size_t index = 0;
+    for (int i = 0; i < num_vars; ++i) {
+        if ((input >> i) & 1)
+            index |= size_t{1} << (circuit.numQubits() - 1 - i);
+    }
+    sv.setBasisState(index);
+    sv.apply(circuit);
+    // The state stays a basis state (NCT cascade); find it.
+    for (size_t j = 0; j < sv.dim(); ++j) {
+        if (std::abs(sv.amp(j)) > 0.5) {
+            size_t target_bit =
+                size_t{1} << (circuit.numQubits() - 1 - num_vars);
+            // Inputs must be restored.
+            for (int i = 0; i < num_vars; ++i) {
+                size_t in_bit =
+                    size_t{1} << (circuit.numQubits() - 1 - i);
+                EXPECT_EQ((j & in_bit) != 0, ((input >> i) & 1) != 0);
+            }
+            return (j & target_bit) != 0;
+        }
+    }
+    ADD_FAILURE() << "state not a basis state";
+    return false;
+}
+
+} // namespace
+
+TEST(TruthTable, FromHexRoundTrip)
+{
+    TruthTable t = TruthTable::fromHex("013f");
+    EXPECT_EQ(t.numVars(), 4);
+    EXPECT_EQ(t.toHex(), "013f");
+    // 0x013f: rows 0..5 and 8 set.
+    EXPECT_TRUE(t.bit(0));
+    EXPECT_TRUE(t.bit(5));
+    EXPECT_FALSE(t.bit(6));
+    EXPECT_TRUE(t.bit(8));
+    EXPECT_FALSE(t.bit(15));
+}
+
+TEST(TruthTable, SingleDigitPadsToTwoVars)
+{
+    TruthTable t = TruthTable::fromHex("1");
+    EXPECT_EQ(t.numVars(), 2);
+    EXPECT_TRUE(t.bit(0));
+    EXPECT_FALSE(t.bit(1));
+}
+
+TEST(TruthTable, FlippedInputs)
+{
+    TruthTable t = TruthTable::fromHex("8"); // only row 3 (x0 x1)
+    TruthTable f = t.withInputsFlipped(0b11);
+    EXPECT_TRUE(f.bit(0));
+    EXPECT_FALSE(f.bit(3));
+}
+
+TEST(ReedMuller, PprmOfAndIsSingleCube)
+{
+    // f = x0 x1 (row 3 of 2 vars): PPRM = exactly the monomial x0 x1.
+    TruthTable t = TruthTable::fromHex("8");
+    EsopForm esop = pprm(t);
+    ASSERT_EQ(esop.cubes.size(), 1u);
+    EXPECT_EQ(esop.cubes[0].careMask, 0b11u);
+    EXPECT_EQ(esop.cubes[0].polarity, 0b11u);
+}
+
+TEST(ReedMuller, PprmOfXorIsTwoSingletons)
+{
+    // f = x0 xor x1 = rows 1, 2 -> hex 6.
+    TruthTable t = TruthTable::fromHex("6");
+    EsopForm esop = pprm(t);
+    EXPECT_EQ(esop.cubes.size(), 2u);
+    EXPECT_EQ(esop.toTruthTable(), t);
+}
+
+TEST(ReedMuller, PprmRoundTripsEveryThreeVarFunction)
+{
+    for (std::uint32_t f = 0; f < 256; ++f) {
+        TruthTable t = TruthTable::fromFunction(
+            3, [&](std::uint32_t row) { return (f >> row) & 1; });
+        EXPECT_EQ(pprm(t).toTruthTable(), t) << "f=" << f;
+    }
+}
+
+TEST(ReedMuller, FprmRoundTripsAllPolarities)
+{
+    TruthTable t = TruthTable::fromHex("6a"); // arbitrary 3-var function
+    for (std::uint64_t p = 0; p < 8; ++p)
+        EXPECT_EQ(fprm(t, p).toTruthTable(), t) << "polarity " << p;
+}
+
+TEST(ReedMuller, BestFprmNeverWorseThanPprm)
+{
+    for (std::uint32_t f : {0x96u, 0xe8u, 0x01u, 0x7fu, 0xffu}) {
+        TruthTable t = TruthTable::fromFunction(
+            3, [&](std::uint32_t row) { return (f >> row) & 1; });
+        EXPECT_LE(bestFprm(t).cubes.size(), pprm(t).cubes.size());
+        EXPECT_EQ(bestFprm(t).toTruthTable(), t);
+    }
+}
+
+TEST(ReedMuller, NorFunctionUsesNegativeLiterals)
+{
+    // f = NOR(x0,x1,x2) (row 0 only): FPRM with all-negative polarity
+    // is the single cube !x0 !x1 !x2; PPRM needs 8 cubes.
+    TruthTable t = TruthTable::fromHex("01");
+    EXPECT_EQ(pprm(t).cubes.size(), 8u);
+    EsopForm best = bestFprm(t);
+    EXPECT_EQ(best.cubes.size(), 1u);
+    EXPECT_EQ(best.toTruthTable(), t);
+}
+
+TEST(EsopMinimize, CancelsDuplicates)
+{
+    EsopForm esop;
+    esop.numVars = 2;
+    esop.cubes = {{0b11, 0b11}, {0b11, 0b11}};
+    minimizeEsop(esop);
+    EXPECT_TRUE(esop.cubes.empty());
+}
+
+TEST(EsopMinimize, MergesOppositePolarity)
+{
+    // x0 x1 (+) x0 !x1 = x0.
+    EsopForm esop;
+    esop.numVars = 2;
+    esop.cubes = {{0b11, 0b11}, {0b11, 0b01}};
+    TruthTable before = esop.toTruthTable();
+    minimizeEsop(esop);
+    ASSERT_EQ(esop.cubes.size(), 1u);
+    EXPECT_EQ(esop.cubes[0].careMask, 0b01u);
+    EXPECT_EQ(esop.toTruthTable(), before);
+}
+
+TEST(EsopMinimize, AbsorbsLiteral)
+{
+    // x0 (+) 1 = !x0.
+    EsopForm esop;
+    esop.numVars = 1;
+    esop.cubes = {{0b1, 0b1}, {0, 0}};
+    TruthTable before = esop.toTruthTable();
+    minimizeEsop(esop);
+    ASSERT_EQ(esop.cubes.size(), 1u);
+    EXPECT_EQ(esop.toTruthTable(), before);
+}
+
+TEST(Cascade, ComputesTheFunctionOnEveryInput)
+{
+    for (const char *hex : {"8", "6", "01", "17", "3a", "013f", "0357"}) {
+        TruthTable t = TruthTable::fromHex(hex);
+        Circuit circuit = synthesizeFunction(t);
+        for (std::uint32_t in = 0; in < t.numRows(); ++in) {
+            EXPECT_EQ(cascadeOutput(circuit, t.numVars(), in), t.bit(in))
+                << "f=" << hex << " input=" << in;
+        }
+    }
+}
+
+TEST(Cascade, PolaritySharingPreservesFunction)
+{
+    TruthTable t = TruthTable::fromHex("96");
+    CascadeOptions shared;
+    shared.sharePolarity = true;
+    CascadeOptions naive;
+    naive.sharePolarity = false;
+    Circuit a = synthesizeFunction(t, shared);
+    Circuit b = synthesizeFunction(t, naive);
+    for (std::uint32_t in = 0; in < t.numRows(); ++in) {
+        EXPECT_EQ(cascadeOutput(a, 3, in), t.bit(in));
+        EXPECT_EQ(cascadeOutput(b, 3, in), t.bit(in));
+    }
+    // Sharing must not emit more X toggles than the naive form.
+    EXPECT_LE(a.size(), b.size());
+}
+
+TEST(Cascade, SingleTargetGateIsNctCascade)
+{
+    Circuit st = singleTargetGateFromHex("013f");
+    EXPECT_TRUE(st.isNctCascade());
+    EXPECT_EQ(st.numQubits(), 5u); // 4 controls + target
+}
+
+TEST(Cascade, PlaMultiOutput)
+{
+    // Full adder as an ESOP PLA: sum = a^b^cin, cout = majority.
+    const char *pla = ".i 3\n"
+                      ".o 2\n"
+                      ".type esop\n"
+                      "1-- 10\n"
+                      "-1- 10\n"
+                      "--1 10\n"
+                      "11- 01\n"
+                      "1-1 01\n"
+                      "-11 01\n"
+                      ".e\n";
+    frontend::PlaFile file = frontend::parsePla(pla);
+    EXPECT_TRUE(file.isEsop);
+    Circuit circuit = synthesizePla(file);
+    EXPECT_EQ(circuit.numQubits(), 5u);
+
+    for (std::uint32_t in = 0; in < 8; ++in) {
+        int a = in & 1, b = (in >> 1) & 1, cin = (in >> 2) & 1;
+        int sum = a ^ b ^ cin;
+        int cout = (a & b) | (a & cin) | (b & cin);
+
+        sim::StateVector sv(5);
+        size_t index = 0;
+        for (int i = 0; i < 3; ++i) {
+            if ((in >> i) & 1)
+                index |= size_t{1} << (4 - i);
+        }
+        sv.setBasisState(index);
+        sv.apply(circuit);
+        for (size_t j = 0; j < sv.dim(); ++j) {
+            if (std::abs(sv.amp(j)) > 0.5) {
+                EXPECT_EQ((j >> 1) & 1, static_cast<size_t>(sum));
+                EXPECT_EQ(j & 1, static_cast<size_t>(cout));
+            }
+        }
+    }
+}
+
+TEST(Cascade, RejectsOverlappingSopPla)
+{
+    const char *pla = ".i 2\n.o 1\n"
+                      "1- 1\n"
+                      "11 1\n" // overlaps the first cube
+                      ".e\n";
+    frontend::PlaFile file = frontend::parsePla(pla);
+    EXPECT_THROW(synthesizePla(file), UserError);
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for the fidelity extension: calibration data, the success-
+ * probability estimator, weighted pathfinding, and fidelity-aware CTR
+ * routing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/errors.hpp"
+#include "device/fidelity.hpp"
+#include "device/registry.hpp"
+#include "qmdd/equivalence.hpp"
+#include "route/ctr.hpp"
+
+using namespace qsyn;
+
+TEST(CalibrationTest, DefaultsAndSetters)
+{
+    Calibration cal(4);
+    EXPECT_NEAR(cal.singleQubitError(0), 1e-3, 1e-12);
+    EXPECT_NEAR(cal.twoQubitError(0, 1), 1e-2, 1e-12);
+    EXPECT_NEAR(cal.readoutError(3), 2e-2, 1e-12);
+    cal.setSingleQubitError(2, 5e-3);
+    EXPECT_NEAR(cal.singleQubitError(2), 5e-3, 1e-12);
+    cal.setTwoQubitError(1, 2, 0.04);
+    EXPECT_NEAR(cal.twoQubitError(1, 2), 0.04, 1e-12);
+    // Reverse direction falls back to the stored edge.
+    EXPECT_NEAR(cal.twoQubitError(2, 1), 0.04, 1e-12);
+    // Clamping.
+    cal.setSingleQubitError(0, 2.0);
+    EXPECT_LE(cal.singleQubitError(0), 0.5);
+}
+
+TEST(CalibrationTest, SyntheticIsDeterministicAndBounded)
+{
+    std::vector<std::pair<Qubit, Qubit>> edges{{0, 1}, {1, 2}};
+    Calibration a = Calibration::synthetic(3, edges, 42);
+    Calibration b = Calibration::synthetic(3, edges, 42);
+    Calibration c = Calibration::synthetic(3, edges, 43);
+    EXPECT_EQ(a.twoQubitError(0, 1), b.twoQubitError(0, 1));
+    EXPECT_NE(a.twoQubitError(0, 1), c.twoQubitError(0, 1));
+    // Jitter stays within x1/4 .. x4 of the default.
+    EXPECT_GE(a.twoQubitError(0, 1), 1e-2 / 4.01);
+    EXPECT_LE(a.twoQubitError(0, 1), 1e-2 * 4.01);
+}
+
+TEST(FidelityTest, SuccessProbabilityMultiplies)
+{
+    Device dev = makeIbmqx2();
+    Calibration cal(5);
+    cal.setSingleQubitError(0, 0.1);
+    cal.setTwoQubitError(0, 1, 0.2);
+    dev.setCalibration(cal);
+
+    Circuit c(5);
+    c.addH(0);
+    c.addCnot(0, 1);
+    double p = successProbability(c, dev);
+    EXPECT_NEAR(p, 0.9 * 0.8, 1e-12);
+    EXPECT_NEAR(negLogFidelity(c, dev), -std::log(0.72), 1e-12);
+}
+
+TEST(FidelityTest, MeasurementUsesReadoutError)
+{
+    Device dev = makeIbmqx2();
+    Calibration cal(5);
+    cal.setReadoutError(2, 0.25);
+    dev.setCalibration(cal);
+    Circuit c(5);
+    c.add(Gate::measure(2, 0));
+    EXPECT_NEAR(successProbability(c, dev), 0.75, 1e-12);
+}
+
+TEST(FidelityTest, RequiresCalibration)
+{
+    Device dev = makeIbmqx2();
+    Circuit c(5);
+    c.addH(0);
+    EXPECT_THROW(negLogFidelity(c, dev), UserError);
+}
+
+TEST(WeightedPath, PrefersLowErrorRoute)
+{
+    // Two routes from 0 to a neighbor of 3: 0-1-3 (short, bad edge) and
+    // 0-2-4-3 (long, good edges).
+    CouplingMap map(5);
+    map.addEdge(0, 1);
+    map.addEdge(1, 3);
+    map.addEdge(0, 2);
+    map.addEdge(2, 4);
+    map.addEdge(4, 3);
+    auto weight = [](Qubit a, Qubit b) {
+        if ((a == 0 && b == 1) || (a == 1 && b == 0))
+            return 10.0; // terrible edge
+        return 1.0;
+    };
+    auto goal = [](Qubit) { return 0.0; };
+    auto path = map.weightedPathToNeighbor(0, 3, weight, goal);
+    ASSERT_EQ(path.size(), 3u); // 0 -> 2 -> 4 (neighbor of 3)
+    EXPECT_EQ(path[1], 2u);
+    EXPECT_EQ(path[2], 4u);
+    // Hop-based BFS would take the short route through 1.
+    auto bfs = map.shortestPathToNeighbor(0, 3);
+    EXPECT_EQ(bfs.size(), 2u);
+}
+
+TEST(FidelityRouting, AvoidsBadEdgesAndStaysEquivalent)
+{
+    // Line 0-1-2 plus detour 0-3-4-2; make edge 1-2 terrible so the
+    // fidelity-aware router goes around.
+    CouplingMap map(5);
+    map.addEdge(0, 1);
+    map.addEdge(1, 2);
+    map.addEdge(0, 3);
+    map.addEdge(3, 4);
+    map.addEdge(4, 2);
+    Device dev("detour", 5, map);
+    Calibration cal(5);
+    cal.setTwoQubitError(1, 2, 0.4);
+    cal.setTwoQubitError(0, 1, 0.4);
+    dev.setCalibration(cal);
+
+    Circuit c(5);
+    c.addCnot(0, 2);
+
+    route::RouteOptions hop_opts;
+    Circuit hop = route::routeCircuit(c, dev, nullptr, hop_opts);
+
+    route::RouteOptions fid_opts;
+    fid_opts.fidelityAware = true;
+    Circuit fid = route::routeCircuit(c, dev, nullptr, fid_opts);
+
+    // Both legal and equivalent...
+    dd::Package pkg;
+    dd::EquivalenceChecker checker(pkg);
+    EXPECT_TRUE(dd::isEquivalent(checker.check(c, hop)));
+    EXPECT_TRUE(dd::isEquivalent(checker.check(c, fid)));
+    // ...but the fidelity-aware route has higher success probability.
+    EXPECT_GT(successProbability(fid, dev),
+              successProbability(hop, dev));
+    // And it avoided the bad 1-2 edge entirely.
+    for (const Gate &g : fid) {
+        if (g.isCnot()) {
+            bool uses_bad =
+                (g.controls()[0] == 1 && g.target() == 2) ||
+                (g.controls()[0] == 2 && g.target() == 1);
+            EXPECT_FALSE(uses_bad);
+        }
+    }
+}
+
+TEST(FidelityRouting, FallsBackWithoutCalibration)
+{
+    Device dev = makeIbmqx3();
+    Circuit c(16);
+    c.addCnot(5, 10);
+    route::RouteOptions opts;
+    opts.fidelityAware = true; // no calibration attached: hop-based
+    Circuit routed = route::routeCircuit(c, dev, nullptr, opts);
+    dd::Package pkg;
+    dd::EquivalenceChecker checker(pkg);
+    EXPECT_TRUE(dd::isEquivalent(checker.check(c, routed)));
+}
+
+TEST(FidelityRouting, SyntheticCalibrationOnRealTopology)
+{
+    Device dev = makeProposed96();
+    dev.attachSyntheticCalibration(7);
+    ASSERT_NE(dev.calibration(), nullptr);
+
+    Circuit c(96);
+    c.addCnot(1, 45);
+    route::RouteOptions opts;
+    opts.fidelityAware = true;
+    route::RouteStats stats;
+    Circuit routed = route::routeCircuit(c, dev, &stats, opts);
+    EXPECT_EQ(stats.reroutedCnots, 1u);
+    for (const Gate &g : routed) {
+        if (g.isCnot()) {
+            EXPECT_TRUE(
+                dev.coupling().hasEdge(g.controls()[0], g.target()));
+        }
+    }
+    EXPECT_GT(successProbability(routed, dev), 0.0);
+}

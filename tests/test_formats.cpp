@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Unit tests for the .qc, .real and PLA parsers plus the
+ * format-dispatching loader.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/errors.hpp"
+#include "frontend/loader.hpp"
+#include "frontend/pla_parser.hpp"
+#include "frontend/qc_parser.hpp"
+#include "frontend/real_parser.hpp"
+#include "qmdd/package.hpp"
+
+using namespace qsyn;
+using namespace qsyn::frontend;
+
+TEST(QcParser, BasicGates)
+{
+    Circuit c = parseQc(".v a b c\n"
+                        "BEGIN\n"
+                        "H a\n"
+                        "T b\n"
+                        "T* b\n"
+                        "S c\n"
+                        "S* c\n"
+                        "X a\n"
+                        "Z b\n"
+                        "Y c\n"
+                        "END\n");
+    EXPECT_EQ(c.numQubits(), 3u);
+    ASSERT_EQ(c.size(), 8u);
+    EXPECT_EQ(c[0].kind(), GateKind::H);
+    EXPECT_EQ(c[1].kind(), GateKind::T);
+    EXPECT_EQ(c[2].kind(), GateKind::Tdg);
+    EXPECT_EQ(c[3].kind(), GateKind::S);
+    EXPECT_EQ(c[4].kind(), GateKind::Sdg);
+}
+
+TEST(QcParser, MultiOperandToffoliFamily)
+{
+    Circuit c = parseQc(".v a b c d\n"
+                        "BEGIN\n"
+                        "T a b\n"      // CNOT
+                        "T a b c\n"    // Toffoli
+                        "T a b c d\n"  // T4
+                        "t2 a b\n"
+                        "t3 b c d\n"
+                        "Z a b c\n"    // CCZ
+                        "F a b c\n"    // Fredkin
+                        "swap a d\n"
+                        "END\n");
+    ASSERT_EQ(c.size(), 8u);
+    EXPECT_TRUE(c[0].isCnot());
+    EXPECT_TRUE(c[1].isToffoli());
+    EXPECT_TRUE(c[2].isGeneralizedToffoli());
+    EXPECT_TRUE(c[3].isCnot());
+    EXPECT_TRUE(c[4].isToffoli());
+    EXPECT_EQ(c[5].kind(), GateKind::Z);
+    EXPECT_EQ(c[5].numControls(), 2u);
+    EXPECT_EQ(c[6].kind(), GateKind::Swap);
+    EXPECT_EQ(c[6].numControls(), 1u);
+    EXPECT_EQ(c[7].kind(), GateKind::Swap);
+}
+
+TEST(QcParser, CommentsAndIoDirectives)
+{
+    Circuit c = parseQc(".v x y  # wires\n"
+                        ".i x\n"
+                        ".o y\n"
+                        "BEGIN\n"
+                        "T x y  # a cnot\n"
+                        "END\n");
+    EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(QcParser, Errors)
+{
+    EXPECT_THROW(parseQc("BEGIN\nH a\nEND\n"), ParseError);
+    EXPECT_THROW(parseQc(".v a\nH a\n"), ParseError); // outside body
+    EXPECT_THROW(parseQc(".v a\nBEGIN\nH b\nEND\n"), ParseError);
+    EXPECT_THROW(parseQc(".v a\nBEGIN\nbogus a\nEND\n"), ParseError);
+    EXPECT_THROW(parseQc(".v a b\nBEGIN\nt3 a b\nEND\n"), ParseError);
+}
+
+TEST(RealParser, ToffoliCascade)
+{
+    Circuit c = parseReal(".version 1.0\n"
+                          ".numvars 3\n"
+                          ".variables a b c\n"
+                          ".begin\n"
+                          "t1 a\n"
+                          "t2 a b\n"
+                          "t3 a b c\n"
+                          ".end\n");
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c[0].kind(), GateKind::X);
+    EXPECT_EQ(c[0].numControls(), 0u);
+    EXPECT_TRUE(c[1].isCnot());
+    EXPECT_TRUE(c[2].isToffoli());
+}
+
+TEST(RealParser, NegativeControlsExpandToXConjugation)
+{
+    Circuit c = parseReal(".numvars 3\n"
+                          ".variables a b c\n"
+                          ".begin\n"
+                          "t3 -a b c\n"
+                          ".end\n");
+    // X(a), CCX(a,b,c), X(a).
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c[0].kind(), GateKind::X);
+    EXPECT_TRUE(c[1].isToffoli());
+    EXPECT_EQ(c[2].kind(), GateKind::X);
+}
+
+TEST(RealParser, FredkinAndPeres)
+{
+    Circuit c = parseReal(".numvars 3\n"
+                          ".variables a b c\n"
+                          ".begin\n"
+                          "f3 a b c\n"
+                          "p3 a b c\n"
+                          ".end\n");
+    ASSERT_EQ(c.size(), 3u);
+    EXPECT_EQ(c[0].kind(), GateKind::Swap);
+    EXPECT_EQ(c[0].numControls(), 1u);
+    // Peres expands to Toffoli + CNOT.
+    EXPECT_TRUE(c[1].isToffoli());
+    EXPECT_TRUE(c[2].isCnot());
+}
+
+TEST(RealParser, DefaultVariableNames)
+{
+    Circuit c = parseReal(".numvars 2\n.begin\nt2 x0 x1\n.end\n");
+    EXPECT_EQ(c.numQubits(), 2u);
+}
+
+TEST(RealParser, Errors)
+{
+    EXPECT_THROW(parseReal(".begin\nt1 a\n.end\n"), ParseError);
+    EXPECT_THROW(parseReal(".numvars 2\n.begin\nt2 a\n.end\n"),
+                 ParseError);
+    EXPECT_THROW(
+        parseReal(".numvars 1\n.variables a\n.begin\nt1 -a\n.end\n"),
+        ParseError); // negated target
+    EXPECT_THROW(
+        parseReal(".numvars 2\n.variables a b\n.begin\nv2 a b\n.end\n"),
+        ParseError); // unsupported family
+}
+
+TEST(PlaParser, ParsesEsop)
+{
+    PlaFile pla = parsePla("# adder\n"
+                           ".i 3\n"
+                           ".o 2\n"
+                           ".type esop\n"
+                           ".p 2\n"
+                           "1-0 10\n"
+                           "011 01\n"
+                           ".e\n");
+    EXPECT_EQ(pla.numInputs, 3);
+    EXPECT_EQ(pla.numOutputs, 2);
+    EXPECT_TRUE(pla.isEsop);
+    ASSERT_EQ(pla.cubes.size(), 2u);
+    EXPECT_EQ(pla.cubes[0].careMask, 0b101u);
+    EXPECT_EQ(pla.cubes[0].polarity, 0b001u);
+    EXPECT_EQ(pla.cubes[0].outputs, 0b01u);
+    EXPECT_EQ(pla.cubes[1].outputs, 0b10u);
+}
+
+TEST(PlaParser, ZeroOutputCubesDropped)
+{
+    PlaFile pla = parsePla(".i 2\n.o 1\n11 0\n10 1\n.e\n");
+    EXPECT_EQ(pla.cubes.size(), 1u);
+}
+
+TEST(PlaParser, Errors)
+{
+    EXPECT_THROW(parsePla("1- 1\n"), ParseError);
+    EXPECT_THROW(parsePla(".i 2\n.o 1\n1-- 1\n"), ParseError);
+    EXPECT_THROW(parsePla(".i 2\n.o 1\n1x 1\n"), ParseError);
+    EXPECT_THROW(parsePla(".i 0\n.o 1\n"), ParseError);
+}
+
+TEST(LoaderTest, DispatchesOnExtension)
+{
+    EXPECT_EQ(formatFromExtension("x.qasm"), CircuitFormat::Qasm);
+    EXPECT_EQ(formatFromExtension("x.QC"), CircuitFormat::Qc);
+    EXPECT_EQ(formatFromExtension("x.real"), CircuitFormat::Real);
+    EXPECT_EQ(formatFromExtension("x.txt"), CircuitFormat::Unknown);
+    EXPECT_THROW(loadCircuitFile("circuit.xyz"), UserError);
+}
+
+TEST(LoaderTest, LoadsFilesOfEachFormat)
+{
+    // Write the same Toffoli in three formats and check the loader
+    // produces the same unitary for each.
+    std::string base = ::testing::TempDir();
+    {
+        std::ofstream f(base + "qsyn_t.qasm");
+        f << "OPENQASM 2.0;\nqreg q[3];\nccx q[0],q[1],q[2];\n";
+    }
+    {
+        std::ofstream f(base + "qsyn_t.qc");
+        f << ".v a b c\nBEGIN\nT a b c\nEND\n";
+    }
+    {
+        std::ofstream f(base + "qsyn_t.real");
+        f << ".numvars 3\n.variables a b c\n.begin\nt3 a b c\n.end\n";
+    }
+    Circuit a = loadCircuitFile(base + "qsyn_t.qasm");
+    Circuit b = loadCircuitFile(base + "qsyn_t.qc");
+    Circuit c = loadCircuitFile(base + "qsyn_t.real");
+
+    dd::Package pkg;
+    dd::Edge ea = pkg.buildCircuit(a);
+    EXPECT_EQ(ea, pkg.buildCircuit(b));
+    EXPECT_EQ(ea, pkg.buildCircuit(c));
+
+    std::remove((base + "qsyn_t.qasm").c_str());
+    std::remove((base + "qsyn_t.qc").c_str());
+    std::remove((base + "qsyn_t.real").c_str());
+}

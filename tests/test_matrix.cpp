@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for the dense matrix substrate: base gate matrices
+ * (Table 1 of the paper), 2x2 algebra, and DenseMatrix gate
+ * application.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "ir/matrix.hpp"
+
+using namespace qsyn;
+
+namespace {
+
+bool
+isUnitary2(const Mat2 &u)
+{
+    Mat2 prod = mul(dagger(u), u);
+    Mat2 id{{1, 0, 0, 1}};
+    return approxEqual(prod, id);
+}
+
+} // namespace
+
+TEST(Mat2Test, AllBaseMatricesAreUnitary)
+{
+    for (GateKind kind : {GateKind::I, GateKind::X, GateKind::Y,
+                          GateKind::Z, GateKind::H, GateKind::S,
+                          GateKind::Sdg, GateKind::T, GateKind::Tdg}) {
+        EXPECT_TRUE(isUnitary2(baseMatrix(kind))) << kindName(kind);
+    }
+    for (double theta : {0.0, 0.5, -1.7, 3.14}) {
+        for (GateKind kind : {GateKind::Rx, GateKind::Ry, GateKind::Rz,
+                              GateKind::P}) {
+            EXPECT_TRUE(isUnitary2(baseMatrix(kind, theta)))
+                << kindName(kind);
+        }
+    }
+}
+
+TEST(Mat2Test, Table1Identities)
+{
+    using std::numbers::pi;
+    // S = T^2, Z = S^2, Y = i X Z.
+    Mat2 t = baseMatrix(GateKind::T);
+    EXPECT_TRUE(approxEqual(mul(t, t), baseMatrix(GateKind::S)));
+    Mat2 s = baseMatrix(GateKind::S);
+    EXPECT_TRUE(approxEqual(mul(s, s), baseMatrix(GateKind::Z)));
+    // H^2 = I.
+    Mat2 h = baseMatrix(GateKind::H);
+    EXPECT_TRUE(approxEqual(mul(h, h), baseMatrix(GateKind::I)));
+    // H X H = Z.
+    Mat2 hxh = mul(h, mul(baseMatrix(GateKind::X), h));
+    EXPECT_TRUE(approxEqual(hxh, baseMatrix(GateKind::Z)));
+    // P(pi/4) = T exactly.
+    EXPECT_TRUE(approxEqual(baseMatrix(GateKind::P, pi / 4), t));
+}
+
+TEST(Mat2Test, DaggerInverts)
+{
+    Mat2 t = baseMatrix(GateKind::T);
+    EXPECT_TRUE(approxEqual(dagger(t), baseMatrix(GateKind::Tdg)));
+}
+
+TEST(DenseMatrixTest, StartsAsIdentity)
+{
+    DenseMatrix m(3);
+    EXPECT_TRUE(m.isIdentity());
+    EXPECT_EQ(m.dim(), 8u);
+}
+
+TEST(DenseMatrixTest, CnotPermutation)
+{
+    // CNOT(0 -> 1) on 2 qubits, qubit 0 = MSB: swaps rows 10 <-> 11.
+    DenseMatrix m(2);
+    m.applyGate(baseMatrix(GateKind::X), {0}, 1);
+    EXPECT_TRUE(approxEqual(m.at(0, 0), Cplx(1, 0)));
+    EXPECT_TRUE(approxEqual(m.at(1, 1), Cplx(1, 0)));
+    EXPECT_TRUE(approxEqual(m.at(3, 2), Cplx(1, 0)));
+    EXPECT_TRUE(approxEqual(m.at(2, 3), Cplx(1, 0)));
+    EXPECT_TRUE(approxEqual(m.at(2, 2), Cplx(0, 0)));
+}
+
+TEST(DenseMatrixTest, GateThenInverseIsIdentity)
+{
+    DenseMatrix m(3);
+    m.applyGate(baseMatrix(GateKind::H), {}, 1);
+    m.applyGate(baseMatrix(GateKind::T), {0}, 2);
+    EXPECT_FALSE(m.isIdentity());
+    m.applyGate(baseMatrix(GateKind::Tdg), {0}, 2);
+    m.applyGate(baseMatrix(GateKind::H), {}, 1);
+    EXPECT_TRUE(m.isIdentity());
+}
+
+TEST(DenseMatrixTest, SwapIsItsOwnInverse)
+{
+    DenseMatrix m(3);
+    m.applySwap({}, 0, 2);
+    EXPECT_FALSE(m.isIdentity());
+    m.applySwap({}, 2, 0);
+    EXPECT_TRUE(m.isIdentity());
+}
+
+TEST(DenseMatrixTest, IdentityUpToPhase)
+{
+    DenseMatrix m(1);
+    // Rz(2 pi) = -I.
+    m.applyGate(baseMatrix(GateKind::Rz, 2 * std::numbers::pi), {}, 0);
+    EXPECT_FALSE(m.isIdentity());
+    Cplx phase;
+    EXPECT_TRUE(m.isIdentityUpToPhase(&phase));
+    EXPECT_TRUE(approxEqual(phase, Cplx(-1, 0)));
+}
+
+TEST(DenseMatrixTest, LeftMultiplyComposes)
+{
+    DenseMatrix a(1);
+    a.applyGate(baseMatrix(GateKind::H), {}, 0);
+    DenseMatrix b(1);
+    b.applyGate(baseMatrix(GateKind::H), {}, 0);
+    a.leftMultiply(b); // H * H = I
+    EXPECT_TRUE(a.isIdentity());
+}

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for placement and CTR routing: routed circuits must use only
+ * native CNOT directions and stay exactly equivalent to their inputs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "device/registry.hpp"
+#include "ir/random_circuit.hpp"
+#include "qmdd/equivalence.hpp"
+#include "route/ctr.hpp"
+#include "route/placement.hpp"
+
+using namespace qsyn;
+using namespace qsyn::route;
+
+namespace {
+
+/** Every CNOT must sit on a native directed edge. */
+void
+expectLegal(const Circuit &circuit, const Device &device)
+{
+    for (const Gate &g : circuit) {
+        if (g.isCnot()) {
+            EXPECT_TRUE(
+                device.coupling().hasEdge(g.controls()[0], g.target()))
+                << g.toString() << " illegal on " << device.name();
+        } else {
+            EXPECT_LE(g.numQubits(), 1u) << g.toString();
+        }
+    }
+}
+
+bool
+sameUnitary(const Circuit &a, const Circuit &b)
+{
+    dd::Package pkg;
+    dd::EquivalenceChecker checker(pkg);
+    return dd::isEquivalent(checker.check(a, b));
+}
+
+} // namespace
+
+TEST(Ctr, NativeCnotPassesThrough)
+{
+    Device dev = makeIbmqx2(); // 0 -> 1 available
+    Circuit c(5);
+    c.addCnot(0, 1);
+    RouteStats stats;
+    Circuit routed = routeCircuit(c, dev, &stats);
+    EXPECT_EQ(routed.size(), 1u);
+    EXPECT_EQ(stats.nativeCnots, 1u);
+    EXPECT_EQ(stats.reroutedCnots, 0u);
+}
+
+TEST(Ctr, ReversedCnotGetsFourHadamards)
+{
+    Device dev = makeIbmqx2(); // 1 -> 0 NOT available, 0 -> 1 is
+    Circuit c(5);
+    c.addCnot(1, 0);
+    RouteStats stats;
+    Circuit routed = routeCircuit(c, dev, &stats);
+    EXPECT_EQ(routed.size(), 5u); // Fig. 6: 4 H + 1 CNOT
+    EXPECT_EQ(stats.reversedCnots, 1u);
+    expectLegal(routed, dev);
+    EXPECT_TRUE(sameUnitary(c, routed));
+}
+
+TEST(Ctr, PaperFigure5Example)
+{
+    // Fig. 5: CNOT with q5 control, q10 target on ibmqx3 needs
+    // rerouting; the paper's shortest route uses two SWAPs
+    // (q5<->q12, q12<->q11), then CNOT q11 -> q10, then swap back.
+    Device dev = makeIbmqx3();
+    EXPECT_FALSE(dev.coupling().hasUndirectedEdge(5, 10));
+    auto path = dev.coupling().shortestPathToNeighbor(5, 10);
+    ASSERT_EQ(path.size(), 3u); // q5 -> q12 -> q11: two SWAPs
+    EXPECT_EQ(path[0], 5u);
+
+    Circuit c(16);
+    c.addCnot(5, 10);
+    RouteStats stats;
+    Circuit routed = routeCircuit(c, dev, &stats);
+    EXPECT_EQ(stats.reroutedCnots, 1u);
+    EXPECT_EQ(stats.swapsInserted, 4u); // 2 out + 2 back
+    expectLegal(routed, dev);
+    EXPECT_TRUE(sameUnitary(c, routed));
+}
+
+TEST(Ctr, DisconnectedQubitsThrow)
+{
+    // A custom map with an unreachable island.
+    CouplingMap map(4);
+    map.addEdge(0, 1);
+    map.addEdge(2, 3);
+    Device dev("island", 4, map);
+    Circuit c(4);
+    c.addCnot(0, 3);
+    EXPECT_THROW(routeCircuit(c, dev), MappingError);
+}
+
+TEST(Ctr, TooWideCircuitThrows)
+{
+    Device dev = makeIbmqx2();
+    Circuit c(6);
+    c.addCnot(0, 5);
+    EXPECT_THROW(routeCircuit(c, dev), MappingError);
+}
+
+TEST(Ctr, RandomCircuitsStayEquivalentOnEveryIbmDevice)
+{
+    Rng rng(42);
+    for (const Device &dev : ibmTableDevices()) {
+        RandomCircuitOptions opts;
+        opts.numQubits = std::min<Qubit>(5, dev.numQubits());
+        opts.numGates = 25;
+        Circuit c = randomCircuit(rng, opts);
+        RouteStats stats;
+        Circuit routed = routeCircuit(c, dev, &stats);
+        expectLegal(routed, dev);
+        EXPECT_TRUE(sameUnitary(c, routed)) << dev.name();
+    }
+}
+
+TEST(Ctr, MeetInMiddleVariantAlsoLegalAndEquivalent)
+{
+    Device dev = makeIbmqx3();
+    Circuit c(16);
+    c.addCnot(5, 10);
+    c.addCnot(0, 9);
+    RouteOptions opts;
+    opts.meetInMiddle = true;
+    RouteStats stats;
+    Circuit routed = routeCircuit(c, dev, &stats, opts);
+    expectLegal(routed, dev);
+    EXPECT_TRUE(sameUnitary(c, routed));
+    EXPECT_EQ(stats.reroutedCnots, 2u);
+}
+
+TEST(Ctr, SimulatorNeedsNoRouting)
+{
+    Device dev = Device::simulator(8);
+    Rng rng(5);
+    RandomCircuitOptions opts;
+    opts.numQubits = 8;
+    opts.numGates = 30;
+    Circuit c = randomCircuit(rng, opts);
+    RouteStats stats;
+    Circuit routed = routeCircuit(c, dev, &stats);
+    EXPECT_EQ(routed.size(), c.size());
+    EXPECT_EQ(stats.reroutedCnots, 0u);
+    EXPECT_EQ(stats.reversedCnots, 0u);
+}
+
+TEST(Placement, IdentityIsIdentity)
+{
+    Device dev = makeIbmqx5();
+    auto p = identityPlacement(10, dev);
+    for (Qubit i = 0; i < 10; ++i)
+        EXPECT_EQ(p[i], i);
+}
+
+TEST(Placement, GreedyIsAPermutationIntoDevice)
+{
+    Device dev = makeIbmqx5();
+    Rng rng(9);
+    RandomCircuitOptions opts;
+    opts.numQubits = 8;
+    opts.numGates = 40;
+    Circuit c = randomCircuit(rng, opts);
+    auto p = greedyPlacement(c, dev);
+    ASSERT_EQ(p.size(), 8u);
+    std::vector<bool> seen(dev.numQubits(), false);
+    for (Qubit phys : p) {
+        ASSERT_LT(phys, dev.numQubits());
+        EXPECT_FALSE(seen[phys]);
+        seen[phys] = true;
+    }
+}
+
+TEST(Placement, GreedyPlacementReducesOrMatchesRoutedSize)
+{
+    // A chain-shaped circuit on ibmqx3 should route with no more
+    // gates under greedy placement than under identity.
+    Device dev = makeIbmqx3();
+    Circuit c(4);
+    c.addCnot(0, 1);
+    c.addCnot(1, 2);
+    c.addCnot(2, 3);
+    c.addCnot(0, 3);
+
+    Circuit id_placed =
+        applyPlacement(c, identityPlacement(4, dev), dev);
+    Circuit gr_placed = applyPlacement(c, greedyPlacement(c, dev), dev);
+    Circuit id_routed = routeCircuit(id_placed, dev);
+    Circuit gr_routed = routeCircuit(gr_placed, dev);
+    EXPECT_LE(gr_routed.size(), id_routed.size());
+}
+
+TEST(Placement, ApplyPlacementRemapsWires)
+{
+    Device dev = makeIbmqx5();
+    Circuit c(2);
+    c.addCnot(0, 1);
+    std::vector<Qubit> p{6, 11};
+    Circuit placed = applyPlacement(c, p, dev);
+    EXPECT_EQ(placed.numQubits(), dev.numQubits());
+    EXPECT_EQ(placed[0].controls()[0], 6u);
+    EXPECT_EQ(placed[0].target(), 11u);
+}
+
+TEST(DynamicRouting, LegalEquivalentAndFewerSwapsOnHeavyWorkloads)
+{
+    Device dev = makeIbmqx3();
+    Rng rng(19);
+    Circuit c(10, "heavy");
+    for (int i = 0; i < 25; ++i) {
+        Qubit a = static_cast<Qubit>(rng.below(10));
+        Qubit b = static_cast<Qubit>(rng.below(10));
+        if (a != b)
+            c.addCnot(a, b);
+    }
+
+    RouteStats ctr_stats;
+    Circuit ctr = routeCircuit(c, dev, &ctr_stats);
+
+    RouteOptions dyn_opts;
+    dyn_opts.dynamicLayout = true;
+    RouteStats dyn_stats;
+    Circuit dyn = routeCircuit(c, dev, &dyn_stats, dyn_opts);
+
+    expectLegal(dyn, dev);
+    EXPECT_TRUE(sameUnitary(c, dyn));
+    // Persistent swaps + one repair epilogue beat per-gate swap-back.
+    EXPECT_LT(dyn_stats.swapsInserted, ctr_stats.swapsInserted);
+}
+
+TEST(DynamicRouting, SingleQubitGatesFollowTheLayout)
+{
+    // A CNOT reroute moves wires; a later T on a moved wire must land
+    // on the wire's *current* physical home, and the epilogue must
+    // still restore the overall unitary.
+    Device dev = makeIbmqx3();
+    Circuit c(16, "follow");
+    c.addCnot(5, 10); // forces swaps through q12/q11
+    c.addT(5);
+    c.addH(12);
+    RouteOptions opts;
+    opts.dynamicLayout = true;
+    Circuit routed = routeCircuit(c, dev, nullptr, opts);
+    expectLegal(routed, dev);
+    EXPECT_TRUE(sameUnitary(c, routed));
+}
+
+TEST(DynamicRouting, MeasurementsFollowTheLayout)
+{
+    Device dev = makeIbmqx4();
+    Circuit c(5, "measured");
+    c.addCnot(0, 4); // needs rerouting on qx4
+    c.add(Gate::measure(0, 0));
+    RouteOptions opts;
+    opts.dynamicLayout = true;
+    Circuit routed = routeCircuit(c, dev, nullptr, opts);
+    size_t measures = 0;
+    for (const Gate &g : routed) {
+        if (g.kind() == GateKind::Measure)
+            ++measures;
+    }
+    EXPECT_EQ(measures, 1u);
+}

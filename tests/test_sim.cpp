@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Unit tests for the state-vector simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "ir/random_circuit.hpp"
+#include "sim/statevector.hpp"
+
+using namespace qsyn;
+using sim::StateVector;
+
+TEST(StateVectorTest, StartsInZeroState)
+{
+    StateVector sv(3);
+    EXPECT_TRUE(approxEqual(sv.amp(0), Cplx(1, 0)));
+    EXPECT_NEAR(sv.normSquared(), 1.0, 1e-12);
+}
+
+TEST(StateVectorTest, XFlipsBasisState)
+{
+    StateVector sv(2);
+    sv.apply(Gate::x(0)); // qubit 0 = MSB
+    EXPECT_TRUE(approxEqual(sv.amp(2), Cplx(1, 0)));
+}
+
+TEST(StateVectorTest, HadamardMakesUniform)
+{
+    StateVector sv(1);
+    sv.apply(Gate::h(0));
+    EXPECT_NEAR(std::abs(sv.amp(0)), 1 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(sv.probabilityOfOne(0), 0.5, 1e-12);
+}
+
+TEST(StateVectorTest, BellState)
+{
+    StateVector sv(2);
+    sv.apply(Gate::h(0));
+    sv.apply(Gate::cnot(0, 1));
+    EXPECT_NEAR(std::abs(sv.amp(0)), 1 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(sv.amp(3)), 1 / std::sqrt(2.0), 1e-12);
+    EXPECT_NEAR(std::abs(sv.amp(1)), 0.0, 1e-12);
+    EXPECT_NEAR(std::abs(sv.amp(2)), 0.0, 1e-12);
+}
+
+TEST(StateVectorTest, ToffoliOnBasisStates)
+{
+    StateVector sv(3);
+    sv.setBasisState(0b110); // controls 0,1 set
+    sv.apply(Gate::ccx(0, 1, 2));
+    EXPECT_TRUE(approxEqual(sv.amp(0b111), Cplx(1, 0)));
+
+    sv.setBasisState(0b100);
+    sv.apply(Gate::ccx(0, 1, 2));
+    EXPECT_TRUE(approxEqual(sv.amp(0b100), Cplx(1, 0)));
+}
+
+TEST(StateVectorTest, ControlledSwap)
+{
+    StateVector sv(3);
+    sv.setBasisState(0b110);
+    sv.apply(Gate::fredkin(0, 1, 2));
+    EXPECT_TRUE(approxEqual(sv.amp(0b101), Cplx(1, 0)));
+    sv.setBasisState(0b010); // control off: no swap
+    sv.apply(Gate::fredkin(0, 1, 2));
+    EXPECT_TRUE(approxEqual(sv.amp(0b010), Cplx(1, 0)));
+}
+
+TEST(StateVectorTest, NormPreservedOnRandomCircuit)
+{
+    Rng rng(17);
+    RandomCircuitOptions opts;
+    opts.numQubits = 6;
+    opts.numGates = 200;
+    opts.allowRotations = true;
+    opts.maxControls = 3;
+    Circuit c = randomCircuit(rng, opts);
+    StateVector sv(6);
+    sv.setRandom(rng);
+    sv.apply(c);
+    EXPECT_NEAR(sv.normSquared(), 1.0, 1e-9);
+}
+
+TEST(StateVectorTest, CircuitThenInverseRestoresState)
+{
+    Rng rng(21);
+    RandomCircuitOptions opts;
+    opts.numQubits = 5;
+    opts.numGates = 80;
+    opts.allowRotations = true;
+    Circuit c = randomCircuit(rng, opts);
+
+    StateVector original(5);
+    original.setRandom(rng);
+    StateVector sv = original;
+    sv.apply(c);
+    sv.apply(c.inverse());
+    EXPECT_TRUE(sv.approxEquals(original, 1e-8));
+}
+
+TEST(StateVectorTest, FidelityAndPhase)
+{
+    Rng rng(31);
+    StateVector a(3);
+    a.setRandom(rng);
+    StateVector b = a;
+    EXPECT_NEAR(a.fidelityWith(b), 1.0, 1e-12);
+    // Global phase: multiply every amplitude by i.
+    for (size_t j = 0; j < b.dim(); ++j)
+        b.amp(j) *= Cplx(0, 1);
+    EXPECT_FALSE(a.approxEquals(b));
+    EXPECT_TRUE(a.equalsUpToPhase(b));
+}
+
+TEST(StateVectorTest, BarrierIsIgnoredAndMeasureRejected)
+{
+    StateVector sv(2);
+    sv.apply(Gate::barrier({0, 1}));
+    EXPECT_TRUE(approxEqual(sv.amp(0), Cplx(1, 0)));
+    EXPECT_THROW(sv.apply(Gate::measure(0, 0)), InternalError);
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * qsync: the command-line front door of the qsyn compiler.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "cli/options.hpp"
+#include "common/errors.hpp"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        qsyn::cli::CliOptions options =
+            qsyn::cli::parseCliArguments(args);
+        return qsyn::cli::runCli(options, std::cout, std::cerr);
+    } catch (const qsyn::UserError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
