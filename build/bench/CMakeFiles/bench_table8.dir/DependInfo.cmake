@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table8.cpp" "bench/CMakeFiles/bench_table8.dir/bench_table8.cpp.o" "gcc" "bench/CMakeFiles/bench_table8.dir/bench_table8.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/qsyn_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qsyn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bench_circuits/CMakeFiles/qsyn_bench_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/qsyn_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/esop/CMakeFiles/qsyn_esop.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/qsyn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qmdd/CMakeFiles/qsyn_qmdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/qsyn_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/route/CMakeFiles/qsyn_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/decompose/CMakeFiles/qsyn_decompose.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/qsyn_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/qsyn_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/qsyn_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qsyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

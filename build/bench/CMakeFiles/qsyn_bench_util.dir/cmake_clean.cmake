@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsyn_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/qsyn_bench_util.dir/bench_util.cpp.o.d"
+  "libqsyn_bench_util.a"
+  "libqsyn_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsyn_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqsyn_bench_util.a"
+)

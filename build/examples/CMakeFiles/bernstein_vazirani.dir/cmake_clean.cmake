@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bernstein_vazirani.dir/bernstein_vazirani.cpp.o"
+  "CMakeFiles/bernstein_vazirani.dir/bernstein_vazirani.cpp.o.d"
+  "bernstein_vazirani"
+  "bernstein_vazirani.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bernstein_vazirani.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bernstein_vazirani.
+# This may be replaced when dependencies are built.

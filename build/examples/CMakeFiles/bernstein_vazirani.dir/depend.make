@@ -1,0 +1,2 @@
+# Empty dependencies file for bernstein_vazirani.
+# This may be replaced when dependencies are built.

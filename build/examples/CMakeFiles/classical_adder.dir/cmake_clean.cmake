@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classical_adder.dir/classical_adder.cpp.o"
+  "CMakeFiles/classical_adder.dir/classical_adder.cpp.o.d"
+  "classical_adder"
+  "classical_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classical_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

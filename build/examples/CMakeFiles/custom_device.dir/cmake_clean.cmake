@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_device.dir/custom_device.cpp.o"
+  "CMakeFiles/custom_device.dir/custom_device.cpp.o.d"
+  "custom_device"
+  "custom_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

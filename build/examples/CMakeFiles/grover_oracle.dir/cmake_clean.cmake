@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grover_oracle.dir/grover_oracle.cpp.o"
+  "CMakeFiles/grover_oracle.dir/grover_oracle.cpp.o.d"
+  "grover_oracle"
+  "grover_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grover_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

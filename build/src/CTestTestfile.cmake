@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ir")
+subdirs("qmdd")
+subdirs("sim")
+subdirs("device")
+subdirs("frontend")
+subdirs("esop")
+subdirs("decompose")
+subdirs("route")
+subdirs("opt")
+subdirs("bench_circuits")
+subdirs("core")
+subdirs("cli")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsyn_bench_circuits.dir/mcx_suite.cpp.o"
+  "CMakeFiles/qsyn_bench_circuits.dir/mcx_suite.cpp.o.d"
+  "CMakeFiles/qsyn_bench_circuits.dir/nct_suite.cpp.o"
+  "CMakeFiles/qsyn_bench_circuits.dir/nct_suite.cpp.o.d"
+  "CMakeFiles/qsyn_bench_circuits.dir/single_target_suite.cpp.o"
+  "CMakeFiles/qsyn_bench_circuits.dir/single_target_suite.cpp.o.d"
+  "libqsyn_bench_circuits.a"
+  "libqsyn_bench_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsyn_bench_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsyn_cli.dir/options.cpp.o"
+  "CMakeFiles/qsyn_cli.dir/options.cpp.o.d"
+  "libqsyn_cli.a"
+  "libqsyn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsyn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsyn_common.dir/errors.cpp.o"
+  "CMakeFiles/qsyn_common.dir/errors.cpp.o.d"
+  "CMakeFiles/qsyn_common.dir/strings.cpp.o"
+  "CMakeFiles/qsyn_common.dir/strings.cpp.o.d"
+  "CMakeFiles/qsyn_common.dir/table_printer.cpp.o"
+  "CMakeFiles/qsyn_common.dir/table_printer.cpp.o.d"
+  "libqsyn_common.a"
+  "libqsyn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsyn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsyn_core.dir/compiler.cpp.o"
+  "CMakeFiles/qsyn_core.dir/compiler.cpp.o.d"
+  "CMakeFiles/qsyn_core.dir/report.cpp.o"
+  "CMakeFiles/qsyn_core.dir/report.cpp.o.d"
+  "libqsyn_core.a"
+  "libqsyn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsyn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

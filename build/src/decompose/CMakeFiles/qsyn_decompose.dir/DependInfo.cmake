@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decompose/barenco.cpp" "src/decompose/CMakeFiles/qsyn_decompose.dir/barenco.cpp.o" "gcc" "src/decompose/CMakeFiles/qsyn_decompose.dir/barenco.cpp.o.d"
+  "/root/repo/src/decompose/controlled.cpp" "src/decompose/CMakeFiles/qsyn_decompose.dir/controlled.cpp.o" "gcc" "src/decompose/CMakeFiles/qsyn_decompose.dir/controlled.cpp.o.d"
+  "/root/repo/src/decompose/pass.cpp" "src/decompose/CMakeFiles/qsyn_decompose.dir/pass.cpp.o" "gcc" "src/decompose/CMakeFiles/qsyn_decompose.dir/pass.cpp.o.d"
+  "/root/repo/src/decompose/rebase.cpp" "src/decompose/CMakeFiles/qsyn_decompose.dir/rebase.cpp.o" "gcc" "src/decompose/CMakeFiles/qsyn_decompose.dir/rebase.cpp.o.d"
+  "/root/repo/src/decompose/toffoli.cpp" "src/decompose/CMakeFiles/qsyn_decompose.dir/toffoli.cpp.o" "gcc" "src/decompose/CMakeFiles/qsyn_decompose.dir/toffoli.cpp.o.d"
+  "/root/repo/src/decompose/zyz.cpp" "src/decompose/CMakeFiles/qsyn_decompose.dir/zyz.cpp.o" "gcc" "src/decompose/CMakeFiles/qsyn_decompose.dir/zyz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/qsyn_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/qsyn_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/qsyn_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qsyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

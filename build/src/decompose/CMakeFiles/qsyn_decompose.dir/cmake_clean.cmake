@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsyn_decompose.dir/barenco.cpp.o"
+  "CMakeFiles/qsyn_decompose.dir/barenco.cpp.o.d"
+  "CMakeFiles/qsyn_decompose.dir/controlled.cpp.o"
+  "CMakeFiles/qsyn_decompose.dir/controlled.cpp.o.d"
+  "CMakeFiles/qsyn_decompose.dir/pass.cpp.o"
+  "CMakeFiles/qsyn_decompose.dir/pass.cpp.o.d"
+  "CMakeFiles/qsyn_decompose.dir/rebase.cpp.o"
+  "CMakeFiles/qsyn_decompose.dir/rebase.cpp.o.d"
+  "CMakeFiles/qsyn_decompose.dir/toffoli.cpp.o"
+  "CMakeFiles/qsyn_decompose.dir/toffoli.cpp.o.d"
+  "CMakeFiles/qsyn_decompose.dir/zyz.cpp.o"
+  "CMakeFiles/qsyn_decompose.dir/zyz.cpp.o.d"
+  "libqsyn_decompose.a"
+  "libqsyn_decompose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsyn_decompose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

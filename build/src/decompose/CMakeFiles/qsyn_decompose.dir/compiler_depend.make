@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for qsyn_decompose.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/calibration.cpp" "src/device/CMakeFiles/qsyn_device.dir/calibration.cpp.o" "gcc" "src/device/CMakeFiles/qsyn_device.dir/calibration.cpp.o.d"
+  "/root/repo/src/device/coupling_map.cpp" "src/device/CMakeFiles/qsyn_device.dir/coupling_map.cpp.o" "gcc" "src/device/CMakeFiles/qsyn_device.dir/coupling_map.cpp.o.d"
+  "/root/repo/src/device/device.cpp" "src/device/CMakeFiles/qsyn_device.dir/device.cpp.o" "gcc" "src/device/CMakeFiles/qsyn_device.dir/device.cpp.o.d"
+  "/root/repo/src/device/fidelity.cpp" "src/device/CMakeFiles/qsyn_device.dir/fidelity.cpp.o" "gcc" "src/device/CMakeFiles/qsyn_device.dir/fidelity.cpp.o.d"
+  "/root/repo/src/device/loader.cpp" "src/device/CMakeFiles/qsyn_device.dir/loader.cpp.o" "gcc" "src/device/CMakeFiles/qsyn_device.dir/loader.cpp.o.d"
+  "/root/repo/src/device/registry.cpp" "src/device/CMakeFiles/qsyn_device.dir/registry.cpp.o" "gcc" "src/device/CMakeFiles/qsyn_device.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/qsyn_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qsyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

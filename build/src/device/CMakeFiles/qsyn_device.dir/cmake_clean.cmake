@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsyn_device.dir/calibration.cpp.o"
+  "CMakeFiles/qsyn_device.dir/calibration.cpp.o.d"
+  "CMakeFiles/qsyn_device.dir/coupling_map.cpp.o"
+  "CMakeFiles/qsyn_device.dir/coupling_map.cpp.o.d"
+  "CMakeFiles/qsyn_device.dir/device.cpp.o"
+  "CMakeFiles/qsyn_device.dir/device.cpp.o.d"
+  "CMakeFiles/qsyn_device.dir/fidelity.cpp.o"
+  "CMakeFiles/qsyn_device.dir/fidelity.cpp.o.d"
+  "CMakeFiles/qsyn_device.dir/loader.cpp.o"
+  "CMakeFiles/qsyn_device.dir/loader.cpp.o.d"
+  "CMakeFiles/qsyn_device.dir/registry.cpp.o"
+  "CMakeFiles/qsyn_device.dir/registry.cpp.o.d"
+  "libqsyn_device.a"
+  "libqsyn_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsyn_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/esop/cascade.cpp" "src/esop/CMakeFiles/qsyn_esop.dir/cascade.cpp.o" "gcc" "src/esop/CMakeFiles/qsyn_esop.dir/cascade.cpp.o.d"
+  "/root/repo/src/esop/esop_form.cpp" "src/esop/CMakeFiles/qsyn_esop.dir/esop_form.cpp.o" "gcc" "src/esop/CMakeFiles/qsyn_esop.dir/esop_form.cpp.o.d"
+  "/root/repo/src/esop/reed_muller.cpp" "src/esop/CMakeFiles/qsyn_esop.dir/reed_muller.cpp.o" "gcc" "src/esop/CMakeFiles/qsyn_esop.dir/reed_muller.cpp.o.d"
+  "/root/repo/src/esop/truth_table.cpp" "src/esop/CMakeFiles/qsyn_esop.dir/truth_table.cpp.o" "gcc" "src/esop/CMakeFiles/qsyn_esop.dir/truth_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/qsyn_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/qsyn_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qsyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsyn_esop.dir/cascade.cpp.o"
+  "CMakeFiles/qsyn_esop.dir/cascade.cpp.o.d"
+  "CMakeFiles/qsyn_esop.dir/esop_form.cpp.o"
+  "CMakeFiles/qsyn_esop.dir/esop_form.cpp.o.d"
+  "CMakeFiles/qsyn_esop.dir/reed_muller.cpp.o"
+  "CMakeFiles/qsyn_esop.dir/reed_muller.cpp.o.d"
+  "CMakeFiles/qsyn_esop.dir/truth_table.cpp.o"
+  "CMakeFiles/qsyn_esop.dir/truth_table.cpp.o.d"
+  "libqsyn_esop.a"
+  "libqsyn_esop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsyn_esop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/frontend/circuit_drawer.cpp" "src/frontend/CMakeFiles/qsyn_frontend.dir/circuit_drawer.cpp.o" "gcc" "src/frontend/CMakeFiles/qsyn_frontend.dir/circuit_drawer.cpp.o.d"
+  "/root/repo/src/frontend/circuit_writers.cpp" "src/frontend/CMakeFiles/qsyn_frontend.dir/circuit_writers.cpp.o" "gcc" "src/frontend/CMakeFiles/qsyn_frontend.dir/circuit_writers.cpp.o.d"
+  "/root/repo/src/frontend/loader.cpp" "src/frontend/CMakeFiles/qsyn_frontend.dir/loader.cpp.o" "gcc" "src/frontend/CMakeFiles/qsyn_frontend.dir/loader.cpp.o.d"
+  "/root/repo/src/frontend/pla_parser.cpp" "src/frontend/CMakeFiles/qsyn_frontend.dir/pla_parser.cpp.o" "gcc" "src/frontend/CMakeFiles/qsyn_frontend.dir/pla_parser.cpp.o.d"
+  "/root/repo/src/frontend/qasm_lexer.cpp" "src/frontend/CMakeFiles/qsyn_frontend.dir/qasm_lexer.cpp.o" "gcc" "src/frontend/CMakeFiles/qsyn_frontend.dir/qasm_lexer.cpp.o.d"
+  "/root/repo/src/frontend/qasm_parser.cpp" "src/frontend/CMakeFiles/qsyn_frontend.dir/qasm_parser.cpp.o" "gcc" "src/frontend/CMakeFiles/qsyn_frontend.dir/qasm_parser.cpp.o.d"
+  "/root/repo/src/frontend/qasm_writer.cpp" "src/frontend/CMakeFiles/qsyn_frontend.dir/qasm_writer.cpp.o" "gcc" "src/frontend/CMakeFiles/qsyn_frontend.dir/qasm_writer.cpp.o.d"
+  "/root/repo/src/frontend/qc_parser.cpp" "src/frontend/CMakeFiles/qsyn_frontend.dir/qc_parser.cpp.o" "gcc" "src/frontend/CMakeFiles/qsyn_frontend.dir/qc_parser.cpp.o.d"
+  "/root/repo/src/frontend/real_parser.cpp" "src/frontend/CMakeFiles/qsyn_frontend.dir/real_parser.cpp.o" "gcc" "src/frontend/CMakeFiles/qsyn_frontend.dir/real_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/qsyn_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qsyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

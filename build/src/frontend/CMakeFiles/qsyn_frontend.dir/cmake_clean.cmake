@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsyn_frontend.dir/circuit_drawer.cpp.o"
+  "CMakeFiles/qsyn_frontend.dir/circuit_drawer.cpp.o.d"
+  "CMakeFiles/qsyn_frontend.dir/circuit_writers.cpp.o"
+  "CMakeFiles/qsyn_frontend.dir/circuit_writers.cpp.o.d"
+  "CMakeFiles/qsyn_frontend.dir/loader.cpp.o"
+  "CMakeFiles/qsyn_frontend.dir/loader.cpp.o.d"
+  "CMakeFiles/qsyn_frontend.dir/pla_parser.cpp.o"
+  "CMakeFiles/qsyn_frontend.dir/pla_parser.cpp.o.d"
+  "CMakeFiles/qsyn_frontend.dir/qasm_lexer.cpp.o"
+  "CMakeFiles/qsyn_frontend.dir/qasm_lexer.cpp.o.d"
+  "CMakeFiles/qsyn_frontend.dir/qasm_parser.cpp.o"
+  "CMakeFiles/qsyn_frontend.dir/qasm_parser.cpp.o.d"
+  "CMakeFiles/qsyn_frontend.dir/qasm_writer.cpp.o"
+  "CMakeFiles/qsyn_frontend.dir/qasm_writer.cpp.o.d"
+  "CMakeFiles/qsyn_frontend.dir/qc_parser.cpp.o"
+  "CMakeFiles/qsyn_frontend.dir/qc_parser.cpp.o.d"
+  "CMakeFiles/qsyn_frontend.dir/real_parser.cpp.o"
+  "CMakeFiles/qsyn_frontend.dir/real_parser.cpp.o.d"
+  "libqsyn_frontend.a"
+  "libqsyn_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsyn_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

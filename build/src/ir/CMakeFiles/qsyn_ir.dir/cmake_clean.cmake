@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsyn_ir.dir/circuit.cpp.o"
+  "CMakeFiles/qsyn_ir.dir/circuit.cpp.o.d"
+  "CMakeFiles/qsyn_ir.dir/gate.cpp.o"
+  "CMakeFiles/qsyn_ir.dir/gate.cpp.o.d"
+  "CMakeFiles/qsyn_ir.dir/gate_kind.cpp.o"
+  "CMakeFiles/qsyn_ir.dir/gate_kind.cpp.o.d"
+  "CMakeFiles/qsyn_ir.dir/matrix.cpp.o"
+  "CMakeFiles/qsyn_ir.dir/matrix.cpp.o.d"
+  "CMakeFiles/qsyn_ir.dir/random_circuit.cpp.o"
+  "CMakeFiles/qsyn_ir.dir/random_circuit.cpp.o.d"
+  "libqsyn_ir.a"
+  "libqsyn_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsyn_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cancellation.cpp" "src/opt/CMakeFiles/qsyn_opt.dir/cancellation.cpp.o" "gcc" "src/opt/CMakeFiles/qsyn_opt.dir/cancellation.cpp.o.d"
+  "/root/repo/src/opt/hadamard_rules.cpp" "src/opt/CMakeFiles/qsyn_opt.dir/hadamard_rules.cpp.o" "gcc" "src/opt/CMakeFiles/qsyn_opt.dir/hadamard_rules.cpp.o.d"
+  "/root/repo/src/opt/phase_polynomial.cpp" "src/opt/CMakeFiles/qsyn_opt.dir/phase_polynomial.cpp.o" "gcc" "src/opt/CMakeFiles/qsyn_opt.dir/phase_polynomial.cpp.o.d"
+  "/root/repo/src/opt/phase_utils.cpp" "src/opt/CMakeFiles/qsyn_opt.dir/phase_utils.cpp.o" "gcc" "src/opt/CMakeFiles/qsyn_opt.dir/phase_utils.cpp.o.d"
+  "/root/repo/src/opt/pipeline.cpp" "src/opt/CMakeFiles/qsyn_opt.dir/pipeline.cpp.o" "gcc" "src/opt/CMakeFiles/qsyn_opt.dir/pipeline.cpp.o.d"
+  "/root/repo/src/opt/rotation_merge.cpp" "src/opt/CMakeFiles/qsyn_opt.dir/rotation_merge.cpp.o" "gcc" "src/opt/CMakeFiles/qsyn_opt.dir/rotation_merge.cpp.o.d"
+  "/root/repo/src/opt/schedule.cpp" "src/opt/CMakeFiles/qsyn_opt.dir/schedule.cpp.o" "gcc" "src/opt/CMakeFiles/qsyn_opt.dir/schedule.cpp.o.d"
+  "/root/repo/src/opt/window_identity.cpp" "src/opt/CMakeFiles/qsyn_opt.dir/window_identity.cpp.o" "gcc" "src/opt/CMakeFiles/qsyn_opt.dir/window_identity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/qsyn_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/qsyn_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qsyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

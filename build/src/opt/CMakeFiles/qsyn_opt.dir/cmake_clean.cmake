@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsyn_opt.dir/cancellation.cpp.o"
+  "CMakeFiles/qsyn_opt.dir/cancellation.cpp.o.d"
+  "CMakeFiles/qsyn_opt.dir/hadamard_rules.cpp.o"
+  "CMakeFiles/qsyn_opt.dir/hadamard_rules.cpp.o.d"
+  "CMakeFiles/qsyn_opt.dir/phase_polynomial.cpp.o"
+  "CMakeFiles/qsyn_opt.dir/phase_polynomial.cpp.o.d"
+  "CMakeFiles/qsyn_opt.dir/phase_utils.cpp.o"
+  "CMakeFiles/qsyn_opt.dir/phase_utils.cpp.o.d"
+  "CMakeFiles/qsyn_opt.dir/pipeline.cpp.o"
+  "CMakeFiles/qsyn_opt.dir/pipeline.cpp.o.d"
+  "CMakeFiles/qsyn_opt.dir/rotation_merge.cpp.o"
+  "CMakeFiles/qsyn_opt.dir/rotation_merge.cpp.o.d"
+  "CMakeFiles/qsyn_opt.dir/schedule.cpp.o"
+  "CMakeFiles/qsyn_opt.dir/schedule.cpp.o.d"
+  "CMakeFiles/qsyn_opt.dir/window_identity.cpp.o"
+  "CMakeFiles/qsyn_opt.dir/window_identity.cpp.o.d"
+  "libqsyn_opt.a"
+  "libqsyn_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsyn_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qmdd/complex_table.cpp" "src/qmdd/CMakeFiles/qsyn_qmdd.dir/complex_table.cpp.o" "gcc" "src/qmdd/CMakeFiles/qsyn_qmdd.dir/complex_table.cpp.o.d"
+  "/root/repo/src/qmdd/dot_export.cpp" "src/qmdd/CMakeFiles/qsyn_qmdd.dir/dot_export.cpp.o" "gcc" "src/qmdd/CMakeFiles/qsyn_qmdd.dir/dot_export.cpp.o.d"
+  "/root/repo/src/qmdd/equivalence.cpp" "src/qmdd/CMakeFiles/qsyn_qmdd.dir/equivalence.cpp.o" "gcc" "src/qmdd/CMakeFiles/qsyn_qmdd.dir/equivalence.cpp.o.d"
+  "/root/repo/src/qmdd/package.cpp" "src/qmdd/CMakeFiles/qsyn_qmdd.dir/package.cpp.o" "gcc" "src/qmdd/CMakeFiles/qsyn_qmdd.dir/package.cpp.o.d"
+  "/root/repo/src/qmdd/vector.cpp" "src/qmdd/CMakeFiles/qsyn_qmdd.dir/vector.cpp.o" "gcc" "src/qmdd/CMakeFiles/qsyn_qmdd.dir/vector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/qsyn_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qsyn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsyn_qmdd.dir/complex_table.cpp.o"
+  "CMakeFiles/qsyn_qmdd.dir/complex_table.cpp.o.d"
+  "CMakeFiles/qsyn_qmdd.dir/dot_export.cpp.o"
+  "CMakeFiles/qsyn_qmdd.dir/dot_export.cpp.o.d"
+  "CMakeFiles/qsyn_qmdd.dir/equivalence.cpp.o"
+  "CMakeFiles/qsyn_qmdd.dir/equivalence.cpp.o.d"
+  "CMakeFiles/qsyn_qmdd.dir/package.cpp.o"
+  "CMakeFiles/qsyn_qmdd.dir/package.cpp.o.d"
+  "CMakeFiles/qsyn_qmdd.dir/vector.cpp.o"
+  "CMakeFiles/qsyn_qmdd.dir/vector.cpp.o.d"
+  "libqsyn_qmdd.a"
+  "libqsyn_qmdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsyn_qmdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

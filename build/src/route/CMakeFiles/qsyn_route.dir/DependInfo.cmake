@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/route/ctr.cpp" "src/route/CMakeFiles/qsyn_route.dir/ctr.cpp.o" "gcc" "src/route/CMakeFiles/qsyn_route.dir/ctr.cpp.o.d"
+  "/root/repo/src/route/placement.cpp" "src/route/CMakeFiles/qsyn_route.dir/placement.cpp.o" "gcc" "src/route/CMakeFiles/qsyn_route.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/qsyn_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/qsyn_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/decompose/CMakeFiles/qsyn_decompose.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qsyn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/qsyn_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

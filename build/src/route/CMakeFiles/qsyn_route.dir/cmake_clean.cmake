@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsyn_route.dir/ctr.cpp.o"
+  "CMakeFiles/qsyn_route.dir/ctr.cpp.o.d"
+  "CMakeFiles/qsyn_route.dir/placement.cpp.o"
+  "CMakeFiles/qsyn_route.dir/placement.cpp.o.d"
+  "libqsyn_route.a"
+  "libqsyn_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsyn_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

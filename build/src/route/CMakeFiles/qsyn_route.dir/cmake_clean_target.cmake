@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqsyn_route.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsyn_sim.dir/statevector.cpp.o"
+  "CMakeFiles/qsyn_sim.dir/statevector.cpp.o.d"
+  "libqsyn_sim.a"
+  "libqsyn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsyn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bench_circuits.dir/test_bench_circuits.cpp.o"
+  "CMakeFiles/test_bench_circuits.dir/test_bench_circuits.cpp.o.d"
+  "test_bench_circuits"
+  "test_bench_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bench_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

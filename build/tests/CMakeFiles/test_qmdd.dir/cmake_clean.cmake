@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qmdd.dir/test_qmdd.cpp.o"
+  "CMakeFiles/test_qmdd.dir/test_qmdd.cpp.o.d"
+  "test_qmdd"
+  "test_qmdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qmdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vector_dd.dir/test_vector_dd.cpp.o"
+  "CMakeFiles/test_vector_dd.dir/test_vector_dd.cpp.o.d"
+  "test_vector_dd"
+  "test_vector_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vector_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

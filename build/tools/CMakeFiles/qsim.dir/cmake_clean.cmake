@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsim.dir/qsim_main.cpp.o"
+  "CMakeFiles/qsim.dir/qsim_main.cpp.o.d"
+  "qsim"
+  "qsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qsync.dir/qsync_main.cpp.o"
+  "CMakeFiles/qsync.dir/qsync_main.cpp.o.d"
+  "qsync"
+  "qsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

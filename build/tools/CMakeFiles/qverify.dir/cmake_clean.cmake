@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qverify.dir/qverify_main.cpp.o"
+  "CMakeFiles/qverify.dir/qverify_main.cpp.o.d"
+  "qverify"
+  "qverify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qverify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
