@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "core/qsyn.hpp"
 #include "ir/random_circuit.hpp"
+#include "obs/obs.hpp"
 
 using namespace qsyn;
 
@@ -154,6 +155,73 @@ BM_EndToEndCompile(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EndToEndCompile);
+
+/** The same end-to-end compile with a trace sink installed: the gap to
+ *  BM_EndToEndCompile is the total observability overhead when on. */
+void
+BM_EndToEndCompileTraced(benchmark::State &state)
+{
+    Device dev = makeIbmqx5();
+    Circuit c(5, "ccx_chain");
+    c.addCcx(0, 1, 2);
+    c.addCcx(2, 3, 4);
+    c.addCcx(0, 2, 4);
+    for (auto _ : state) {
+        obs::ScopedSink sink;
+        Compiler compiler(dev);
+        benchmark::DoNotOptimize(compiler.compile(c));
+    }
+}
+BENCHMARK(BM_EndToEndCompileTraced);
+
+/** A disabled span must cost no more than a null-pointer branch — the
+ *  design guarantee every instrumentation site relies on. */
+void
+BM_ObsSpanDisabled(benchmark::State &state)
+{
+    for (auto _ : state) {
+        obs::Span span("bench.noop", "bench");
+        benchmark::DoNotOptimize(&span);
+    }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void
+BM_ObsSpanEnabled(benchmark::State &state)
+{
+    obs::ScopedSink sink;
+    for (auto _ : state) {
+        {
+            obs::Span span("bench.noop", "bench");
+            benchmark::DoNotOptimize(&span);
+        }
+        sink->clearEvents(); // keep memory bounded across iterations
+    }
+}
+BENCHMARK(BM_ObsSpanEnabled);
+
+void
+BM_ObsCounterDisabled(benchmark::State &state)
+{
+    for (auto _ : state) {
+        if (obs::Sink *s = obs::sink())
+            s->metrics().addCounter("bench.counter", 1.0);
+        benchmark::DoNotOptimize(obs::sink());
+    }
+}
+BENCHMARK(BM_ObsCounterDisabled);
+
+void
+BM_ObsCounterEnabled(benchmark::State &state)
+{
+    obs::ScopedSink sink;
+    for (auto _ : state) {
+        if (obs::Sink *s = obs::sink())
+            s->metrics().addCounter("bench.counter", 1.0);
+        benchmark::DoNotOptimize(obs::sink());
+    }
+}
+BENCHMARK(BM_ObsCounterEnabled);
 
 } // namespace
 

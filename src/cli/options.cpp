@@ -123,6 +123,17 @@ parseCliArguments(const std::vector<std::string> &args)
             opts.printSchedule = true;
         } else if (arg == "--report") {
             opts.reportPath = next_value(arg);
+        } else if (arg == "--trace-json") {
+            opts.tracePath = next_value(arg);
+        } else if (arg == "--metrics-json") {
+            opts.metricsPath = next_value(arg);
+        } else if (arg == "--log-level") {
+            std::string value = next_value(arg);
+            obs::LogLevel level;
+            if (!obs::parseLogLevel(value, &level))
+                throw UserError("unknown log level '" + value +
+                                "' (quiet|info|debug|trace)");
+            opts.logLevel = level;
         } else if (arg == "--rebase") {
             std::string value = next_value(arg);
             if (value != "cz" && value != "cnot")
@@ -176,12 +187,49 @@ cliHelpText()
         "      --draw               ASCII-draw input and output\n"
         "      --schedule           print depth/parallelism analysis\n"
         "      --report <file>      write a JSON compile report\n"
+        "      --trace-json <file>  write a Chrome trace-event file\n"
+        "                           (open in Perfetto / chrome://tracing)\n"
+        "      --metrics-json <file> write a metrics snapshot (counters,\n"
+        "                           gauges, QMDD table hit rates)\n"
+        "      --log-level <l>      quiet | info | debug | trace\n"
+        "                           (default: $QSYN_LOG or quiet)\n"
         "      --rebase <basis>     cz | cnot two-qubit output basis\n"
         "      --quiet              suppress the statistics report\n"
         "      --no-emit            suppress QASM output\n"
         "      --list-devices       print the device library and exit\n"
         "  -h, --help               this text\n";
 }
+
+namespace {
+
+/** Installs a Sink for the run when any observability output was
+ *  requested; uninstalls on scope exit (exceptions included). */
+class SinkInstallation
+{
+  public:
+    explicit SinkInstallation(bool enable) : installed_(enable)
+    {
+        if (installed_)
+            obs::installSink(&sink_);
+    }
+    ~SinkInstallation()
+    {
+        if (installed_)
+            obs::installSink(nullptr);
+    }
+
+    SinkInstallation(const SinkInstallation &) = delete;
+    SinkInstallation &operator=(const SinkInstallation &) = delete;
+
+    bool installed() const { return installed_; }
+    obs::Sink &sink() { return sink_; }
+
+  private:
+    obs::Sink sink_;
+    bool installed_;
+};
+
+} // namespace
 
 int
 runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
@@ -196,6 +244,10 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
         out << "simulator (any size; no coupling restrictions)\n";
         return 0;
     }
+    if (options.logLevel)
+        obs::setLogLevel(*options.logLevel);
+    SinkInstallation obs_install(!options.tracePath.empty() ||
+                                 !options.metricsPath.empty());
 
     try {
         Device device = [&]() -> Device {
@@ -215,8 +267,24 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
             return frontend::loadCircuitFile(options.inputPath);
         }();
 
-        Compiler compiler(device, options.compile);
+        CompileOptions copts = options.compile;
+        if (obs::logEnabled(obs::LogLevel::Debug))
+            copts.optimizer.collectPassStats = true;
+        Compiler compiler(device, copts);
         CompileResult result = compiler.compile(input);
+
+        if (obs::logEnabled(obs::LogLevel::Debug) &&
+            !result.optReport.passes.empty()) {
+            err << "optimizer passes (" << result.optReport.rounds
+                << " rounds):\n";
+            for (const opt::PassReport &p : result.optReport.passes) {
+                err << "  " << p.name << ": " << p.invocations
+                    << " invocations, " << p.changedRounds
+                    << " effective, " << p.gatesRemoved
+                    << " gates removed, cost delta " << p.costDelta
+                    << "\n";
+            }
+        }
 
         if (options.printStats) {
             err << "device:            " << device.summary() << "\n";
@@ -283,6 +351,22 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
                                         wopts);
                 err << "wrote " << options.outputPath << "\n";
             }
+        }
+        if (!options.tracePath.empty()) {
+            std::ofstream trace(options.tracePath);
+            if (!trace)
+                throw UserError("cannot write trace '" +
+                                options.tracePath + "'");
+            trace << obs_install.sink().traceJson();
+            err << "wrote " << options.tracePath << "\n";
+        }
+        if (!options.metricsPath.empty()) {
+            std::ofstream metrics(options.metricsPath);
+            if (!metrics)
+                throw UserError("cannot write metrics '" +
+                                options.metricsPath + "'");
+            metrics << obs_install.sink().metricsJson();
+            err << "wrote " << options.metricsPath << "\n";
         }
         return 0;
     } catch (const UserError &e) {

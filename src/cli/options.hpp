@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/compiler.hpp"
+#include "obs/obs.hpp"
 
 namespace qsyn::cli {
 
@@ -40,6 +41,13 @@ struct CliOptions
     bool printSchedule = false;
     /** Write a JSON compile report here (empty = none). */
     std::string reportPath;
+    /** Write a Chrome trace-event JSON file here (empty = none);
+     *  loadable in Perfetto / chrome://tracing. */
+    std::string tracePath;
+    /** Write a metrics snapshot JSON file here (empty = none). */
+    std::string metricsPath;
+    /** --log-level override; unset = QSYN_LOG env (default quiet). */
+    std::optional<obs::LogLevel> logLevel;
     /** Rebase the emitted circuit's two-qubit basis: "" (keep CNOT)
      *  or "cz" (emit CZ + Hadamards, for CZ-native platforms). */
     std::string rebase;

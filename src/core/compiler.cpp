@@ -3,8 +3,8 @@
 #include <algorithm>
 
 #include "common/errors.hpp"
-#include "common/stopwatch.hpp"
 #include "frontend/qasm_writer.hpp"
+#include "obs/obs.hpp"
 
 namespace qsyn {
 
@@ -27,7 +27,11 @@ Compiler::Compiler(Device device, CompileOptions options)
 CompileResult
 Compiler::compile(const Circuit &input) const
 {
-    Stopwatch total;
+    obs::Span total("compile", obs::kTimed);
+    total.arg("circuit", input.name());
+    total.arg("device", device_.name());
+    total.arg("qubits", input.numQubits());
+    total.arg("gates", input.size());
     CompileResult result;
     result.input = input;
     opt::CostModel model(options_.optimizer.weights);
@@ -42,83 +46,116 @@ Compiler::compile(const Circuit &input) const
 
     // 1. Decompose to the primitive library, growing clean ancillas
     //    only up to the device size.
-    Stopwatch sw;
-    decompose::DecomposeOptions dopts;
-    dopts.mcxStrategy = options_.mcxStrategy;
-    dopts.lowerToffoli = true;
-    dopts.maxQubits = device_.numQubits();
-    decompose::DecomposeResult lowered =
-        decompose::decomposeToPrimitives(input, dopts);
-    result.decomposed = lowered.circuit;
-    if (options_.optimize && options_.optimizeTechIndependent) {
-        // Technology-independent optimization (no coupling-map
-        // legality constraints yet).
-        opt::OptimizerOptions ti_opts = options_.optimizer;
-        ti_opts.device = nullptr;
-        result.decomposed =
-            opt::optimizeCircuit(result.decomposed, ti_opts);
+    {
+        obs::Span span("compile.decompose", obs::kTimed);
+        decompose::DecomposeOptions dopts;
+        dopts.mcxStrategy = options_.mcxStrategy;
+        dopts.lowerToffoli = true;
+        dopts.maxQubits = device_.numQubits();
+        decompose::DecomposeResult lowered =
+            decompose::decomposeToPrimitives(input, dopts);
+        result.decomposed = lowered.circuit;
+        if (options_.optimize && options_.optimizeTechIndependent) {
+            // Technology-independent optimization (no coupling-map
+            // legality constraints yet).
+            obs::Span ti_span("compile.ti_optimize");
+            opt::OptimizerOptions ti_opts = options_.optimizer;
+            ti_opts.device = nullptr;
+            result.decomposed =
+                opt::optimizeCircuit(result.decomposed, ti_opts);
+        }
+        result.techIndependent = measure(result.decomposed, model);
+        span.arg("gates_out", result.decomposed.size());
+        for (Qubit a : lowered.ancillas)
+            result.ancillas.push_back(a); // placed below
+        result.decomposeSeconds = span.seconds();
     }
-    result.techIndependent = measure(result.decomposed, model);
-    result.decomposeSeconds = sw.seconds();
 
     // 2. Place logical wires on physical qubits.
-    result.placement = route::computePlacement(
-        result.decomposed, device_, options_.placement);
+    {
+        obs::Span span("compile.place", obs::kTimed);
+        result.placement = route::computePlacement(
+            result.decomposed, device_, options_.placement);
+        result.placeSeconds = span.seconds();
+    }
 
     // 3. Route with CTR.
-    sw.reset();
-    Circuit placed = route::applyPlacement(result.decomposed,
-                                           result.placement, device_);
-    result.mapped = route::routeCircuit(placed, device_,
-                                        &result.routeStats,
-                                        options_.routing);
-    result.unoptimized = measure(result.mapped, model);
-    result.routeSeconds = sw.seconds();
+    {
+        obs::Span span("compile.route", obs::kTimed);
+        Circuit placed = route::applyPlacement(
+            result.decomposed, result.placement, device_);
+        result.mapped = route::routeCircuit(placed, device_,
+                                            &result.routeStats,
+                                            options_.routing);
+        result.unoptimized = measure(result.mapped, model);
+        span.arg("swaps", result.routeStats.swapsInserted);
+        span.arg("rerouted", result.routeStats.reroutedCnots);
+        result.routeSeconds = span.seconds();
+    }
 
-    for (Qubit a : lowered.ancillas)
-        result.ancillas.push_back(result.placement[a]);
+    for (Qubit &a : result.ancillas)
+        a = result.placement[a];
     std::sort(result.ancillas.begin(), result.ancillas.end());
 
     // 4. Optimize under the device's legality constraints.
-    sw.reset();
-    if (options_.optimize) {
-        opt::OptimizerOptions oopts = options_.optimizer;
-        oopts.device = &device_;
-        result.optimized = opt::optimizeCircuit(result.mapped, oopts,
-                                                &result.optReport);
-    } else {
-        result.optimized = result.mapped;
-        result.optReport.initialCost = result.unoptimized.cost;
-        result.optReport.finalCost = result.unoptimized.cost;
+    {
+        obs::Span span("compile.optimize", obs::kTimed);
+        if (options_.optimize) {
+            opt::OptimizerOptions oopts = options_.optimizer;
+            oopts.device = &device_;
+            result.optimized = opt::optimizeCircuit(
+                result.mapped, oopts, &result.optReport);
+        } else {
+            result.optimized = result.mapped;
+            result.optReport.initialCost = result.unoptimized.cost;
+            result.optReport.finalCost = result.unoptimized.cost;
+        }
+        result.optimizedM = measure(result.optimized, model);
+        span.arg("rounds", result.optReport.rounds);
+        span.arg("cost_decrease_pct",
+                 result.optReport.percentCostDecrease());
+        result.optimizeSeconds = span.seconds();
     }
-    result.optimizedM = measure(result.optimized, model);
-    result.optimizeSeconds = sw.seconds();
 
     // 5. Formal verification: the mapped output against the input,
     //    remapped through the placement, ancillas projected onto |0>.
-    sw.reset();
-    if (options_.verify != VerifyMode::Off && input.isUnitary()) {
-        Circuit reference =
-            input.remapped(result.placement, device_.numQubits());
-        dd::Package package;
-        dd::EquivalenceChecker checker(package);
-        dd::EquivalenceOptions eopts;
-        eopts.upToGlobalPhase = options_.verifyUpToGlobalPhase;
-        eopts.ancillaWires = result.ancillas;
-        eopts.nodeBudget = options_.verifyNodeBudget;
-        eopts.useMiter = options_.verify == VerifyMode::Miter &&
-                         result.ancillas.empty();
-        result.verification =
-            checker.check(reference, result.optimized, eopts);
-        result.verifyRan = true;
-        if (result.verification == dd::Equivalence::NotEquivalent) {
-            throw VerificationError(
-                "compiled circuit for '" + input.name() +
-                "' is NOT equivalent to its specification");
+    {
+        obs::Span span("compile.verify", obs::kTimed);
+        if (options_.verify != VerifyMode::Off && input.isUnitary()) {
+            Circuit reference =
+                input.remapped(result.placement, device_.numQubits());
+            dd::Package package;
+            dd::EquivalenceChecker checker(package);
+            dd::EquivalenceOptions eopts;
+            eopts.upToGlobalPhase = options_.verifyUpToGlobalPhase;
+            eopts.ancillaWires = result.ancillas;
+            eopts.nodeBudget = options_.verifyNodeBudget;
+            eopts.useMiter = options_.verify == VerifyMode::Miter &&
+                             result.ancillas.empty();
+            result.verification =
+                checker.check(reference, result.optimized, eopts);
+            result.verifyRan = true;
+            result.ddStats = package.stats();
+            result.ddLiveNodes = package.activeNodes();
+            package.publishMetrics();
+            span.arg("verdict",
+                     dd::equivalenceName(result.verification));
+            span.arg("live_nodes", result.ddLiveNodes);
+            if (result.verification == dd::Equivalence::NotEquivalent) {
+                throw VerificationError(
+                    "compiled circuit for '" + input.name() +
+                    "' is NOT equivalent to its specification");
+            }
         }
+        result.verifySeconds = span.seconds();
     }
-    result.verifySeconds = sw.seconds();
     result.totalSeconds = total.seconds();
+    QSYN_OBS_LOG(Info, "compile")
+        << "'" << input.name() << "' -> " << device_.name() << ": "
+        << result.optimizedM.gates << " gates, cost "
+        << result.optimizedM.cost << " ("
+        << result.percentCostDecrease() << "% decrease), "
+        << result.totalSeconds << " s";
     return result;
 }
 

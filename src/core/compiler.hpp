@@ -96,10 +96,17 @@ struct CompileResult
     route::RouteStats routeStats;
     opt::OptimizeReport optReport;
 
+    /** QMDD package counters from the verification stage (zeros when
+     *  verification was skipped): table sizes and hit rates. */
+    dd::PackageStats ddStats;
+    /** Live QMDD nodes when verification finished. */
+    size_t ddLiveNodes = 0;
+
     dd::Equivalence verification = dd::Equivalence::Inconclusive;
     bool verifyRan = false;
 
     double decomposeSeconds = 0.0;
+    double placeSeconds = 0.0;
     double routeSeconds = 0.0;
     double optimizeSeconds = 0.0;
     double verifySeconds = 0.0;

@@ -3,31 +3,18 @@
 #include <sstream>
 
 #include "device/fidelity.hpp"
+#include "obs/obs.hpp"
 
 namespace qsyn {
 
 namespace {
 
+/** Shorthand: report strings go through the shared escaper so device
+ *  names and file paths with quotes/backslashes stay valid JSON. */
 std::string
-jsonEscape(const std::string &s)
+esc(const std::string &s)
 {
-    std::string out;
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          default:
-            out += c;
-        }
-    }
-    return out;
+    return obs::jsonEscape(s);
 }
 
 void
@@ -46,9 +33,8 @@ compileReportJson(const CompileResult &result, const Device &device)
     std::ostringstream os;
     os.precision(12);
     os << "{\n";
-    os << "  \"circuit\": \"" << jsonEscape(result.input.name())
-       << "\",\n";
-    os << "  \"device\": \"" << jsonEscape(device.name()) << "\",\n";
+    os << "  \"circuit\": \"" << esc(result.input.name()) << "\",\n";
+    os << "  \"device\": \"" << esc(device.name()) << "\",\n";
     os << "  \"device_qubits\": " << device.numQubits() << ",\n";
     os << "  \"coupling_complexity\": " << device.couplingComplexity()
        << ",\n";
@@ -64,7 +50,18 @@ compileReportJson(const CompileResult &result, const Device &device)
     os << "  \"routing\": {\"native\": " << result.routeStats.nativeCnots
        << ", \"reversed\": " << result.routeStats.reversedCnots
        << ", \"rerouted\": " << result.routeStats.reroutedCnots
-       << ", \"swaps\": " << result.routeStats.swapsInserted << "},\n";
+       << ", \"swaps\": " << result.routeStats.swapsInserted
+       << ", \"h_inserted\": " << result.routeStats.hInserted << "},\n";
+    os << "  \"optimizer_passes\": [";
+    for (size_t i = 0; i < result.optReport.passes.size(); ++i) {
+        const opt::PassReport &p = result.optReport.passes[i];
+        os << (i ? ", " : "") << "\n    {\"name\": \"" << esc(p.name)
+           << "\", \"invocations\": " << p.invocations
+           << ", \"changed_rounds\": " << p.changedRounds
+           << ", \"gates_removed\": " << p.gatesRemoved
+           << ", \"cost_delta\": " << p.costDelta << "}";
+    }
+    os << (result.optReport.passes.empty() ? "" : "\n  ") << "],\n";
     os << "  \"ancillas\": [";
     for (size_t i = 0; i < result.ancillas.size(); ++i)
         os << (i ? ", " : "") << result.ancillas[i];
@@ -77,7 +74,17 @@ compileReportJson(const CompileResult &result, const Device &device)
        << (result.verifyRan ? dd::equivalenceName(result.verification)
                             : "skipped")
        << "\",\n";
+    os << "  \"qmdd\": {\"live_nodes\": " << result.ddLiveNodes
+       << ", \"peak_nodes\": " << result.ddStats.peakNodes
+       << ", \"unique_lookups\": " << result.ddStats.uniqueLookups
+       << ", \"unique_hits\": " << result.ddStats.uniqueHits
+       << ", \"unique_hit_rate\": " << result.ddStats.uniqueHitRate()
+       << ", \"compute_lookups\": " << result.ddStats.computeLookups
+       << ", \"compute_hits\": " << result.ddStats.computeHits
+       << ", \"compute_hit_rate\": " << result.ddStats.computeHitRate()
+       << ", \"gc_runs\": " << result.ddStats.gcRuns << "},\n";
     os << "  \"seconds\": {\"decompose\": " << result.decomposeSeconds
+       << ", \"place\": " << result.placeSeconds
        << ", \"route\": " << result.routeSeconds
        << ", \"optimize\": " << result.optimizeSeconds
        << ", \"verify\": " << result.verifySeconds

@@ -5,6 +5,7 @@
 #include "frontend/qasm_parser.hpp"
 #include "frontend/qc_parser.hpp"
 #include "frontend/real_parser.hpp"
+#include "obs/obs.hpp"
 
 namespace qsyn::frontend {
 
@@ -21,21 +22,61 @@ formatFromExtension(const std::string &path)
     return CircuitFormat::Unknown;
 }
 
-Circuit
-loadCircuitFile(const std::string &path)
+namespace {
+
+const char *
+formatName(CircuitFormat format)
 {
-    switch (formatFromExtension(path)) {
+    switch (format) {
       case CircuitFormat::Qasm:
-        return loadQasmFile(path);
+        return "qasm";
       case CircuitFormat::Qc:
-        return loadQcFile(path);
+        return "qc";
       case CircuitFormat::Real:
-        return loadRealFile(path);
+        return "real";
       case CircuitFormat::Unknown:
         break;
     }
-    throw UserError("cannot determine circuit format of '" + path +
-                    "' (expected .qasm, .qc, or .real)");
+    return "unknown";
+}
+
+} // namespace
+
+Circuit
+loadCircuitFile(const std::string &path)
+{
+    CircuitFormat format = formatFromExtension(path);
+    obs::Span span("frontend.parse", "frontend");
+    span.arg("path", path);
+    span.arg("format", formatName(format));
+
+    Circuit circuit = [&]() -> Circuit {
+        switch (format) {
+          case CircuitFormat::Qasm:
+            return loadQasmFile(path);
+          case CircuitFormat::Qc:
+            return loadQcFile(path);
+          case CircuitFormat::Real:
+            return loadRealFile(path);
+          case CircuitFormat::Unknown:
+            break;
+        }
+        throw UserError("cannot determine circuit format of '" + path +
+                        "' (expected .qasm, .qc, or .real)");
+    }();
+
+    span.arg("qubits", circuit.numQubits());
+    span.arg("gates", circuit.size());
+    if (obs::Sink *s = obs::sink()) {
+        s->metrics().addCounter("frontend.files_loaded", 1.0);
+        s->metrics().addCounter("frontend.gates_parsed",
+                                static_cast<double>(circuit.size()));
+    }
+    QSYN_OBS_LOG(Debug, "frontend")
+        << "loaded '" << path << "' (" << formatName(format) << "): "
+        << circuit.numQubits() << " qubits, " << circuit.size()
+        << " gates";
+    return circuit;
 }
 
 } // namespace qsyn::frontend

@@ -1,0 +1,464 @@
+#include "obs/obs.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+namespace qsyn::obs {
+
+/* ------------------------------------------------------------------ */
+/* JSON helpers                                                       */
+/* ------------------------------------------------------------------ */
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+                out += hex;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+/* ------------------------------------------------------------------ */
+/* Leveled logging                                                    */
+/* ------------------------------------------------------------------ */
+
+namespace {
+
+std::atomic<int> g_log_level{-1}; // -1 = not yet initialized
+std::atomic<std::ostream *> g_log_stream{nullptr};
+
+LogLevel
+logLevelFromEnv()
+{
+    const char *env = std::getenv("QSYN_LOG");
+    LogLevel level = LogLevel::Quiet;
+    if (env != nullptr)
+        parseLogLevel(env, &level); // unknown values keep Quiet
+    return level;
+}
+
+} // namespace
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Quiet:
+        return "quiet";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Trace:
+        return "trace";
+    }
+    return "?";
+}
+
+bool
+parseLogLevel(std::string_view name, LogLevel *out)
+{
+    if (name == "quiet")
+        *out = LogLevel::Quiet;
+    else if (name == "info")
+        *out = LogLevel::Info;
+    else if (name == "debug")
+        *out = LogLevel::Debug;
+    else if (name == "trace")
+        *out = LogLevel::Trace;
+    else
+        return false;
+    return true;
+}
+
+LogLevel
+logLevel()
+{
+    int level = g_log_level.load(std::memory_order_relaxed);
+    if (level < 0) {
+        level = static_cast<int>(logLevelFromEnv());
+        g_log_level.store(level, std::memory_order_relaxed);
+    }
+    return static_cast<LogLevel>(level);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void
+setLogStream(std::ostream *stream)
+{
+    g_log_stream.store(stream, std::memory_order_release);
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <= static_cast<int>(logLevel()) &&
+           level != LogLevel::Quiet;
+}
+
+LogMessage::LogMessage(LogLevel level, const char *component)
+    : level_(level), component_(component)
+{
+}
+
+LogMessage::~LogMessage()
+{
+    std::ostream *out = g_log_stream.load(std::memory_order_acquire);
+    if (out == nullptr)
+        out = &std::cerr;
+    *out << "[" << logLevelName(level_) << "] " << component_ << ": "
+         << buf_.str() << "\n";
+}
+
+/* ------------------------------------------------------------------ */
+/* Metrics                                                            */
+/* ------------------------------------------------------------------ */
+
+void
+Histogram::observe(double value)
+{
+    if (count == 0) {
+        min = max = value;
+    } else {
+        min = std::min(min, value);
+        max = std::max(max, value);
+    }
+    ++count;
+    sum += value;
+    int bucket = 0;
+    double bound = 1.0;
+    while (bucket < kBuckets - 1 && value > bound) {
+        bound *= 2.0;
+        ++bucket;
+    }
+    ++buckets[static_cast<size_t>(bucket)];
+}
+
+void
+MetricsRegistry::addCounter(std::string_view name, double delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    if (it == counters_.end())
+        counters_.emplace(std::string(name), delta);
+    else
+        it->second += delta;
+}
+
+void
+MetricsRegistry::setGauge(std::string_view name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    if (it == gauges_.end())
+        gauges_.emplace(std::string(name), value);
+    else
+        it->second = value;
+}
+
+void
+MetricsRegistry::observe(std::string_view name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_.emplace(std::string(name), Histogram{}).first;
+    it->second.observe(value);
+}
+
+double
+MetricsRegistry::counter(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+}
+
+double
+MetricsRegistry::gauge(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+Histogram
+MetricsRegistry::histogram(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? Histogram{} : it->second;
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+namespace {
+
+void
+emitNumber(std::ostringstream &os, double v)
+{
+    // Counters and gauges are usually integral; print them as such so
+    // the JSON stays friendly to strict consumers.
+    if (v == static_cast<double>(static_cast<long long>(v)))
+        os << static_cast<long long>(v);
+    else
+        os << v;
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os.precision(12);
+    os << "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": ";
+        emitNumber(os, value);
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : gauges_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": ";
+        emitNumber(os, value);
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
+           << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+           << ", \"min\": " << h.min << ", \"max\": " << h.max
+           << ", \"mean\": " << h.mean() << ", \"buckets\": {";
+        bool bfirst = true;
+        double bound = 1.0;
+        for (int i = 0; i < Histogram::kBuckets; ++i, bound *= 2.0) {
+            if (h.buckets[static_cast<size_t>(i)] == 0)
+                continue;
+            os << (bfirst ? "" : ", ") << "\"le_" << bound
+               << "\": " << h.buckets[static_cast<size_t>(i)];
+            bfirst = false;
+        }
+        os << "}}";
+        first = false;
+    }
+    os << (first ? "" : "\n  ") << "}\n}\n";
+    return os.str();
+}
+
+/* ------------------------------------------------------------------ */
+/* Tracing                                                            */
+/* ------------------------------------------------------------------ */
+
+namespace detail {
+std::atomic<Sink *> g_sink{nullptr};
+} // namespace detail
+
+void
+installSink(Sink *s)
+{
+    detail::g_sink.store(s, std::memory_order_release);
+}
+
+std::uint32_t
+currentThreadId()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+Sink::Sink() : epoch_(std::chrono::steady_clock::now()) {}
+
+double
+Sink::nowUs() const
+{
+    return toUs(std::chrono::steady_clock::now());
+}
+
+double
+Sink::toUs(std::chrono::steady_clock::time_point t) const
+{
+    return std::chrono::duration<double, std::micro>(t - epoch_).count();
+}
+
+void
+Sink::record(TraceEvent &&event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent>
+Sink::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_;
+}
+
+void
+Sink::clearEvents()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+std::string
+Sink::traceJson() const
+{
+    std::vector<TraceEvent> evs = events();
+    std::ostringstream os;
+    os.precision(12);
+    os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
+    os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+          "\"args\": {\"name\": \"qsyn\"}}";
+    for (const TraceEvent &e : evs) {
+        os << ",\n{\"name\": \"" << jsonEscape(e.name) << "\", \"cat\": \""
+           << jsonEscape(e.category) << "\", \"ph\": \"X\", \"ts\": "
+           << e.tsUs << ", \"dur\": " << e.durUs
+           << ", \"pid\": 1, \"tid\": " << e.tid;
+        if (!e.argsJson.empty())
+            os << ", \"args\": {" << e.argsJson << "}";
+        os << "}";
+    }
+    os << "\n]\n}\n";
+    return os.str();
+}
+
+/* ------------------------------------------------------------------ */
+/* Span                                                               */
+/* ------------------------------------------------------------------ */
+
+Span::Span(const char *name, const char *category)
+    : sink_(sink()), name_(name), category_(category),
+      timing_(sink_ != nullptr)
+{
+    if (timing_)
+        start_ = std::chrono::steady_clock::now();
+}
+
+Span::Span(const char *name, TimedTag, const char *category)
+    : sink_(sink()), name_(name), category_(category), timing_(true)
+{
+    start_ = std::chrono::steady_clock::now();
+}
+
+double
+Span::seconds() const
+{
+    if (!timing_)
+        return 0.0;
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+}
+
+void
+Span::finish()
+{
+    if (done_)
+        return;
+    done_ = true;
+    if (sink_ == nullptr)
+        return;
+    auto end = std::chrono::steady_clock::now();
+    TraceEvent ev;
+    ev.name = name_;
+    ev.category = category_;
+    ev.tsUs = sink_->toUs(start_);
+    ev.durUs =
+        std::chrono::duration<double, std::micro>(end - start_).count();
+    ev.tid = currentThreadId();
+    ev.argsJson = std::move(argsJson_);
+    sink_->record(std::move(ev));
+}
+
+namespace {
+
+void
+appendArgKey(std::string &json, std::string_view key)
+{
+    if (!json.empty())
+        json += ", ";
+    json += "\"";
+    json += jsonEscape(key);
+    json += "\": ";
+}
+
+} // namespace
+
+void
+Span::argNumber(std::string_view key, double value)
+{
+    if (sink_ == nullptr)
+        return;
+    std::ostringstream os;
+    os.precision(12);
+    emitNumber(os, value);
+    appendArgKey(argsJson_, key);
+    argsJson_ += os.str();
+}
+
+void
+Span::argString(std::string_view key, std::string_view value)
+{
+    if (sink_ == nullptr)
+        return;
+    appendArgKey(argsJson_, key);
+    argsJson_ += "\"";
+    argsJson_ += jsonEscape(value);
+    argsJson_ += "\"";
+}
+
+} // namespace qsyn::obs

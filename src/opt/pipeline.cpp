@@ -1,5 +1,7 @@
 #include "opt/pipeline.hpp"
 
+#include "obs/obs.hpp"
+
 namespace qsyn::opt {
 
 Circuit
@@ -8,31 +10,96 @@ optimizeCircuit(const Circuit &circuit, const OptimizerOptions &options,
 {
     CostModel model(options.weights);
     Circuit current = circuit;
+    obs::Sink *sink = obs::sink();
+    // Per-pass cost deltas need a cost evaluation around every pass;
+    // only pay for them when someone will look at the numbers.
+    const bool detailed = options.collectPassStats || sink != nullptr;
 
     double cost = model.cost(current);
     if (report) {
         report->initialCost = cost;
         report->initialGates = computeStats(current).volume;
         report->rounds = 0;
+        report->passes.clear();
     }
 
-    for (int round = 0; round < options.maxRounds; ++round) {
-        bool changed = false;
-        if (options.enableCancellation)
-            changed |= cancelInversePairs(current);
-        if (options.enableRotationMerge)
-            changed |= mergeRotations(current);
-        if (options.enableHadamardRules)
-            changed |= applyHadamardRules(current, options.device);
-        if (options.enableWindowIdentity) {
-            changed |= removeIdentityWindows(current, options.windowQubits,
-                                             options.windowGates);
+    PassReport cancellation{"cancellation", 0, 0, 0, 0.0};
+    PassReport rotation{"rotation_merge", 0, 0, 0, 0.0};
+    PassReport hadamard{"hadamard_rules", 0, 0, 0, 0.0};
+    PassReport window{"window_identity", 0, 0, 0, 0.0};
+    PassReport phase{"phase_polynomial", 0, 0, 0, 0.0};
+
+    auto run_pass = [&](PassReport &pr, const char *span_name,
+                        auto &&fn) -> bool {
+        obs::Span span(span_name, "opt");
+        size_t gates_before = current.size();
+        double cost_before = detailed ? model.cost(current) : 0.0;
+        bool changed = fn();
+        ++pr.invocations;
+        if (changed)
+            ++pr.changedRounds;
+        size_t gates_after = current.size();
+        size_t removed =
+            gates_before > gates_after ? gates_before - gates_after : 0;
+        pr.gatesRemoved += removed;
+        double delta = 0.0;
+        if (detailed) {
+            delta = cost_before - model.cost(current);
+            pr.costDelta += delta;
         }
-        if (options.enablePhasePolynomial)
-            changed |= mergePhasePolynomial(current);
+        if (sink != nullptr) {
+            span.arg("gates_removed", removed);
+            span.arg("cost_delta", delta);
+            obs::MetricsRegistry &m = sink->metrics();
+            std::string prefix = std::string("opt.") + pr.name;
+            m.addCounter(prefix + ".invocations", 1.0);
+            m.addCounter(prefix + ".gates_removed",
+                         static_cast<double>(removed));
+            m.addCounter(prefix + ".cost_delta", delta);
+            m.addCounter("opt.gates_removed",
+                         static_cast<double>(removed));
+            m.addCounter("opt.cost_delta", delta);
+        }
+        return changed;
+    };
+
+    for (int round = 0; round < options.maxRounds; ++round) {
+        obs::Span round_span("opt.round", "opt");
+        round_span.arg("round", round);
+        bool changed = false;
+        if (options.enableCancellation) {
+            changed |= run_pass(cancellation, "opt.cancellation", [&] {
+                return cancelInversePairs(current);
+            });
+        }
+        if (options.enableRotationMerge) {
+            changed |= run_pass(rotation, "opt.rotation_merge", [&] {
+                return mergeRotations(current);
+            });
+        }
+        if (options.enableHadamardRules) {
+            changed |= run_pass(hadamard, "opt.hadamard_rules", [&] {
+                return applyHadamardRules(current, options.device);
+            });
+        }
+        if (options.enableWindowIdentity) {
+            changed |= run_pass(window, "opt.window_identity", [&] {
+                return removeIdentityWindows(current,
+                                             options.windowQubits,
+                                             options.windowGates);
+            });
+        }
+        if (options.enablePhasePolynomial) {
+            changed |= run_pass(phase, "opt.phase_polynomial", [&] {
+                return mergePhasePolynomial(current);
+            });
+        }
         if (report)
             report->rounds = round + 1;
         double new_cost = model.cost(current);
+        QSYN_OBS_LOG(Trace, "opt")
+            << "round " << round + 1 << ": cost " << cost << " -> "
+            << new_cost << ", " << current.size() << " gates";
         // Passes only delete or shrink gates, so cost is monotone; stop
         // at the fixed point.
         if (!changed || new_cost >= cost) {
@@ -45,6 +112,16 @@ optimizeCircuit(const Circuit &circuit, const OptimizerOptions &options,
     if (report) {
         report->finalCost = cost;
         report->finalGates = computeStats(current).volume;
+        if (options.enableCancellation)
+            report->passes.push_back(cancellation);
+        if (options.enableRotationMerge)
+            report->passes.push_back(rotation);
+        if (options.enableHadamardRules)
+            report->passes.push_back(hadamard);
+        if (options.enableWindowIdentity)
+            report->passes.push_back(window);
+        if (options.enablePhasePolynomial)
+            report->passes.push_back(phase);
     }
     return current;
 }

@@ -7,6 +7,8 @@
 
 #pragma once
 
+#include <vector>
+
 #include "device/device.hpp"
 #include "ir/circuit.hpp"
 #include "opt/cost_model.hpp"
@@ -41,6 +43,31 @@ struct OptimizerOptions
 
     /** Safety cap on driver rounds. */
     int maxRounds = 64;
+
+    /**
+     * Track the per-pass cost delta in OptimizeReport::passes. Costs a
+     * cost-model evaluation (one O(gates) scan) after every pass
+     * invocation, so it is off by default and enabled by the CLI under
+     * `--log-level debug` or whenever a trace sink is installed.
+     * Invocation and gates-removed accounting is O(1) and always on.
+     */
+    bool collectPassStats = false;
+};
+
+/** Per-pass accounting across all driver rounds. */
+struct PassReport
+{
+    /** Stable pass name ("cancellation", "rotation_merge", ...). */
+    const char *name = "";
+    /** Rounds in which the pass ran. */
+    int invocations = 0;
+    /** Rounds in which it changed the circuit. */
+    int changedRounds = 0;
+    /** Total gates it deleted (summed over rounds). */
+    size_t gatesRemoved = 0;
+    /** Total Eqn. 2 cost it removed; only filled when
+     *  OptimizerOptions::collectPassStats is set. */
+    double costDelta = 0.0;
 };
 
 /** What a run of the optimizer accomplished. */
@@ -51,6 +78,8 @@ struct OptimizeReport
     size_t initialGates = 0;
     size_t finalGates = 0;
     int rounds = 0;
+    /** One entry per enabled pass, in execution order. */
+    std::vector<PassReport> passes;
 
     double
     percentCostDecrease() const

@@ -5,6 +5,7 @@
 
 #include "common/errors.hpp"
 #include "common/rng.hpp"
+#include "obs/obs.hpp"
 #include "qmdd/vector.hpp"
 
 namespace qsyn::dd {
@@ -163,9 +164,14 @@ EquivalenceChecker::check(const Circuit &a, const Circuit &b,
         throw UserError(
             "equivalence checking requires measurement-free circuits");
     }
-    if (opts.quickRefuteSamples > 0 &&
-        quickRefute(pkg_, a, b, opts, opts.quickRefuteSamples))
-        return Equivalence::NotEquivalent;
+    obs::Span span("qmdd.equivalence_check");
+    span.arg("gates_a", static_cast<double>(a.size()));
+    span.arg("gates_b", static_cast<double>(b.size()));
+    if (opts.quickRefuteSamples > 0) {
+        obs::Span refute_span("qmdd.quick_refute");
+        if (quickRefute(pkg_, a, b, opts, opts.quickRefuteSamples))
+            return Equivalence::NotEquivalent;
+    }
     if (opts.useMiter && opts.ancillaWires.empty())
         return checkMiter(a, b, opts);
 
@@ -174,11 +180,17 @@ EquivalenceChecker::check(const Circuit &a, const Circuit &b,
                      : pkg_.makeProjector(opts.ancillaWires);
 
     Edge ea;
-    if (!buildOnto(a, start, opts.nodeBudget, &ea, {start}))
-        return Equivalence::Inconclusive;
+    {
+        obs::Span build_a("qmdd.build_reference");
+        if (!buildOnto(a, start, opts.nodeBudget, &ea, {start}))
+            return Equivalence::Inconclusive;
+    }
     Edge eb;
-    if (!buildOnto(b, start, opts.nodeBudget, &eb, {start, ea}))
-        return Equivalence::Inconclusive;
+    {
+        obs::Span build_b("qmdd.build_candidate");
+        if (!buildOnto(b, start, opts.nodeBudget, &eb, {start, ea}))
+            return Equivalence::Inconclusive;
+    }
     return compareEdges(ea, eb, opts);
 }
 

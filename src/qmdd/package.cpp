@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/errors.hpp"
+#include "obs/obs.hpp"
 
 namespace qsyn::dd {
 
@@ -197,8 +198,11 @@ Package::mulNodes(Node *x, Node *y)
 
     size_t slot = hashCombine(hashPtr(x), hashPtr(y)) & (kMulCacheSize - 1);
     MulSlot &cache = mul_cache_[slot];
-    if (cache.a == x && cache.b == y)
+    ++stats_.computeLookups;
+    if (cache.a == x && cache.b == y) {
+        ++stats_.computeHits;
         return cache.result;
+    }
 
     std::int32_t top = std::min(x->var, y->var);
     Edge ex{x, ctab_.one()};
@@ -239,8 +243,11 @@ Package::add(const Edge &a, const Edge &b)
     size_t slot =
         hashCombine(hashEdge(ka), hashEdge(kb)) & (kAddCacheSize - 1);
     AddSlot &cache = add_cache_[slot];
-    if (cache.valid && cache.a == ka && cache.b == kb)
+    ++stats_.computeLookups;
+    if (cache.valid && cache.a == ka && cache.b == kb) {
+        ++stats_.computeHits;
         return cache.result;
+    }
 
     std::int32_t top = kTerminalVar;
     if (!isTerminal(a.node))
@@ -272,7 +279,9 @@ Package::conjugateTranspose(const Edge &a)
     } else {
         size_t slot = hashPtr(a.node) & (kCtCacheSize - 1);
         CtSlot &cache = ct_cache_[slot];
+        ++stats_.computeLookups;
         if (cache.a == a.node) {
+            ++stats_.computeHits;
             r = cache.result;
         } else {
             std::array<Edge, 4> res;
@@ -515,6 +524,30 @@ Package::collectGarbage(const std::vector<Edge> &roots)
     // do not thrash in a GC loop.
     if (unique_size_ > gc_threshold_ / 2)
         gc_threshold_ *= 2;
+}
+
+void
+Package::publishMetrics(const char *prefix) const
+{
+    obs::Sink *s = obs::sink();
+    if (s == nullptr)
+        return;
+    obs::MetricsRegistry &m = s->metrics();
+    std::string p(prefix);
+    m.setGauge(p + ".live_nodes", static_cast<double>(unique_size_));
+    m.setGauge(p + ".peak_nodes", static_cast<double>(stats_.peakNodes));
+    m.setGauge(p + ".unique_lookups",
+               static_cast<double>(stats_.uniqueLookups));
+    m.setGauge(p + ".unique_hits", static_cast<double>(stats_.uniqueHits));
+    m.setGauge(p + ".unique_hit_rate", stats_.uniqueHitRate());
+    m.setGauge(p + ".compute_lookups",
+               static_cast<double>(stats_.computeLookups));
+    m.setGauge(p + ".compute_hits",
+               static_cast<double>(stats_.computeHits));
+    m.setGauge(p + ".compute_hit_rate", stats_.computeHitRate());
+    m.setGauge(p + ".multiplies", static_cast<double>(stats_.multiplies));
+    m.setGauge(p + ".additions", static_cast<double>(stats_.additions));
+    m.setGauge(p + ".gc_runs", static_cast<double>(stats_.gcRuns));
 }
 
 } // namespace qsyn::dd

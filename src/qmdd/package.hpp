@@ -25,15 +25,39 @@
 
 namespace qsyn::dd {
 
-/** Counters exposed for the micro-benchmarks and tests. */
+/** Counters exposed for the micro-benchmarks, tests, and the obs
+ *  metrics snapshot (`qmdd.*`). */
 struct PackageStats
 {
     size_t uniqueLookups = 0;
     size_t uniqueHits = 0;
     size_t multiplies = 0;
     size_t additions = 0;
+    /** Compute-cache probes (mul + add + conjugate-transpose). */
+    size_t computeLookups = 0;
+    size_t computeHits = 0;
     size_t gcRuns = 0;
     size_t peakNodes = 0;
+
+    /** Fraction of unique-table lookups that found an existing node. */
+    double
+    uniqueHitRate() const
+    {
+        return uniqueLookups
+                   ? static_cast<double>(uniqueHits) /
+                         static_cast<double>(uniqueLookups)
+                   : 0.0;
+    }
+
+    /** Fraction of compute-cache probes that hit. */
+    double
+    computeHitRate() const
+    {
+        return computeLookups
+                   ? static_cast<double>(computeHits) /
+                         static_cast<double>(computeLookups)
+                   : 0.0;
+    }
 };
 
 /** Owner of all QMDD nodes plus the unique/compute tables. */
@@ -107,6 +131,13 @@ class Package
     /** Nodes currently alive in the unique table. */
     size_t activeNodes() const { return unique_size_; }
     const PackageStats &stats() const { return stats_; }
+    /**
+     * Publish the package's counters as `<prefix>.*` gauges on the
+     * installed obs sink (live/peak nodes, table lookup/hit counts and
+     * rates, gc runs). No-op when observability is off; last package
+     * published wins on name collisions.
+     */
+    void publishMetrics(const char *prefix = "qmdd") const;
     /// @}
 
     /**

@@ -24,7 +24,9 @@ VectorEngine::makeBasisState(std::uint64_t basis, Qubit num_qubits)
 {
     Edge e = pkg_.identityEdge(); // terminal 1 = |0...0> of the rest
     for (Qubit level = num_qubits; level-- > 0;) {
-        bool bit = (basis >> (num_qubits - 1 - level)) & 1;
+        // Qubits beyond the 64-bit basis index are implicitly |0>.
+        unsigned shift = static_cast<unsigned>(num_qubits - 1 - level);
+        bool bit = shift < 64 && ((basis >> shift) & 1);
         if (bit) {
             e = makeVectorNode(static_cast<std::int32_t>(level),
                                pkg_.zeroEdge(), e);
@@ -122,7 +124,11 @@ VectorEngine::amplitude(const Edge &state, std::uint64_t index,
     Cplx w = *state.weight;
     const Node *p = state.node;
     for (int v = 0; v < num_qubits; ++v) {
-        int bit = static_cast<int>((index >> (num_qubits - 1 - v)) & 1);
+        // Index bits beyond 64 qubits are implicitly 0.
+        int shift = num_qubits - 1 - v;
+        int bit = shift < 64
+                      ? static_cast<int>((index >> shift) & 1)
+                      : 0;
         if (isTerminal(p) || p->var > v) {
             if (bit != 0)
                 return Cplx(0, 0); // skipped qubits are |0>

@@ -4,10 +4,33 @@
 #include <cmath>
 
 #include "decompose/toffoli.hpp"
+#include "obs/obs.hpp"
 
 namespace qsyn::route {
 
 namespace {
+
+/** appendReversedCnot realizes a CNOT against the coupling direction
+ *  with four Hadamards around it (Fig. 6); account for them. */
+void
+countReversal(RouteStats *stats)
+{
+    if (stats)
+        stats->hInserted += 4;
+}
+
+/** Record one reroute decision on the installed obs sink: the SWAP
+ *  path length (vertices walked, histogram) and the running reroute
+ *  count. Reroutes are rare relative to gates, so the registry mutex
+ *  is fine here. */
+void
+recordReroute(size_t path_vertices)
+{
+    if (obs::Sink *s = obs::sink()) {
+        s->metrics().observe("route.reroute_path_length",
+                             static_cast<double>(path_vertices));
+    }
+}
 
 void
 emitSwapPath(Circuit &out, const CouplingMap &map,
@@ -62,6 +85,7 @@ routeCnotCtr(Circuit &out, const Device &device, Qubit control,
     }
     if (stats)
         ++stats->reroutedCnots;
+    recordReroute(path.size());
 
     emitSwapPath(out, map, path, stats);
     Qubit moved = path.back();
@@ -69,6 +93,7 @@ routeCnotCtr(Circuit &out, const Device &device, Qubit control,
         out.addCnot(moved, target);
     } else {
         decompose::appendReversedCnot(out, moved, target);
+        countReversal(stats);
     }
     emitSwapPathReversed(out, map, path, stats);
 }
@@ -85,6 +110,7 @@ routeCnotMeetInMiddle(Circuit &out, const CouplingMap &map, Qubit control,
     }
     if (stats)
         ++stats->reroutedCnots;
+    recordReroute(path.size());
 
     // path = [control, ..., target]; walk the control to index j and
     // the target back to index j+1.
@@ -104,6 +130,7 @@ routeCnotMeetInMiddle(Circuit &out, const CouplingMap &map, Qubit control,
         out.addCnot(moved_control, moved_target);
     } else {
         decompose::appendReversedCnot(out, moved_control, moved_target);
+        countReversal(stats);
     }
     emitSwapPathReversed(out, map, target_leg, stats);
     emitSwapPathReversed(out, map, control_leg, stats);
@@ -170,6 +197,7 @@ routeDynamic(const Circuit &circuit, const Device &device,
         }
         if (map.hasUndirectedEdge(pc, pt)) {
             decompose::appendReversedCnot(out, pc, pt);
+            countReversal(stats);
             if (stats)
                 ++stats->reversedCnots;
             continue;
@@ -182,6 +210,7 @@ routeDynamic(const Circuit &circuit, const Device &device,
         }
         if (stats)
             ++stats->reroutedCnots;
+        recordReroute(path.size());
         for (size_t i = 0; i + 1 < path.size(); ++i)
             apply_swap(path[i], path[i + 1]);
         Qubit moved = path.back();
@@ -189,6 +218,7 @@ routeDynamic(const Circuit &circuit, const Device &device,
             out.addCnot(moved, pt);
         } else {
             decompose::appendReversedCnot(out, moved, pt);
+            countReversal(stats);
         }
     }
 
@@ -207,6 +237,29 @@ routeDynamic(const Circuit &circuit, const Device &device,
 
 } // namespace
 
+namespace {
+
+/** Flush one routing run's counters onto the obs sink. */
+void
+flushRouteStats(obs::Sink *sink, const RouteStats &stats)
+{
+    if (sink == nullptr)
+        return;
+    obs::MetricsRegistry &m = sink->metrics();
+    m.addCounter("route.native_cnots",
+                 static_cast<double>(stats.nativeCnots));
+    m.addCounter("route.reversed_cnots",
+                 static_cast<double>(stats.reversedCnots));
+    m.addCounter("route.rerouted_cnots",
+                 static_cast<double>(stats.reroutedCnots));
+    m.addCounter("route.swaps_inserted",
+                 static_cast<double>(stats.swapsInserted));
+    m.addCounter("route.h_inserted",
+                 static_cast<double>(stats.hInserted));
+}
+
+} // namespace
+
 Circuit
 routeCircuit(const Circuit &circuit, const Device &device,
              RouteStats *stats, const RouteOptions &options)
@@ -217,8 +270,24 @@ routeCircuit(const Circuit &circuit, const Device &device,
             " qubits but " + device.name() + " has only " +
             std::to_string(device.numQubits()));
     }
-    if (options.dynamicLayout)
-        return routeDynamic(circuit, device, stats);
+    obs::Span span("route.circuit", "route");
+    obs::Sink *sink = obs::sink();
+    // Keep per-run counters even when the caller does not ask for
+    // them, so the metrics snapshot is complete.
+    RouteStats local;
+    if (stats == nullptr && sink != nullptr)
+        stats = &local;
+
+    if (options.dynamicLayout) {
+        Circuit routed = routeDynamic(circuit, device, stats);
+        if (sink != nullptr && stats != nullptr) {
+            flushRouteStats(sink, *stats);
+            span.arg("gates_in", circuit.size());
+            span.arg("gates_out", routed.size());
+            span.arg("swaps", stats->swapsInserted);
+        }
+        return routed;
+    }
 
     Circuit out(device.numQubits(), circuit.name());
     const CouplingMap &map = device.coupling();
@@ -242,6 +311,7 @@ routeCircuit(const Circuit &circuit, const Device &device,
         }
         if (map.hasUndirectedEdge(control, target)) {
             decompose::appendReversedCnot(out, control, target);
+            countReversal(stats);
             if (stats)
                 ++stats->reversedCnots;
             continue;
@@ -251,6 +321,12 @@ routeCircuit(const Circuit &circuit, const Device &device,
         else
             routeCnotCtr(out, device, control, target, stats,
                          options.fidelityAware);
+    }
+    if (sink != nullptr && stats != nullptr) {
+        flushRouteStats(sink, *stats);
+        span.arg("gates_in", circuit.size());
+        span.arg("gates_out", out.size());
+        span.arg("swaps", stats->swapsInserted);
     }
     return out;
 }

@@ -26,6 +26,9 @@ struct RouteStats
     size_t reversedCnots = 0; ///< fixed with four Hadamards (Fig. 6)
     size_t reroutedCnots = 0; ///< needed a SWAP path (CTR)
     size_t swapsInserted = 0; ///< total SWAPs emitted (incl. swap-back)
+    /** Hadamards inserted for direction fixes, including reversals at
+     *  the far end of a reroute (4 per reversed CNOT). */
+    size_t hInserted = 0;
 };
 
 /** Routing options. */

@@ -13,6 +13,7 @@
 #include "cli/options.hpp"
 #include "common/errors.hpp"
 #include "frontend/qasm_parser.hpp"
+#include "obs/obs.hpp"
 #include "qmdd/equivalence.hpp"
 
 using namespace qsyn;
@@ -188,6 +189,84 @@ TEST(CliRun, FidelityAndPhasePolyFlagsParse)
         {"--fidelity-aware", "--phase-poly", "x.qasm"});
     EXPECT_TRUE(opts.compile.routing.fidelityAware);
     EXPECT_TRUE(opts.compile.optimizer.enablePhasePolynomial);
+}
+
+TEST(CliParse, ObservabilityFlags)
+{
+    CliOptions opts = parseCliArguments(
+        {"--trace-json", "t.json", "--metrics-json", "m.json",
+         "--log-level", "debug", "x.qasm"});
+    EXPECT_EQ(opts.tracePath, "t.json");
+    EXPECT_EQ(opts.metricsPath, "m.json");
+    ASSERT_TRUE(opts.logLevel.has_value());
+    EXPECT_EQ(*opts.logLevel, obs::LogLevel::Debug);
+    EXPECT_THROW(parseCliArguments({"--log-level", "loud", "x.qasm"}),
+                 UserError);
+    EXPECT_THROW(parseCliArguments({"--trace-json"}), UserError);
+}
+
+TEST(CliRun, TraceAndMetricsJsonFiles)
+{
+    std::string in_path = writeTemp(
+        "cli_trace.qasm",
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\n"
+        "ccx q[0],q[1],q[2];\n");
+    std::string trace_path = ::testing::TempDir() + "cli_trace.json";
+    std::string metrics_path = ::testing::TempDir() + "cli_metrics.json";
+    std::ostringstream out, err;
+    CliOptions opts = parseCliArguments(
+        {"-d", "ibmqx4", "--trace-json", trace_path, "--metrics-json",
+         metrics_path, "--no-emit", "--quiet", in_path});
+    EXPECT_EQ(runCli(opts, out, err), 0);
+
+    std::ifstream trace_in(trace_path);
+    ASSERT_TRUE(trace_in.good());
+    std::stringstream trace;
+    trace << trace_in.rdbuf();
+    // Chrome trace-event shape with spans from every compile stage.
+    EXPECT_NE(trace.str().find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(trace.str().find("\"ph\": \"X\""), std::string::npos);
+    for (const char *span :
+         {"compile.decompose", "compile.place", "compile.route",
+          "compile.optimize", "compile.verify", "frontend.parse",
+          "opt.cancellation", "qmdd.equivalence_check"})
+        EXPECT_NE(trace.str().find(span), std::string::npos) << span;
+
+    std::ifstream metrics_in(metrics_path);
+    ASSERT_TRUE(metrics_in.good());
+    std::stringstream metrics;
+    metrics << metrics_in.rdbuf();
+    for (const char *metric :
+         {"qmdd.unique_hit_rate", "qmdd.compute_hit_rate",
+          "route.swaps_inserted", "opt.gates_removed",
+          "frontend.gates_parsed"})
+        EXPECT_NE(metrics.str().find(metric), std::string::npos)
+            << metric;
+
+    // The sink must be uninstalled once runCli returns.
+    EXPECT_EQ(obs::sink(), nullptr);
+    std::remove(in_path.c_str());
+    std::remove(trace_path.c_str());
+    std::remove(metrics_path.c_str());
+}
+
+TEST(CliRun, DebugLogLevelPrintsPassBreakdown)
+{
+    std::string in_path = writeTemp(
+        "cli_debug.qasm",
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\n"
+        "ccx q[0],q[1],q[2];\n");
+    std::ostringstream out, err, log;
+    obs::setLogStream(&log); // keep test output clean
+    CliOptions opts = parseCliArguments(
+        {"-d", "ibmqx4", "--log-level", "debug", "--no-emit", in_path});
+    int rc = runCli(opts, out, err);
+    obs::setLogStream(nullptr);
+    obs::setLogLevel(obs::LogLevel::Quiet); // undo runCli's override
+    EXPECT_EQ(rc, 0);
+    EXPECT_NE(err.str().find("optimizer passes"), std::string::npos);
+    EXPECT_NE(err.str().find("cancellation"), std::string::npos);
+    std::remove(in_path.c_str());
 }
 
 TEST(CliRun, RebaseToCzEmitsCzBasis)

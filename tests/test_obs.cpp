@@ -1,0 +1,583 @@
+/**
+ * @file
+ * Tests for the observability layer (qsyn::obs): jsonEscape edge
+ * cases, counter/gauge/histogram semantics, span nesting across
+ * threads, and round-tripping the Chrome trace-event / metrics JSON
+ * exports through a real JSON parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+
+using namespace qsyn;
+
+namespace {
+
+/* ------------------------------------------------------------------ */
+/* A minimal strict JSON parser: if the exporters emit anything that   */
+/* does not parse, these tests fail. Throws std::runtime_error.        */
+/* ------------------------------------------------------------------ */
+
+struct Json
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<Json> array;
+    std::map<std::string, Json> object;
+
+    const Json &
+    at(const std::string &key) const
+    {
+        auto it = object.find(key);
+        if (it == object.end())
+            throw std::runtime_error("missing key '" + key + "'");
+        return it->second;
+    }
+    bool has(const std::string &key) const
+    {
+        return object.count(key) != 0;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : s_(text) {}
+
+    Json
+    parse()
+    {
+        Json v = parseValue();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing characters");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("JSON parse error at offset " +
+                                 std::to_string(pos_) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= s_.size())
+            fail("unexpected end");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "' got '" + peek() +
+                 "'");
+        ++pos_;
+    }
+
+    Json
+    parseValue()
+    {
+        skipWs();
+        char c = peek();
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n') {
+            literal("null");
+            return Json{};
+        }
+        return parseNumber();
+    }
+
+    void
+    literal(std::string_view word)
+    {
+        if (s_.substr(pos_, word.size()) != word)
+            fail("bad literal");
+        pos_ += word.size();
+    }
+
+    Json
+    parseBool()
+    {
+        Json v;
+        v.type = Json::Type::Bool;
+        if (peek() == 't') {
+            literal("true");
+            v.boolean = true;
+        } else {
+            literal("false");
+            v.boolean = false;
+        }
+        return v;
+    }
+
+    Json
+    parseNumber()
+    {
+        size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E'))
+            ++pos_;
+        if (start == pos_)
+            fail("expected number");
+        Json v;
+        v.type = Json::Type::Number;
+        try {
+            v.number = std::stod(std::string(s_.substr(start, pos_ - start)));
+        } catch (const std::exception &) {
+            fail("bad number");
+        }
+        return v;
+    }
+
+    Json
+    parseString()
+    {
+        expect('"');
+        Json v;
+        v.type = Json::Type::String;
+        while (true) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"')
+                break;
+            if (static_cast<unsigned char>(c) < 0x20)
+                fail("raw control character in string");
+            if (c != '\\') {
+                v.str += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("unterminated escape");
+            char e = s_[pos_++];
+            switch (e) {
+              case '"':
+                v.str += '"';
+                break;
+              case '\\':
+                v.str += '\\';
+                break;
+              case '/':
+                v.str += '/';
+                break;
+              case 'b':
+                v.str += '\b';
+                break;
+              case 'f':
+                v.str += '\f';
+                break;
+              case 'n':
+                v.str += '\n';
+                break;
+              case 'r':
+                v.str += '\r';
+                break;
+              case 't':
+                v.str += '\t';
+                break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    fail("short \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                if (code > 0xff)
+                    fail("test parser only handles \\u00xx");
+                v.str += static_cast<char>(code);
+                break;
+              }
+              default:
+                fail("unknown escape");
+            }
+        }
+        return v;
+    }
+
+    Json
+    parseArray()
+    {
+        expect('[');
+        Json v;
+        v.type = Json::Type::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            v.array.push_back(parseValue());
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            break;
+        }
+        return v;
+    }
+
+    Json
+    parseObject()
+    {
+        expect('{');
+        Json v;
+        v.type = Json::Type::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return v;
+        }
+        while (true) {
+            skipWs();
+            Json key = parseString();
+            skipWs();
+            expect(':');
+            v.object[key.str] = parseValue();
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            break;
+        }
+        return v;
+    }
+
+    std::string_view s_;
+    size_t pos_ = 0;
+};
+
+Json
+parseJson(const std::string &text)
+{
+    return JsonParser(text).parse();
+}
+
+} // namespace
+
+/* ------------------------------------------------------------------ */
+/* jsonEscape                                                         */
+/* ------------------------------------------------------------------ */
+
+TEST(ObsJsonEscape, EdgeCases)
+{
+    EXPECT_EQ(obs::jsonEscape("plain"), "plain");
+    EXPECT_EQ(obs::jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(obs::jsonEscape("C:\\path\\file"), "C:\\\\path\\\\file");
+    EXPECT_EQ(obs::jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+    EXPECT_EQ(obs::jsonEscape(std::string("\x01\x1f", 2)),
+              "\\u0001\\u001f");
+    EXPECT_EQ(obs::jsonEscape("\b\f"), "\\b\\f");
+    EXPECT_EQ(obs::jsonEscape(""), "");
+    // UTF-8 multibyte sequences pass through untouched.
+    EXPECT_EQ(obs::jsonEscape("q\xc3\xbc" "bit"), "q\xc3\xbc" "bit");
+}
+
+TEST(ObsJsonEscape, RoundTripsThroughParser)
+{
+    std::string nasty = "he said \"q\\b\"\n\ttab\x01end";
+    Json v = parseJson("\"" + obs::jsonEscape(nasty) + "\"");
+    ASSERT_EQ(v.type, Json::Type::String);
+    EXPECT_EQ(v.str, nasty);
+}
+
+/* ------------------------------------------------------------------ */
+/* Metrics                                                            */
+/* ------------------------------------------------------------------ */
+
+TEST(ObsMetrics, CounterAndGaugeSemantics)
+{
+    obs::MetricsRegistry m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.counter("c"), 0.0);
+
+    m.addCounter("c");
+    m.addCounter("c", 2.5);
+    EXPECT_DOUBLE_EQ(m.counter("c"), 3.5);
+
+    m.setGauge("g", 7.0);
+    m.setGauge("g", 9.0); // last write wins
+    EXPECT_DOUBLE_EQ(m.gauge("g"), 9.0);
+    EXPECT_FALSE(m.empty());
+}
+
+TEST(ObsMetrics, HistogramSemantics)
+{
+    obs::MetricsRegistry m;
+    m.observe("h", 1.0);
+    m.observe("h", 4.0);
+    m.observe("h", 16.0);
+    obs::Histogram h = m.histogram("h");
+    EXPECT_EQ(h.count, 3u);
+    EXPECT_DOUBLE_EQ(h.sum, 21.0);
+    EXPECT_DOUBLE_EQ(h.min, 1.0);
+    EXPECT_DOUBLE_EQ(h.max, 16.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+    // Power-of-two buckets: 1 -> le_1, 4 -> le_4, 16 -> le_16.
+    EXPECT_EQ(h.buckets[0], 1u);
+    EXPECT_EQ(h.buckets[2], 1u);
+    EXPECT_EQ(h.buckets[4], 1u);
+    // Absent histogram is zero-initialized.
+    EXPECT_EQ(m.histogram("nope").count, 0u);
+}
+
+TEST(ObsMetrics, ThreadSafeCounters)
+{
+    obs::MetricsRegistry m;
+    constexpr int kThreads = 4;
+    constexpr int kIncrements = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&m] {
+            for (int i = 0; i < kIncrements; ++i)
+                m.addCounter("shared");
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_DOUBLE_EQ(m.counter("shared"),
+                     static_cast<double>(kThreads * kIncrements));
+}
+
+TEST(ObsMetrics, JsonSnapshotRoundTrips)
+{
+    obs::MetricsRegistry m;
+    m.addCounter("route.swaps_inserted", 12);
+    m.setGauge("qmdd.unique_hit_rate", 0.75);
+    m.observe("route.reroute_path_length", 3.0);
+    m.observe("route.reroute_path_length", 5.0);
+
+    Json v = parseJson(m.toJson());
+    EXPECT_DOUBLE_EQ(
+        v.at("counters").at("route.swaps_inserted").number, 12.0);
+    EXPECT_DOUBLE_EQ(v.at("gauges").at("qmdd.unique_hit_rate").number,
+                     0.75);
+    const Json &h =
+        v.at("histograms").at("route.reroute_path_length");
+    EXPECT_DOUBLE_EQ(h.at("count").number, 2.0);
+    EXPECT_DOUBLE_EQ(h.at("sum").number, 8.0);
+    EXPECT_DOUBLE_EQ(h.at("min").number, 3.0);
+    EXPECT_DOUBLE_EQ(h.at("max").number, 5.0);
+    EXPECT_DOUBLE_EQ(h.at("mean").number, 4.0);
+}
+
+TEST(ObsMetrics, EmptyRegistryStillValidJson)
+{
+    obs::MetricsRegistry m;
+    Json v = parseJson(m.toJson());
+    EXPECT_EQ(v.at("counters").object.size(), 0u);
+    EXPECT_EQ(v.at("gauges").object.size(), 0u);
+    EXPECT_EQ(v.at("histograms").object.size(), 0u);
+}
+
+/* ------------------------------------------------------------------ */
+/* Spans and sinks                                                    */
+/* ------------------------------------------------------------------ */
+
+TEST(ObsSpan, NoSinkMeansNoEventsAndNoTiming)
+{
+    ASSERT_EQ(obs::sink(), nullptr);
+    obs::Span span("orphan");
+    span.arg("ignored", 1.0);
+    EXPECT_DOUBLE_EQ(span.seconds(), 0.0); // untimed without a sink
+    span.finish();
+
+    // kTimed spans measure even without a sink (compile-stage timings).
+    obs::Span timed("stage", obs::kTimed);
+    EXPECT_GE(timed.seconds(), 0.0);
+}
+
+TEST(ObsSpan, RecordsEventWithArgs)
+{
+    obs::ScopedSink sink;
+    {
+        obs::Span span("unit.work", "test");
+        span.arg("gates", 42);
+        span.arg("name", "he\"llo\\");
+        span.arg("ratio", 0.5);
+    }
+    std::vector<obs::TraceEvent> events = sink->events();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "unit.work");
+    EXPECT_STREQ(events[0].category, "test");
+    EXPECT_GE(events[0].durUs, 0.0);
+    EXPECT_GE(events[0].tsUs, 0.0);
+
+    // The full trace export (with the odd string arg) must parse.
+    Json v = parseJson(sink->traceJson());
+    const Json &list = v.at("traceEvents");
+    ASSERT_EQ(list.type, Json::Type::Array);
+    // [0] is the process_name metadata record.
+    ASSERT_EQ(list.array.size(), 2u);
+    const Json &ev = list.array[1];
+    EXPECT_EQ(ev.at("name").str, "unit.work");
+    EXPECT_EQ(ev.at("ph").str, "X");
+    EXPECT_DOUBLE_EQ(ev.at("args").at("gates").number, 42.0);
+    EXPECT_EQ(ev.at("args").at("name").str, "he\"llo\\");
+    EXPECT_DOUBLE_EQ(ev.at("args").at("ratio").number, 0.5);
+}
+
+TEST(ObsSpan, NestingAcrossThreads)
+{
+    obs::ScopedSink sink;
+    constexpr int kThreads = 4;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([] {
+            obs::Span outer("outer");
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            {
+                obs::Span inner("inner");
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    std::vector<obs::TraceEvent> events = sink->events();
+    ASSERT_EQ(events.size(), 2u * kThreads);
+
+    // Group by thread id: each thread contributes one outer + one
+    // inner, and the inner's [ts, ts+dur] nests inside the outer's.
+    std::map<std::uint32_t, std::vector<const obs::TraceEvent *>>
+        by_tid;
+    for (const obs::TraceEvent &e : events)
+        by_tid[e.tid].push_back(&e);
+    ASSERT_EQ(by_tid.size(), static_cast<size_t>(kThreads));
+    for (const auto &[tid, evs] : by_tid) {
+        ASSERT_EQ(evs.size(), 2u);
+        const obs::TraceEvent *outer = nullptr, *inner = nullptr;
+        for (const obs::TraceEvent *e : evs) {
+            if (e->name == "outer")
+                outer = e;
+            else if (e->name == "inner")
+                inner = e;
+        }
+        ASSERT_NE(outer, nullptr);
+        ASSERT_NE(inner, nullptr);
+        EXPECT_GE(inner->tsUs, outer->tsUs);
+        EXPECT_LE(inner->tsUs + inner->durUs,
+                  outer->tsUs + outer->durUs);
+        EXPECT_GE(outer->durUs, inner->durUs);
+    }
+}
+
+TEST(ObsSink, ScopedInstallAndClear)
+{
+    EXPECT_EQ(obs::sink(), nullptr);
+    {
+        obs::ScopedSink sink;
+        EXPECT_EQ(obs::sink(), sink.get());
+        EXPECT_TRUE(obs::enabled());
+        {
+            obs::Span span("x");
+        }
+        EXPECT_EQ(sink->events().size(), 1u);
+        sink->clearEvents();
+        EXPECT_EQ(sink->events().size(), 0u);
+    }
+    EXPECT_EQ(obs::sink(), nullptr);
+    EXPECT_FALSE(obs::enabled());
+}
+
+TEST(ObsSink, TraceJsonAlwaysParses)
+{
+    obs::ScopedSink sink;
+    // No events at all: still a valid document with the metadata row.
+    Json empty = parseJson(sink->traceJson());
+    EXPECT_EQ(empty.at("traceEvents").array.size(), 1u);
+    EXPECT_EQ(empty.at("displayTimeUnit").str, "ms");
+}
+
+/* ------------------------------------------------------------------ */
+/* Logging                                                            */
+/* ------------------------------------------------------------------ */
+
+TEST(ObsLog, LevelParsing)
+{
+    obs::LogLevel level;
+    EXPECT_TRUE(obs::parseLogLevel("quiet", &level));
+    EXPECT_EQ(level, obs::LogLevel::Quiet);
+    EXPECT_TRUE(obs::parseLogLevel("info", &level));
+    EXPECT_EQ(level, obs::LogLevel::Info);
+    EXPECT_TRUE(obs::parseLogLevel("debug", &level));
+    EXPECT_EQ(level, obs::LogLevel::Debug);
+    EXPECT_TRUE(obs::parseLogLevel("trace", &level));
+    EXPECT_EQ(level, obs::LogLevel::Trace);
+    EXPECT_FALSE(obs::parseLogLevel("verbose", &level));
+    EXPECT_STREQ(obs::logLevelName(obs::LogLevel::Debug), "debug");
+}
+
+TEST(ObsLog, GatedByLevelAndCapturable)
+{
+    std::ostringstream captured;
+    obs::setLogStream(&captured);
+    obs::setLogLevel(obs::LogLevel::Info);
+
+    QSYN_OBS_LOG(Info, "test") << "visible " << 42;
+    QSYN_OBS_LOG(Debug, "test") << "hidden";
+
+    obs::setLogLevel(obs::LogLevel::Quiet);
+    QSYN_OBS_LOG(Info, "test") << "also hidden";
+
+    obs::setLogStream(nullptr);
+
+    EXPECT_EQ(captured.str(), "[info] test: visible 42\n");
+    EXPECT_FALSE(obs::logEnabled(obs::LogLevel::Info));
+}

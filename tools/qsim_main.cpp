@@ -11,6 +11,7 @@
  */
 
 #include <cmath>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "common/errors.hpp"
 #include "common/stopwatch.hpp"
 #include "frontend/loader.hpp"
+#include "obs/obs.hpp"
 #include "qmdd/vector.hpp"
 
 namespace {
@@ -34,7 +36,33 @@ printHelp()
            "  --top <n>         print at most n amplitudes (default 16)\n"
            "  --threshold <p>   hide amplitudes with |a|^2 < p\n"
            "                    (default 1e-9)\n"
+           "  --trace-json <f>  write a Chrome trace-event file\n"
+           "  --metrics-json <f> write a metrics snapshot\n"
+           "  --log-level <l>   quiet | info | debug | trace\n"
            "  -h, --help        this text\n";
+}
+
+/** Write observability outputs requested on the command line. */
+void
+writeObsFiles(qsyn::obs::Sink &sink, const std::string &trace_path,
+              const std::string &metrics_path)
+{
+    using qsyn::UserError;
+    if (!trace_path.empty()) {
+        std::ofstream f(trace_path);
+        if (!f)
+            throw UserError("cannot write trace '" + trace_path + "'");
+        f << sink.traceJson();
+        std::cerr << "wrote " << trace_path << "\n";
+    }
+    if (!metrics_path.empty()) {
+        std::ofstream f(metrics_path);
+        if (!f)
+            throw UserError("cannot write metrics '" + metrics_path +
+                            "'");
+        f << sink.metricsJson();
+        std::cerr << "wrote " << metrics_path << "\n";
+    }
 }
 
 } // namespace
@@ -45,6 +73,7 @@ main(int argc, char **argv)
     using namespace qsyn;
     std::string path;
     std::string input_bits;
+    std::string trace_path, metrics_path;
     size_t top = 16;
     double threshold = 1e-9;
 
@@ -65,6 +94,17 @@ main(int argc, char **argv)
                 top = std::stoul(next());
             } else if (arg == "--threshold") {
                 threshold = std::stod(next());
+            } else if (arg == "--trace-json") {
+                trace_path = next();
+            } else if (arg == "--metrics-json") {
+                metrics_path = next();
+            } else if (arg == "--log-level") {
+                std::string value = next();
+                obs::LogLevel level;
+                if (!obs::parseLogLevel(value, &level))
+                    throw UserError("unknown log level '" + value +
+                                    "' (quiet|info|debug|trace)");
+                obs::setLogLevel(level);
             } else if (!arg.empty() && arg[0] == '-') {
                 throw UserError("unknown option '" + arg + "'");
             } else if (path.empty()) {
@@ -76,6 +116,12 @@ main(int argc, char **argv)
         }
         if (path.empty())
             throw UserError("no circuit file (try --help)");
+
+        obs::Sink obs_sink;
+        const bool observing =
+            !trace_path.empty() || !metrics_path.empty();
+        if (observing)
+            obs::installSink(&obs_sink);
 
         Circuit circuit = frontend::loadCircuitFile(path);
         Qubit n = circuit.numQubits();
@@ -99,9 +145,19 @@ main(int argc, char **argv)
             }
             state = engine.applyCircuit(prep, state);
         }
-        state = engine.applyCircuit(circuit, state);
+        {
+            obs::Span span("qsim.simulate", "sim");
+            span.arg("qubits", n);
+            span.arg("gates", circuit.size());
+            state = engine.applyCircuit(circuit, state);
+        }
         std::cerr << "simulated in " << sw.seconds() << " s ("
                   << pkg.countNodes(state) << " state nodes)\n";
+        if (observing) {
+            pkg.publishMetrics();
+            obs::installSink(nullptr);
+            writeObsFiles(obs_sink, trace_path, metrics_path);
+        }
 
         if (n > 24) {
             std::cout << "norm^2 = "

@@ -9,6 +9,7 @@
  * Exit code 0: equivalent; 1: not equivalent; 2: inconclusive/usage.
  */
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "common/errors.hpp"
 #include "common/stopwatch.hpp"
 #include "frontend/loader.hpp"
+#include "obs/obs.hpp"
 #include "qmdd/equivalence.hpp"
 
 namespace {
@@ -34,7 +36,33 @@ printHelp()
            "                     input and output (clean ancillas)\n"
            "  --budget <n>       node budget (0 = unlimited)\n"
            "  --no-quick-refute  skip the random-stimuli pre-check\n"
+           "  --trace-json <f>   write a Chrome trace-event file\n"
+           "  --metrics-json <f> write a metrics snapshot\n"
+           "  --log-level <l>    quiet | info | debug | trace\n"
            "  -h, --help         this text\n";
+}
+
+/** Write observability outputs requested on the command line. */
+void
+writeObsFiles(qsyn::obs::Sink &sink, const std::string &trace_path,
+              const std::string &metrics_path)
+{
+    using qsyn::UserError;
+    if (!trace_path.empty()) {
+        std::ofstream f(trace_path);
+        if (!f)
+            throw UserError("cannot write trace '" + trace_path + "'");
+        f << sink.traceJson();
+        std::cerr << "wrote " << trace_path << "\n";
+    }
+    if (!metrics_path.empty()) {
+        std::ofstream f(metrics_path);
+        if (!f)
+            throw UserError("cannot write metrics '" + metrics_path +
+                            "'");
+        f << sink.metricsJson();
+        std::cerr << "wrote " << metrics_path << "\n";
+    }
 }
 
 std::vector<qsyn::Qubit>
@@ -62,6 +90,7 @@ main(int argc, char **argv)
 {
     using namespace qsyn;
     std::vector<std::string> files;
+    std::string trace_path, metrics_path;
     dd::EquivalenceOptions options;
     options.quickRefuteSamples = 4;
 
@@ -86,6 +115,17 @@ main(int argc, char **argv)
                 options.nodeBudget = std::stoul(next());
             } else if (arg == "--no-quick-refute") {
                 options.quickRefuteSamples = 0;
+            } else if (arg == "--trace-json") {
+                trace_path = next();
+            } else if (arg == "--metrics-json") {
+                metrics_path = next();
+            } else if (arg == "--log-level") {
+                std::string value = next();
+                obs::LogLevel level;
+                if (!obs::parseLogLevel(value, &level))
+                    throw UserError("unknown log level '" + value +
+                                    "' (quiet|info|debug|trace)");
+                obs::setLogLevel(level);
             } else if (!arg.empty() && arg[0] == '-') {
                 throw UserError("unknown option '" + arg + "'");
             } else {
@@ -94,6 +134,12 @@ main(int argc, char **argv)
         }
         if (files.size() != 2)
             throw UserError("expected exactly two circuit files");
+
+        obs::Sink obs_sink;
+        const bool observing =
+            !trace_path.empty() || !metrics_path.empty();
+        if (observing)
+            obs::installSink(&obs_sink);
 
         Circuit a = frontend::loadCircuitFile(files[0]);
         Circuit b = frontend::loadCircuitFile(files[1]);
@@ -109,6 +155,11 @@ main(int argc, char **argv)
         std::cout << dd::equivalenceName(verdict) << "\n";
         std::cerr << "checked in " << sw.seconds() << " s ("
                   << pkg.activeNodes() << " live nodes)\n";
+        if (observing) {
+            pkg.publishMetrics();
+            obs::installSink(nullptr);
+            writeObsFiles(obs_sink, trace_path, metrics_path);
+        }
 
         if (dd::isEquivalent(verdict))
             return 0;
