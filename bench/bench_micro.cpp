@@ -59,6 +59,49 @@ BM_QmddEquivalenceCheck(benchmark::State &state)
 }
 BENCHMARK(BM_QmddEquivalenceCheck)->Arg(4)->Arg(6);
 
+/** Unique-table growth under pressure: a deliberately tiny initial
+ *  capacity forces several load-factor rehashes inside the timed
+ *  region, isolating insert + probe + grow cost. */
+void
+BM_UniqueTableStress(benchmark::State &state)
+{
+    Circuit c = makeRandom(static_cast<int>(state.range(0)), 200, 11, 3);
+    size_t rehashes = 0;
+    for (auto _ : state) {
+        dd::PackageConfig cfg;
+        cfg.initialUniqueCapacity = 256;
+        dd::Package pkg(cfg);
+        benchmark::DoNotOptimize(pkg.buildCircuit(c));
+        rehashes = pkg.stats().uniqueRehashes;
+    }
+    state.counters["rehashes"] = static_cast<double>(rehashes);
+}
+BENCHMARK(BM_UniqueTableStress)->Arg(6)->Arg(8);
+
+/** Compute-cache behaviour with deliberately small 2-way caches: the
+ *  working set exceeds capacity, so the aging/eviction policy (not
+ *  just raw probing) is what is being timed. */
+void
+BM_ComputeCacheStress(benchmark::State &state)
+{
+    Circuit c = makeRandom(static_cast<int>(state.range(0)), 160, 13, 2);
+    double hit_rate = 0.0;
+    size_t evictions = 0;
+    for (auto _ : state) {
+        dd::PackageConfig cfg;
+        cfg.mulCacheSets = 256;
+        cfg.addCacheSets = 256;
+        cfg.ctCacheSets = 64;
+        dd::Package pkg(cfg);
+        benchmark::DoNotOptimize(pkg.buildCircuit(c));
+        hit_rate = pkg.stats().computeHitRate();
+        evictions = pkg.stats().mulEvictions + pkg.stats().addEvictions;
+    }
+    state.counters["hit_rate"] = hit_rate;
+    state.counters["evictions"] = static_cast<double>(evictions);
+}
+BENCHMARK(BM_ComputeCacheStress)->Arg(6)->Arg(8);
+
 void
 BM_QmddGateDD(benchmark::State &state)
 {
@@ -155,6 +198,26 @@ BM_EndToEndCompile(benchmark::State &state)
     }
 }
 BENCHMARK(BM_EndToEndCompile);
+
+/** Worker-pool batch compilation of independent circuits; the Arg is
+ *  the job count, so Arg(1) vs Arg(4) is the parallel speedup (wall
+ *  time — hence UseRealTime). */
+void
+BM_BatchCompile(benchmark::State &state)
+{
+    Device dev = makeIbmqx5();
+    std::vector<Circuit> circuits;
+    for (int i = 0; i < 8; ++i)
+        circuits.push_back(makeRandom(5, 40, 100 + i));
+    BatchCompiler batch(dev);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(batch.compileCircuits(
+            circuits, static_cast<size_t>(state.range(0))));
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(circuits.size()));
+}
+BENCHMARK(BM_BatchCompile)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 /** The same end-to-end compile with a trace sink installed: the gap to
  *  BM_EndToEndCompile is the total observability overhead when on. */

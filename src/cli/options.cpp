@@ -13,6 +13,7 @@
 #include "decompose/rebase.hpp"
 #include "frontend/circuit_drawer.hpp"
 #include "frontend/qasm_writer.hpp"
+#include "core/batch.hpp"
 #include "core/report.hpp"
 #include "opt/schedule.hpp"
 
@@ -53,6 +54,20 @@ parseDouble(const std::string &flag, const std::string &value)
     }
 }
 
+size_t
+parseCount(const std::string &flag, const std::string &value)
+{
+    try {
+        size_t pos = 0;
+        unsigned long v = std::stoul(value, &pos);
+        if (pos != value.size() || value[0] == '-')
+            throw std::invalid_argument("trailing");
+        return static_cast<size_t>(v);
+    } catch (const std::exception &) {
+        throw UserError("bad count '" + value + "' for " + flag);
+    }
+}
+
 } // namespace
 
 CliOptions
@@ -81,6 +96,8 @@ parseCliArguments(const std::vector<std::string> &args)
                 parseDouble(arg, next_value(arg)));
         } else if (arg == "-o" || arg == "--output") {
             opts.outputPath = next_value(arg);
+        } else if (arg == "-j" || arg == "--jobs") {
+            opts.jobs = parseCount(arg, next_value(arg));
         } else if (arg == "--no-optimize") {
             opts.compile.optimize = false;
         } else if (arg == "--no-verify") {
@@ -146,15 +163,29 @@ parseCliArguments(const std::vector<std::string> &args)
             opts.emitQasm = false;
         } else if (!arg.empty() && arg[0] == '-') {
             throw UserError("unknown option '" + arg + "'");
-        } else if (opts.inputPath.empty()) {
-            opts.inputPath = arg;
         } else {
-            throw UserError("unexpected extra argument '" + arg + "'");
+            opts.inputs.push_back(arg);
         }
     }
 
-    if (!opts.showHelp && !opts.listDevices && opts.inputPath.empty())
-        throw UserError("no input file (try --help)");
+    if (!opts.showHelp && !opts.listDevices) {
+        if (opts.inputs.empty())
+            throw UserError("no input file (try --help)");
+        if (opts.inputs.size() > 1) {
+            // Batch output is an ordered stdout/stderr stream; the
+            // single-file side channels have no per-input story yet.
+            if (!opts.outputPath.empty())
+                throw UserError(
+                    "-o/--output needs a single input; batch QASM "
+                    "goes to stdout in input order");
+            if (!opts.reportPath.empty())
+                throw UserError("--report needs a single input");
+            if (opts.drawCircuits)
+                throw UserError("--draw needs a single input");
+            if (opts.printSchedule)
+                throw UserError("--schedule needs a single input");
+        }
+    }
     return opts;
 }
 
@@ -164,7 +195,11 @@ cliHelpText()
     return
         "qsync - technology-dependent quantum logic synthesis\n"
         "\n"
-        "usage: qsync [options] <circuit.{qasm,qc,real,pla}>\n"
+        "usage: qsync [options] <circuit.{qasm,qc,real,pla}>...\n"
+        "\n"
+        "Several inputs compile as a batch: QASM is concatenated to\n"
+        "stdout in input order (byte-identical for any --jobs value)\n"
+        "and per-file statistics go to stderr.\n"
         "\n"
         "options:\n"
         "  -d, --device <name>      built-in target (default ibmqx4);\n"
@@ -172,6 +207,8 @@ cliHelpText()
         "      --device-file <f>    load a custom coupling-map file\n"
         "      --simulator-qubits N simulator register width\n"
         "  -o, --output <file>     write QASM here (default stdout)\n"
+        "  -j, --jobs <n>           compile a multi-input batch on n\n"
+        "                           worker threads (0 = one per core)\n"
         "      --placement <p>      identity | greedy\n"
         "      --mcx <s>            auto|clean|dirty|split|roots\n"
         "      --meet-in-middle     CTR variant: move both endpoints\n"
@@ -258,13 +295,81 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
             return builtinDevice(options.deviceName);
         }();
 
+        if (options.inputs.size() > 1) {
+            // Batch mode: one Compiler per input on a worker pool,
+            // results reported and emitted strictly in input order.
+            BatchCompiler batch(device, options.compile);
+            std::vector<BatchItem> items =
+                batch.compileFiles(options.inputs, options.jobs);
+            const BatchSummary &sum = batch.summary();
+            if (options.printStats) {
+                err << "device:            " << device.summary() << "\n";
+                for (const BatchItem &item : items) {
+                    if (item.ok) {
+                        err << item.inputPath << ": T "
+                            << item.result.optimizedM.tCount << ", gates "
+                            << item.result.optimizedM.gates << ", cost "
+                            << item.result.optimizedM.cost << " ("
+                            << item.result.percentCostDecrease()
+                            << "% decrease), " << item.seconds << " s\n";
+                    } else {
+                        err << item.inputPath << ": error: " << item.error
+                            << "\n";
+                    }
+                }
+                err << "batch:             " << sum.succeeded << "/"
+                    << sum.circuits << " ok on " << sum.jobs
+                    << " worker(s), " << sum.wallSeconds << " s wall ("
+                    << sum.sumSeconds << " s summed)\n";
+            }
+            if (options.emitQasm) {
+                for (const BatchItem &item : items) {
+                    if (!item.ok)
+                        continue;
+                    Circuit emitted = item.result.optimized;
+                    if (options.rebase == "cz")
+                        emitted = decompose::rebaseToCz(emitted);
+                    else if (options.rebase == "cnot")
+                        emitted = decompose::rebaseToCnot(emitted);
+                    frontend::QasmWriterOptions wopts;
+                    wopts.headerComment = "qsyn: " + item.inputPath +
+                                          " mapped to " + device.name();
+                    out << frontend::writeQasm(emitted, wopts);
+                }
+            }
+            batch.publishMetrics();
+            if (!options.tracePath.empty()) {
+                std::ofstream trace(options.tracePath);
+                if (!trace)
+                    throw UserError("cannot write trace '" +
+                                    options.tracePath + "'");
+                trace << obs_install.sink().traceJson();
+                err << "wrote " << options.tracePath << "\n";
+            }
+            if (!options.metricsPath.empty()) {
+                std::ofstream metrics(options.metricsPath);
+                if (!metrics)
+                    throw UserError("cannot write metrics '" +
+                                    options.metricsPath + "'");
+                metrics << obs_install.sink().metricsJson();
+                err << "wrote " << options.metricsPath << "\n";
+            }
+            if (sum.failed == 0)
+                return 0;
+            for (const BatchItem &item : items)
+                if (item.internalError)
+                    return 2;
+            return 1;
+        }
+
+        const std::string &inputPath = options.inputs.front();
         Circuit input = [&]() -> Circuit {
-            if (endsWith(toLower(options.inputPath), ".pla")) {
+            if (endsWith(toLower(inputPath), ".pla")) {
                 // Classical path of Fig. 2: ESOP front end.
                 return esop::synthesizePla(
-                    frontend::loadPlaFile(options.inputPath));
+                    frontend::loadPlaFile(inputPath));
             }
-            return frontend::loadCircuitFile(options.inputPath);
+            return frontend::loadCircuitFile(inputPath);
         }();
 
         CompileOptions copts = options.compile;

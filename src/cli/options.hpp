@@ -19,8 +19,14 @@ namespace qsyn::cli {
 /** Fully parsed command line. */
 struct CliOptions
 {
-    /** Input circuit file (.qasm/.qc/.real) or PLA (.pla). */
-    std::string inputPath;
+    /**
+     * Input circuit files (.qasm/.qc/.real) or PLAs (.pla). One input
+     * compiles inline; several compile as a batch (see --jobs),
+     * emitted strictly in input order.
+     */
+    std::vector<std::string> inputs;
+    /** Batch worker threads (1 = sequential, 0 = hardware threads). */
+    size_t jobs = 1;
     /** Output QASM path; empty = stdout. */
     std::string outputPath;
     /** Built-in device name, or empty when deviceFile is used. */

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Parallel batch compilation: compile many independent circuits
+ * concurrently on a worker pool.
+ *
+ * A dd::Package (and everything above it) is deliberately
+ * single-threaded, so the unit of parallelism is one whole compile:
+ * each worker owns its own Compiler (and thus its own Package per
+ * verification) and workers share nothing but the input queue. Results
+ * are stored by input index, so output order — and therefore every
+ * byte the CLI emits — is identical no matter how many workers ran or
+ * how they interleaved. Surfaced as `--jobs N` on qsync and qverify.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+
+namespace qsyn {
+
+/**
+ * Run fn(0), ..., fn(n-1) across up to `jobs` worker threads. Indices
+ * are claimed from a shared atomic counter, so callers must make fn
+ * safe to run concurrently for distinct indices (write only to
+ * index-owned slots). jobs <= 1 runs inline on the calling thread —
+ * the sequential and parallel paths execute the same code. jobs == 0
+ * means "one per hardware thread". fn must not throw.
+ */
+void parallelFor(size_t n, size_t jobs,
+                 const std::function<void(size_t)> &fn);
+
+/** Number of workers `jobs` resolves to (0 -> hardware threads). */
+size_t resolveJobs(size_t jobs);
+
+/** Outcome of one circuit in a batch. */
+struct BatchItem
+{
+    /** Source path (empty for in-memory circuits). */
+    std::string inputPath;
+    bool ok = false;
+    /** Error text when !ok; user errors (bad file, unmappable circuit)
+     *  are distinguished from internal failures. */
+    std::string error;
+    bool internalError = false;
+    CompileResult result;
+    /** Final circuit serialized as OpenQASM (empty on failure). */
+    std::string qasm;
+    /** Wall time this item took on its worker. */
+    double seconds = 0.0;
+};
+
+/** Aggregates over one batch run. */
+struct BatchSummary
+{
+    size_t circuits = 0;
+    size_t succeeded = 0;
+    size_t failed = 0;
+    /** Workers actually used. */
+    size_t jobs = 0;
+    /** End-to-end wall time of the batch. */
+    double wallSeconds = 0.0;
+    /** Sum of per-item wall times (== sequential-equivalent time;
+     *  wallSeconds / sumSeconds shows the parallel speedup). */
+    double sumSeconds = 0.0;
+};
+
+/** Compiles batches of independent circuits for one device. */
+class BatchCompiler
+{
+  public:
+    explicit BatchCompiler(Device device, CompileOptions options = {});
+
+    /**
+     * Load and compile each file with up to `jobs` workers. `.pla`
+     * inputs go through the ESOP front end, everything else through
+     * the circuit loader. A failing item records its error and leaves
+     * the rest of the batch running; results come back in input order.
+     */
+    std::vector<BatchItem>
+    compileFiles(const std::vector<std::string> &paths, size_t jobs);
+
+    /** Same, for already-parsed circuits (benchmarks, library use). */
+    std::vector<BatchItem>
+    compileCircuits(const std::vector<Circuit> &circuits, size_t jobs);
+
+    /** Summary of the most recent run. */
+    const BatchSummary &summary() const { return summary_; }
+
+    /**
+     * Publish the last run's merged per-circuit metrics as
+     * `<prefix>.*` gauges on the installed obs sink: batch shape
+     * (circuits/jobs/failures), wall vs summed seconds, and the summed
+     * QMDD verification counters under `<prefix>.qmdd.*` (peak_nodes
+     * is a max, not a sum). No-op when observability is off.
+     */
+    void publishMetrics(const char *prefix = "batch") const;
+
+    const Device &device() const { return device_; }
+    const CompileOptions &options() const { return options_; }
+
+  private:
+    std::vector<BatchItem>
+    run(size_t n, size_t jobs,
+        const std::function<Circuit(size_t)> &load,
+        const std::function<std::string(size_t)> &name);
+
+    Device device_;
+    CompileOptions options_;
+    BatchSummary summary_;
+    /** Element-wise sum (peakNodes: max) of per-item dd stats. */
+    dd::PackageStats mergedDd_;
+    size_t totalGatesOut_ = 0;
+};
+
+} // namespace qsyn

@@ -18,6 +18,7 @@
 
 #include "common/errors.hpp"
 #include "common/types.hpp"
+#include "core/batch.hpp"
 #include "core/compiler.hpp"
 #include "decompose/pass.hpp"
 #include "device/device.hpp"

@@ -14,8 +14,23 @@ constexpr double kBucketWidth = 4 * kWeightEps;
 
 ComplexTable::ComplexTable()
 {
-    zero_ = lookup(Cplx(0.0, 0.0));
-    one_ = lookup(Cplx(1.0, 0.0));
+    // Intern the hot set through the slow path (hot_ is still empty),
+    // then register the entries for the inline fast scan. Order is by
+    // observed lookup frequency: normalization produces 1, pruned
+    // quadrants produce 0, and H/T/S algebra cycles through ±1/√2 and
+    // the eighth roots of unity.
+    const double r = 1.0 / std::sqrt(2.0);
+    zero_ = lookupSlow(Cplx(0.0, 0.0));
+    one_ = lookupSlow(Cplx(1.0, 0.0));
+    sqrt1_2_ = lookupSlow(Cplx(r, 0.0));
+    hot_.push_back({Cplx(1.0, 0.0), one_});
+    hot_.push_back({Cplx(0.0, 0.0), zero_});
+    hot_.push_back({Cplx(r, 0.0), sqrt1_2_});
+    for (const Cplx &v :
+         {Cplx(-1.0, 0.0), Cplx(0.0, 1.0), Cplx(0.0, -1.0),
+          Cplx(-r, 0.0), Cplx(0.0, r), Cplx(0.0, -r), Cplx(r, r),
+          Cplx(r, -r), Cplx(-r, r), Cplx(-r, -r)})
+        hot_.push_back({v, lookupSlow(v)});
 }
 
 std::int64_t
@@ -47,7 +62,7 @@ ComplexTable::findInBucket(BucketKey key, const Cplx &value) const
 }
 
 const Cplx *
-ComplexTable::lookup(const Cplx &value)
+ComplexTable::lookupSlow(const Cplx &value)
 {
     std::int64_t gr = gridOf(value.real());
     std::int64_t gi = gridOf(value.imag());

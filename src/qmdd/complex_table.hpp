@@ -37,8 +37,21 @@ class ComplexTable
     /**
      * Canonical pointer for `value`. Returns an existing entry when one
      * lies within kWeightEps (componentwise), otherwise inserts.
+     *
+     * Hot constants (0, 1, ±1/√2, and the eighth-roots-of-unity phases
+     * that T/S/H products cycle through) are pre-interned and matched
+     * by a short inline scan before the grid probe, so the values that
+     * dominate gate algebra resolve in O(1) without hashing.
      */
-    const Cplx *lookup(const Cplx &value);
+    const Cplx *
+    lookup(const Cplx &value)
+    {
+        for (const HotEntry &hot : hot_) {
+            if (approxEqual(hot.value, value, kWeightEps))
+                return hot.entry;
+        }
+        return lookupSlow(value);
+    }
 
     /** Canonical zero (cached; lookup(0) returns the same pointer). */
     const Cplx *zero() const { return zero_; }
@@ -46,11 +59,24 @@ class ComplexTable
     /** Canonical one. */
     const Cplx *one() const { return one_; }
 
+    /** Canonical 1/√2 (the Hadamard weight). */
+    const Cplx *sqrt1_2() const { return sqrt1_2_; }
+
     /** Number of distinct values interned so far. */
     size_t size() const { return entries_.size(); }
 
   private:
     using BucketKey = std::uint64_t;
+
+    /** A pre-interned hot constant checked before the grid probe. */
+    struct HotEntry
+    {
+        Cplx value;
+        const Cplx *entry;
+    };
+
+    /** Grid-probe path for values outside the hot set. */
+    const Cplx *lookupSlow(const Cplx &value);
 
     /** Grid bucket of a coordinate (buckets are ~4x the tolerance). */
     static std::int64_t gridOf(double v);
@@ -64,6 +90,8 @@ class ComplexTable
     std::unordered_map<BucketKey, std::vector<const Cplx *>> buckets_;
     const Cplx *zero_;
     const Cplx *one_;
+    const Cplx *sqrt1_2_;
+    std::vector<HotEntry> hot_;
 };
 
 } // namespace qsyn::dd

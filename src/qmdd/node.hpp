@@ -50,9 +50,12 @@ struct Node
     /** Garbage-collection mark epoch (see Package::collectGarbage). */
     std::uint32_t mark = 0;
     /**
-     * Intrusive link: the unique-table bucket chain while the node is
-     * live, the free list after a sweep reclaims it.
+     * Cached unique-table hash of (var, e). Lets the open-addressing
+     * table rehash without touching children and reject probe
+     * mismatches on one integer compare instead of a 4-edge compare.
      */
+    size_t hash = 0;
+    /** Intrusive free-list link while the node is reclaimed. */
     Node *next = nullptr;
 };
 

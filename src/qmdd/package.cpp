@@ -10,11 +10,28 @@ namespace qsyn::dd {
 
 namespace {
 
-/** Power-of-two sizes of the hash structures. */
-constexpr size_t kUniqueBuckets = size_t{1} << 19;
-constexpr size_t kMulCacheSize = size_t{1} << 19;
-constexpr size_t kAddCacheSize = size_t{1} << 19;
-constexpr size_t kCtCacheSize = size_t{1} << 14;
+/** Unique-table resize trigger: grow when live nodes would exceed this
+ *  percentage of the slot count. Linear probing stays short well below
+ *  70%, and growing at a fixed fraction keeps inserts amortized O(1). */
+constexpr size_t kMaxLoadPercent = 65;
+
+/** collectGarbage halves the table when survivors use less than
+ *  1/kShrinkDivisor of the slots, so a long-lived worker that saw one
+ *  huge circuit does not pin a huge table forever. */
+constexpr size_t kShrinkDivisor = 8;
+
+/** Floor for setGcThreshold / the GC shrink path: below this the
+ *  collector would run every few gates and thrash. */
+constexpr size_t kMinGcThreshold = 1024;
+
+size_t
+nextPowerOfTwo(size_t v)
+{
+    size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
 
 size_t
 hashCombine(size_t seed, size_t v)
@@ -47,12 +64,27 @@ Package::hashNode(std::int32_t var, const std::array<Edge, 4> &e)
     return h;
 }
 
-Package::Package()
-    : unique_buckets_(kUniqueBuckets, nullptr),
-      unique_mask_(kUniqueBuckets - 1),
-      mul_cache_(kMulCacheSize),
-      add_cache_(kAddCacheSize),
-      ct_cache_(kCtCacheSize)
+Package::Package() : Package(PackageConfig{})
+{
+}
+
+Package::Package(const PackageConfig &config)
+    : unique_slots_(nextPowerOfTwo(std::max<size_t>(
+                        config.initialUniqueCapacity, 64)),
+                    nullptr),
+      unique_mask_(unique_slots_.size() - 1),
+      min_unique_capacity_(unique_slots_.size()),
+      mul_cache_(2 * nextPowerOfTwo(std::max<size_t>(
+                         config.mulCacheSets, 16))),
+      add_cache_(2 * nextPowerOfTwo(std::max<size_t>(
+                         config.addCacheSets, 16))),
+      ct_cache_(2 * nextPowerOfTwo(std::max<size_t>(
+                        config.ctCacheSets, 16))),
+      mul_set_mask_(mul_cache_.size() / 2 - 1),
+      add_set_mask_(add_cache_.size() / 2 - 1),
+      ct_set_mask_(ct_cache_.size() / 2 - 1),
+      gc_threshold_(std::max(config.gcThreshold, kMinGcThreshold)),
+      min_gc_threshold_(gc_threshold_)
 {
     terminal_.var = kTerminalVar;
 }
@@ -83,14 +115,31 @@ Package::allocNode()
     if (free_list_ != nullptr) {
         n = free_list_;
         free_list_ = n->next;
+        --free_count_;
         n->next = nullptr;
         n->mark = 0;
     } else {
         arena_.emplace_back();
         n = &arena_.back();
     }
-    stats_.peakNodes = std::max(stats_.peakNodes, unique_size_ + 1);
     return n;
+}
+
+void
+Package::rehashUnique(size_t capacity)
+{
+    std::vector<Node *> slots(capacity, nullptr);
+    size_t mask = capacity - 1;
+    for (Node *n : unique_slots_) {
+        if (n == nullptr)
+            continue;
+        size_t idx = n->hash & mask;
+        while (slots[idx] != nullptr)
+            idx = (idx + 1) & mask;
+        slots[idx] = n;
+    }
+    unique_slots_ = std::move(slots);
+    unique_mask_ = mask;
 }
 
 Edge
@@ -113,42 +162,75 @@ Package::makeNode(std::int32_t var, const std::array<Edge, 4> &edges)
         return e[0];
     }
 
-    // Normalize by the leftmost edge of maximal magnitude.
-    double max_mag = 0.0;
-    for (const Edge &child : e)
-        max_mag = std::max(max_mag, std::abs(*child.weight));
-    QSYN_ASSERT(max_mag > 0.0, "all-zero node escaped reduction");
-    int norm_idx = 0;
-    while (std::abs(*e[norm_idx].weight) < max_mag - kWeightEps)
-        ++norm_idx;
-    Cplx norm = *e[norm_idx].weight;
+    // Normalize by the leftmost edge of maximal magnitude. Squared
+    // magnitudes avoid a hypot per child; the pivot tolerance is
+    // squared to match (all magnitudes here are bounded by ~1, so the
+    // square cannot overflow or lose the eps).
+    std::array<double, 4> mags2;
+    double max2 = 0.0;
     for (int i = 0; i < 4; ++i) {
-        if (e[i].weight == ctab_.zero())
-            continue;
-        if (i == norm_idx) {
-            e[i].weight = ctab_.one();
-        } else {
-            e[i].weight = ctab_.lookup(*e[i].weight / norm);
+        mags2[i] = e[i].weight == ctab_.zero()
+                       ? 0.0
+                       : std::norm(*e[i].weight);
+        max2 = std::max(max2, mags2[i]);
+    }
+    QSYN_ASSERT(max2 > 0.0, "all-zero node escaped reduction");
+    const double max_mag = std::sqrt(max2);
+    const double thr =
+        max_mag > kWeightEps
+            ? (max_mag - kWeightEps) * (max_mag - kWeightEps)
+            : 0.0;
+    int norm_idx = 0;
+    while (mags2[norm_idx] < thr)
+        ++norm_idx;
+    const Cplx *norm_ptr = e[norm_idx].weight;
+    if (norm_ptr != ctab_.one()) {
+        // Pivot weight 1 (the common case: children of canonical nodes
+        // are already normalized) leaves every ratio untouched.
+        const Cplx norm = *norm_ptr;
+        for (int i = 0; i < 4; ++i) {
             if (e[i].weight == ctab_.zero())
-                e[i].node = &terminal_;
+                continue;
+            if (e[i].weight == norm_ptr) {
+                // Covers norm_idx itself and any sibling sharing the
+                // same interned weight: the ratio is exactly 1, no
+                // division or table lookup needed.
+                e[i].weight = ctab_.one();
+            } else {
+                e[i].weight = ctab_.lookup(*e[i].weight / norm);
+                if (e[i].weight == ctab_.zero())
+                    e[i].node = &terminal_;
+            }
         }
     }
 
     ++stats_.uniqueLookups;
-    size_t bucket = hashNode(var, e) & unique_mask_;
-    for (Node *n = unique_buckets_[bucket]; n != nullptr; n = n->next) {
-        if (n->var == var && n->e == e) {
+    // Grow before probing so the insert position below stays valid.
+    if ((unique_size_ + 1) * 100 >
+        unique_slots_.size() * kMaxLoadPercent) {
+        rehashUnique(unique_slots_.size() * 2);
+        ++stats_.uniqueRehashes;
+    }
+    size_t h = hashNode(var, e);
+    size_t idx = h & unique_mask_;
+    while (Node *n = unique_slots_[idx]) {
+        if (n->hash == h && n->var == var && n->e == e) {
             ++stats_.uniqueHits;
-            return Edge{n, ctab_.lookup(norm)};
+            return Edge{n, norm_ptr};
         }
+        idx = (idx + 1) & unique_mask_;
     }
     Node *n = allocNode();
     n->var = var;
     n->e = e;
-    n->next = unique_buckets_[bucket];
-    unique_buckets_[bucket] = n;
+    n->hash = h;
+    unique_slots_[idx] = n;
     ++unique_size_;
-    return Edge{n, ctab_.lookup(norm)};
+    // Peak is a *live*-node high-water mark: tracked here (the only
+    // place the live count grows) so unique-table hits and free-list
+    // recycling cannot inflate it.
+    stats_.peakNodes = std::max(stats_.peakNodes, unique_size_);
+    return Edge{n, norm_ptr};
 }
 
 Edge
@@ -175,7 +257,24 @@ Package::child(const Edge &x, int r, int c, std::int32_t var)
         return zeroEdge();
     if (x.weight == ctab_.one())
         return stored;
+    if (stored.weight == ctab_.one())
+        return Edge{stored.node, x.weight};
     return Edge{stored.node, ctab_.lookup(*x.weight * *stored.weight)};
+}
+
+const Cplx *
+Package::mulWeights(const Cplx *a, const Cplx *b)
+{
+    // Normalization makes 1 by far the most common weight, and zero
+    // edges are pruned before multiplication, so both fast paths fire
+    // constantly; the interning lookup is the slow path.
+    if (a == ctab_.one())
+        return b;
+    if (b == ctab_.one())
+        return a;
+    if (a == ctab_.zero() || b == ctab_.zero())
+        return ctab_.zero();
+    return ctab_.lookup(*a * *b);
 }
 
 Edge
@@ -184,7 +283,12 @@ Package::multiply(const Edge &a, const Edge &b)
     if (a.weight == ctab_.zero() || b.weight == ctab_.zero())
         return zeroEdge();
     Edge r = mulNodes(a.node, b.node);
-    return scaled(r, *a.weight * *b.weight);
+    if (r.weight == ctab_.zero())
+        return zeroEdge();
+    const Cplx *w = mulWeights(mulWeights(a.weight, b.weight), r.weight);
+    if (w == ctab_.zero())
+        return zeroEdge();
+    return Edge{r.node, w};
 }
 
 Edge
@@ -196,12 +300,21 @@ Package::mulNodes(Node *x, Node *y)
     if (isTerminal(y))
         return Edge{x, ctab_.one()};
 
-    size_t slot = hashCombine(hashPtr(x), hashPtr(y)) & (kMulCacheSize - 1);
-    MulSlot &cache = mul_cache_[slot];
+    size_t set = hashCombine(hashPtr(x), hashPtr(y)) & mul_set_mask_;
+    MulSlot *w0 = &mul_cache_[2 * set];
+    MulSlot *w1 = w0 + 1;
     ++stats_.computeLookups;
-    if (cache.a == x && cache.b == y) {
+    if (w0->a == x && w0->b == y) {
         ++stats_.computeHits;
-        return cache.result;
+        w0->age = 0;
+        w1->age = 1;
+        return w0->result;
+    }
+    if (w1->a == x && w1->b == y) {
+        ++stats_.computeHits;
+        w1->age = 0;
+        w0->age = 1;
+        return w1->result;
     }
 
     std::int32_t top = std::min(x->var, y->var);
@@ -216,7 +329,16 @@ Package::mulNodes(Node *x, Node *y)
         }
     }
     Edge result = makeNode(top, res);
-    cache = MulSlot{x, y, result};
+    // Evict the empty way if there is one, else the least recently
+    // touched (age bit set).
+    MulSlot *victim = w0->a == nullptr ? w0
+                      : w1->a == nullptr ? w1
+                      : w0->age != 0     ? w0
+                                         : w1;
+    if (victim->a != nullptr)
+        ++stats_.mulEvictions;
+    *victim = MulSlot{x, y, result, 0};
+    (victim == w0 ? w1 : w0)->age = 1;
     return result;
 }
 
@@ -240,13 +362,21 @@ Package::add(const Edge &a, const Edge &b)
     if (std::make_pair(kb.node, kb.weight) <
         std::make_pair(ka.node, ka.weight))
         std::swap(ka, kb);
-    size_t slot =
-        hashCombine(hashEdge(ka), hashEdge(kb)) & (kAddCacheSize - 1);
-    AddSlot &cache = add_cache_[slot];
+    size_t set = hashCombine(hashEdge(ka), hashEdge(kb)) & add_set_mask_;
+    AddSlot *w0 = &add_cache_[2 * set];
+    AddSlot *w1 = w0 + 1;
     ++stats_.computeLookups;
-    if (cache.valid && cache.a == ka && cache.b == kb) {
+    if (w0->valid && w0->a == ka && w0->b == kb) {
         ++stats_.computeHits;
-        return cache.result;
+        w0->age = 0;
+        w1->age = 1;
+        return w0->result;
+    }
+    if (w1->valid && w1->a == ka && w1->b == kb) {
+        ++stats_.computeHits;
+        w1->age = 0;
+        w0->age = 1;
+        return w1->result;
     }
 
     std::int32_t top = kTerminalVar;
@@ -266,7 +396,14 @@ Package::add(const Edge &a, const Edge &b)
         }
     }
     Edge result = makeNode(top, res);
-    cache = AddSlot{ka, kb, result, true};
+    AddSlot *victim = !w0->valid   ? w0
+                      : !w1->valid ? w1
+                      : w0->age != 0 ? w0
+                                     : w1;
+    if (victim->valid)
+        ++stats_.addEvictions;
+    *victim = AddSlot{ka, kb, result, true, 0};
+    (victim == w0 ? w1 : w0)->age = 1;
     return result;
 }
 
@@ -277,12 +414,20 @@ Package::conjugateTranspose(const Edge &a)
     if (isTerminal(a.node)) {
         r = identityEdge();
     } else {
-        size_t slot = hashPtr(a.node) & (kCtCacheSize - 1);
-        CtSlot &cache = ct_cache_[slot];
+        size_t set = hashPtr(a.node) & ct_set_mask_;
+        CtSlot *w0 = &ct_cache_[2 * set];
+        CtSlot *w1 = w0 + 1;
         ++stats_.computeLookups;
-        if (cache.a == a.node) {
+        if (w0->a == a.node) {
             ++stats_.computeHits;
-            r = cache.result;
+            w0->age = 0;
+            w1->age = 1;
+            r = w0->result;
+        } else if (w1->a == a.node) {
+            ++stats_.computeHits;
+            w1->age = 0;
+            w0->age = 1;
+            r = w1->result;
         } else {
             std::array<Edge, 4> res;
             for (int i = 0; i < 2; ++i) {
@@ -292,9 +437,18 @@ Package::conjugateTranspose(const Edge &a)
                 }
             }
             r = makeNode(a.node->var, res);
-            cache = CtSlot{a.node, r};
+            CtSlot *victim = w0->a == nullptr ? w0
+                             : w1->a == nullptr ? w1
+                             : w0->age != 0     ? w0
+                                                : w1;
+            if (victim->a != nullptr)
+                ++stats_.ctEvictions;
+            *victim = CtSlot{a.node, r, 0};
+            (victim == w0 ? w1 : w0)->age = 1;
         }
     }
+    if (a.weight == ctab_.one())
+        return r;
     return scaled(r, std::conj(*a.weight));
 }
 
@@ -502,28 +656,50 @@ Package::collectGarbage(const std::vector<Edge> &roots)
         if (r.node != nullptr)
             markReachable(r.node, mark_epoch_);
     }
-    for (Node *&bucket : unique_buckets_) {
-        Node **link = &bucket;
-        while (*link != nullptr) {
-            Node *n = *link;
-            if (n->mark != mark_epoch_) {
-                *link = n->next;
-                n->next = free_list_;
-                free_list_ = n;
-                --unique_size_;
-            } else {
-                link = &n->next;
-            }
+    for (Node *&slot : unique_slots_) {
+        Node *n = slot;
+        if (n == nullptr)
+            continue;
+        if (n->mark != mark_epoch_) {
+            slot = nullptr;
+            n->next = free_list_;
+            free_list_ = n;
+            ++free_count_;
+            --unique_size_;
         }
     }
+    // Open addressing cannot leave holes in probe chains: rebuild the
+    // survivors' slots. Nodes themselves never move, so edges (and
+    // canonicity) are untouched. Shrink the slot array when survivors
+    // occupy a small fraction of it, never below the initial capacity.
+    size_t capacity = unique_slots_.size();
+    while (capacity > min_unique_capacity_ &&
+           unique_size_ < capacity / kShrinkDivisor)
+        capacity /= 2;
+    rehashUnique(capacity);
+
     std::fill(mul_cache_.begin(), mul_cache_.end(), MulSlot{});
     std::fill(add_cache_.begin(), add_cache_.end(), AddSlot{});
     std::fill(ct_cache_.begin(), ct_cache_.end(), CtSlot{});
     mag_cache_.clear();
     // If the survivors alone still exceed the threshold, raise it so we
-    // do not thrash in a GC loop.
-    if (unique_size_ > gc_threshold_ / 2)
+    // do not thrash in a GC loop; when a later sweep shows the spike
+    // was transient, decay back toward the configured threshold so GC
+    // re-arms for long-lived (batch-worker) packages.
+    if (unique_size_ > gc_threshold_ / 2) {
         gc_threshold_ *= 2;
+    } else if (gc_threshold_ > min_gc_threshold_ &&
+               unique_size_ < gc_threshold_ / 4) {
+        gc_threshold_ =
+            std::max(min_gc_threshold_, gc_threshold_ / 2);
+    }
+}
+
+void
+Package::setGcThreshold(size_t threshold)
+{
+    gc_threshold_ = std::max(threshold, kMinGcThreshold);
+    min_gc_threshold_ = gc_threshold_;
 }
 
 void
@@ -536,6 +712,14 @@ Package::publishMetrics(const char *prefix) const
     std::string p(prefix);
     m.setGauge(p + ".live_nodes", static_cast<double>(unique_size_));
     m.setGauge(p + ".peak_nodes", static_cast<double>(stats_.peakNodes));
+    m.setGauge(p + ".arena_nodes", static_cast<double>(arena_.size()));
+    m.setGauge(p + ".free_list_length",
+               static_cast<double>(free_count_));
+    m.setGauge(p + ".unique_capacity",
+               static_cast<double>(unique_slots_.size()));
+    m.setGauge(p + ".unique_load_factor", uniqueLoadFactor());
+    m.setGauge(p + ".unique_rehashes",
+               static_cast<double>(stats_.uniqueRehashes));
     m.setGauge(p + ".unique_lookups",
                static_cast<double>(stats_.uniqueLookups));
     m.setGauge(p + ".unique_hits", static_cast<double>(stats_.uniqueHits));
@@ -545,6 +729,12 @@ Package::publishMetrics(const char *prefix) const
     m.setGauge(p + ".compute_hits",
                static_cast<double>(stats_.computeHits));
     m.setGauge(p + ".compute_hit_rate", stats_.computeHitRate());
+    m.setGauge(p + ".mul_evictions",
+               static_cast<double>(stats_.mulEvictions));
+    m.setGauge(p + ".add_evictions",
+               static_cast<double>(stats_.addEvictions));
+    m.setGauge(p + ".ct_evictions",
+               static_cast<double>(stats_.ctEvictions));
     m.setGauge(p + ".multiplies", static_cast<double>(stats_.multiplies));
     m.setGauge(p + ".additions", static_cast<double>(stats_.additions));
     m.setGauge(p + ".gc_runs", static_cast<double>(stats_.gcRuns));

@@ -8,6 +8,17 @@
  * so two circuits compare equal iff building them yields the *same*
  * root edge (pointer + weight pointer). See node.hpp for the
  * identity-skipping edge convention.
+ *
+ * Hot-path design (see docs/performance.md):
+ *  - the unique table is open-addressing with linear probing and grows
+ *    on a load-factor trigger; rehashing moves only the slot array,
+ *    never the nodes, so Node* identity (and thus canonicity) survives
+ *    every resize;
+ *  - the mul/add/ct compute caches are 2-way set-associative with a
+ *    one-bit age per way, so two hot operand pairs that collide on a
+ *    set no longer evict each other every other probe;
+ *  - a Package is deliberately single-threaded; concurrent compiles
+ *    use one Package per worker (see core/batch.hpp).
  */
 
 #pragma once
@@ -31,12 +42,20 @@ struct PackageStats
 {
     size_t uniqueLookups = 0;
     size_t uniqueHits = 0;
+    /** Times the unique table grew (slots doubled, nodes untouched). */
+    size_t uniqueRehashes = 0;
     size_t multiplies = 0;
     size_t additions = 0;
     /** Compute-cache probes (mul + add + conjugate-transpose). */
     size_t computeLookups = 0;
     size_t computeHits = 0;
+    /** Valid compute-cache entries overwritten by a different key. */
+    size_t mulEvictions = 0;
+    size_t addEvictions = 0;
+    size_t ctEvictions = 0;
     size_t gcRuns = 0;
+    /** High-water mark of *live* nodes: tracked at unique-table insert,
+     *  so hits and free-list recycling do not inflate it. */
     size_t peakNodes = 0;
 
     /** Fraction of unique-table lookups that found an existing node. */
@@ -60,11 +79,27 @@ struct PackageStats
     }
 };
 
+/** Construction-time tuning knobs. The defaults fit one compile of a
+ *  mid-size circuit; tests shrink them to force rehash/GC paths. */
+struct PackageConfig
+{
+    /** Initial unique-table slot count (rounded up to a power of 2).
+     *  The table grows past this on demand; it never shrinks below. */
+    size_t initialUniqueCapacity = size_t{1} << 16;
+    /** Sets per compute cache (each set holds 2 ways). */
+    size_t mulCacheSets = size_t{1} << 16;
+    size_t addCacheSets = size_t{1} << 15;
+    size_t ctCacheSets = size_t{1} << 12;
+    /** Node-count threshold that triggers automatic GC. */
+    size_t gcThreshold = size_t{1} << 20;
+};
+
 /** Owner of all QMDD nodes plus the unique/compute tables. */
 class Package
 {
   public:
     Package();
+    explicit Package(const PackageConfig &config);
 
     Package(const Package &) = delete;
     Package &operator=(const Package &) = delete;
@@ -130,12 +165,29 @@ class Package
     double maxMagnitude(const Edge &e);
     /** Nodes currently alive in the unique table. */
     size_t activeNodes() const { return unique_size_; }
+    /** Current unique-table slot count. */
+    size_t uniqueCapacity() const { return unique_slots_.size(); }
+    /** Live nodes / slots; the resize trigger keeps this under the
+     *  internal maximum (see kMaxLoadPercent in package.cpp). */
+    double
+    uniqueLoadFactor() const
+    {
+        return unique_slots_.empty()
+                   ? 0.0
+                   : static_cast<double>(unique_size_) /
+                         static_cast<double>(unique_slots_.size());
+    }
+    /** Nodes ever allocated from the arena (live + recycled). */
+    size_t arenaNodes() const { return arena_.size(); }
+    /** Reclaimed nodes awaiting reuse. */
+    size_t freeListLength() const { return free_count_; }
     const PackageStats &stats() const { return stats_; }
     /**
      * Publish the package's counters as `<prefix>.*` gauges on the
-     * installed obs sink (live/peak nodes, table lookup/hit counts and
-     * rates, gc runs). No-op when observability is off; last package
-     * published wins on name collisions.
+     * installed obs sink: live/peak nodes, table lookup/hit counts and
+     * rates, allocator internals (arena size, free-list length), table
+     * capacity/load factor, and per-cache eviction counts. No-op when
+     * observability is off; last package published wins on collisions.
      */
     void publishMetrics(const char *prefix = "qmdd") const;
     /// @}
@@ -155,36 +207,47 @@ class Package
      */
     void collectGarbage(const std::vector<Edge> &roots);
 
-    /** Node-count threshold that triggers automatic GC. */
-    void setGcThreshold(size_t threshold) { gc_threshold_ = threshold; }
+    /** Node-count threshold that triggers automatic GC (clamped to a
+     *  small floor so it can never be set to a thrash-inducing zero). */
+    void setGcThreshold(size_t threshold);
     size_t gcThreshold() const { return gc_threshold_; }
 
   private:
-    /** Direct-mapped (lossy) cache slot for node products. */
+    /** One way of a 2-way set-associative product-cache set. `age`
+     *  is the pseudo-LRU bit: 0 = most recently touched in its set. */
     struct MulSlot
     {
         const Node *a = nullptr;
         const Node *b = nullptr;
         Edge result;
+        std::uint8_t age = 0;
     };
-    /** Direct-mapped cache slot for edge sums. */
+    /** One way of the 2-way sum cache. */
     struct AddSlot
     {
         Edge a{};
         Edge b{};
         Edge result;
         bool valid = false;
+        std::uint8_t age = 0;
     };
-    /** Direct-mapped cache slot for conjugate transposes. */
+    /** One way of the 2-way conjugate-transpose cache. */
     struct CtSlot
     {
         const Node *a = nullptr;
         Edge result;
+        std::uint8_t age = 0;
     };
 
     Node *allocNode();
 
     Edge mulNodes(Node *x, Node *y);
+
+    /** Weight-pointer product with O(1) fast paths for 0 and 1. */
+    const Cplx *mulWeights(const Cplx *a, const Cplx *b);
+
+    /** Grow the unique table to `capacity` slots (nodes stay put). */
+    void rehashUnique(size_t capacity);
 
     void markReachable(Node *n, std::uint32_t epoch);
 
@@ -195,19 +258,26 @@ class Package
     Node terminal_;
     std::deque<Node> arena_;
     Node *free_list_ = nullptr;
+    size_t free_count_ = 0;
 
-    /** Chained unique table (buckets link through Node::next). */
-    std::vector<Node *> unique_buckets_;
+    /** Open-addressing unique table: nullptr = empty slot. Deletion
+     *  happens only in collectGarbage, which rebuilds the table. */
+    std::vector<Node *> unique_slots_;
     size_t unique_mask_;
     size_t unique_size_ = 0;
+    size_t min_unique_capacity_;
 
     std::vector<MulSlot> mul_cache_;
     std::vector<AddSlot> add_cache_;
     std::vector<CtSlot> ct_cache_;
+    size_t mul_set_mask_;
+    size_t add_set_mask_;
+    size_t ct_set_mask_;
     std::unordered_map<const Node *, double, std::hash<const Node *>>
         mag_cache_;
     std::uint32_t mark_epoch_ = 0;
-    size_t gc_threshold_ = 1u << 20;
+    size_t gc_threshold_;
+    size_t min_gc_threshold_;
     PackageStats stats_;
 };
 

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "ir/circuit.hpp"
+#include "qmdd/package.hpp"
 
 using namespace qsyn;
 
@@ -580,4 +582,46 @@ TEST(ObsLog, GatedByLevelAndCapturable)
 
     EXPECT_EQ(captured.str(), "[info] test: visible 42\n");
     EXPECT_FALSE(obs::logEnabled(obs::LogLevel::Info));
+}
+
+TEST(ObsMetrics, PackagePublishesAllocatorAndTableInternals)
+{
+    obs::ScopedSink sink;
+    qsyn::dd::PackageConfig cfg;
+    cfg.initialUniqueCapacity = 64; // force at least one rehash
+    qsyn::dd::Package pkg(cfg);
+    // Dense enough that the 64-slot table must grow at least once.
+    qsyn::Circuit c(5);
+    for (int i = 0; i < 12; ++i) {
+        c.addH(static_cast<qsyn::Qubit>(i % 5));
+        c.addCcx(static_cast<qsyn::Qubit>(i % 5),
+                 static_cast<qsyn::Qubit>((i + 1) % 5),
+                 static_cast<qsyn::Qubit>((i + 2) % 5));
+        c.addT(static_cast<qsyn::Qubit>((i + 3) % 5));
+    }
+    (void)pkg.buildCircuit(c);
+    pkg.collectGarbage({}); // populate the free list
+    pkg.publishMetrics();
+
+    const obs::MetricsRegistry &m = sink->metrics();
+    // Allocator internals.
+    EXPECT_GT(m.gauge("qmdd.arena_nodes"), 0.0);
+    EXPECT_GT(m.gauge("qmdd.free_list_length"), 0.0);
+    EXPECT_DOUBLE_EQ(m.gauge("qmdd.arena_nodes"),
+                     static_cast<double>(pkg.arenaNodes()));
+    EXPECT_DOUBLE_EQ(m.gauge("qmdd.free_list_length"),
+                     static_cast<double>(pkg.freeListLength()));
+    // Unique-table shape.
+    EXPECT_DOUBLE_EQ(m.gauge("qmdd.unique_capacity"),
+                     static_cast<double>(pkg.uniqueCapacity()));
+    EXPECT_GE(m.gauge("qmdd.unique_load_factor"), 0.0);
+    EXPECT_LT(m.gauge("qmdd.unique_load_factor"), 1.0);
+    EXPECT_GE(m.gauge("qmdd.unique_rehashes"), 1.0);
+    // Per-cache eviction counters are present (zero is fine for a
+    // circuit this small, but the gauges themselves must exist).
+    Json v = parseJson(sink->metricsJson());
+    for (const char *g :
+         {"qmdd.mul_evictions", "qmdd.add_evictions",
+          "qmdd.ct_evictions", "qmdd.live_nodes", "qmdd.peak_nodes"})
+        EXPECT_NO_THROW(v.at("gauges").at(g)) << g;
 }

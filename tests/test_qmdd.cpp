@@ -361,3 +361,148 @@ TEST(Qmdd, RepeatedGateEighthPowerIsIdentity)
         c.addT(0);
     EXPECT_EQ(pkg.buildCircuit(c), pkg.identityEdge());
 }
+
+TEST(Qmdd, UniqueTableRehashPreservesCanonicity)
+{
+    // Start tiny so the table must grow several times mid-build. Nodes
+    // never move on rehash (only the slot array does), so pointers
+    // handed out before a growth stay canonical after it.
+    dd::PackageConfig cfg;
+    cfg.initialUniqueCapacity = 16;
+    Package pkg(cfg);
+    Rng rng(5);
+    RandomCircuitOptions opts;
+    opts.numQubits = 5;
+    opts.numGates = 60;
+    opts.maxControls = 2;
+    Circuit c = randomCircuit(rng, opts);
+    Edge e = pkg.buildCircuit(c);
+    EXPECT_GT(pkg.stats().uniqueRehashes, 0u);
+    // 16 is floored to 64 slots; the build must still outgrow that.
+    EXPECT_GT(pkg.uniqueCapacity(), 64u);
+    // Rebuilding the same circuit must hit the (rehashed) table and
+    // return the identical edge...
+    EXPECT_EQ(pkg.buildCircuit(c), e);
+    // ...and a fresh default-capacity package agrees on the matrix.
+    expectMatchesDense(pkg, e, denseOf(c), 5);
+}
+
+TEST(Qmdd, PeakNodesIsLiveHighWaterMark)
+{
+    Package pkg;
+    Rng rng(9);
+    RandomCircuitOptions opts;
+    opts.numQubits = 5;
+    opts.numGates = 50;
+    Circuit c = randomCircuit(rng, opts);
+    (void)pkg.buildCircuit(c);
+    const dd::PackageStats &s = pkg.stats();
+    // Every live node was inserted exactly once, so the live
+    // high-water mark cannot exceed total inserts (= lookup misses).
+    EXPECT_GT(s.peakNodes, 0u);
+    EXPECT_LE(s.peakNodes, s.uniqueLookups - s.uniqueHits);
+    EXPECT_GE(s.peakNodes, pkg.activeNodes());
+}
+
+TEST(Qmdd, SetGcThresholdClampsToFloor)
+{
+    Package pkg;
+    pkg.setGcThreshold(10);
+    EXPECT_EQ(pkg.gcThreshold(), 1024u);
+    pkg.setGcThreshold(size_t{1} << 16);
+    EXPECT_EQ(pkg.gcThreshold(), size_t{1} << 16);
+}
+
+TEST(Qmdd, GcThresholdGrowsUnderPressureAndDecaysBack)
+{
+    dd::PackageConfig cfg;
+    cfg.gcThreshold = 1024; // the minimum: GC early and often
+    Package pkg(cfg);
+    ASSERT_EQ(pkg.gcThreshold(), 1024u);
+    Rng rng(17);
+    RandomCircuitOptions opts;
+    opts.numQubits = 8;
+    opts.numGates = 120;
+    opts.maxControls = 2;
+    Circuit c = randomCircuit(rng, opts);
+    (void)pkg.buildCircuit(c);
+    EXPECT_GT(pkg.stats().gcRuns, 0u);
+    // Survivors exceeded half the threshold, so it backed off...
+    EXPECT_GT(pkg.gcThreshold(), 1024u);
+    // ...and once the pressure is gone it decays to the configured
+    // floor (and not past it), re-arming GC for the next circuit.
+    for (int i = 0; i < 64 && pkg.gcThreshold() > 1024u; ++i)
+        pkg.collectGarbage({});
+    EXPECT_EQ(pkg.gcThreshold(), 1024u);
+}
+
+TEST(Qmdd, GcShrinksUniqueCapacityToConfiguredMinimum)
+{
+    dd::PackageConfig cfg;
+    cfg.initialUniqueCapacity = 64;
+    Package pkg(cfg);
+    Rng rng(21);
+    RandomCircuitOptions opts;
+    opts.numQubits = 6;
+    opts.numGates = 80;
+    Circuit c = randomCircuit(rng, opts);
+    (void)pkg.buildCircuit(c);
+    size_t grown = pkg.uniqueCapacity();
+    EXPECT_GT(grown, 64u);
+    // Dropping every root lets the sweep reclaim (nearly) everything;
+    // the slot array halves down to its configured minimum.
+    pkg.collectGarbage({});
+    EXPECT_LT(pkg.uniqueCapacity(), grown);
+    EXPECT_GE(pkg.uniqueCapacity(), 64u);
+    EXPECT_GE(pkg.freeListLength(), 0u);
+}
+
+TEST(Qmdd, GcRecyclesNodesWithoutGrowingArena)
+{
+    Package pkg;
+    Rng rng(29);
+    RandomCircuitOptions opts;
+    opts.numQubits = 5;
+    opts.numGates = 60;
+    Circuit c = randomCircuit(rng, opts);
+    Edge e = pkg.buildCircuit(c);
+    DenseMatrix dense = denseOf(c);
+
+    pkg.collectGarbage({}); // drop everything
+    size_t arena_after_gc = pkg.arenaNodes();
+    size_t free_after_gc = pkg.freeListLength();
+    EXPECT_GT(free_after_gc, 0u);
+
+    // The rebuild must be served from the free list: same matrix, and
+    // the arena (total nodes ever allocated) does not grow.
+    Edge rebuilt = pkg.buildCircuit(c);
+    EXPECT_EQ(pkg.arenaNodes(), arena_after_gc);
+    EXPECT_LT(pkg.freeListLength(), free_after_gc);
+    expectMatchesDense(pkg, rebuilt, dense, 5);
+    (void)e; // dangling after the sweep; never dereferenced
+}
+
+TEST(Qmdd, ComputeCachesAreNotStaleAfterGc)
+{
+    // A sweep recycles nodes, so any cache keyed by Node* must be
+    // cleared: a stale hit would silently return a recycled pointer.
+    Package pkg;
+    Rng rng(31);
+    RandomCircuitOptions opts;
+    opts.numQubits = 4;
+    opts.numGates = 40;
+    Circuit first = randomCircuit(rng, opts);
+    (void)pkg.buildCircuit(first);
+    pkg.collectGarbage({});
+
+    // Different circuit, same package: results must match both a
+    // fresh package and the dense reference entry-for-entry.
+    opts.numGates = 30;
+    Circuit second = randomCircuit(rng, opts);
+    Edge e = pkg.buildCircuit(second);
+    expectMatchesDense(pkg, e, denseOf(second), 4);
+    Package fresh;
+    Edge fresh_e = fresh.buildCircuit(second);
+    EXPECT_NEAR(pkg.maxMagnitude(e), fresh.maxMagnitude(fresh_e),
+                1e-12);
+}

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * qbench: the benchmark regression harness. Runs a small canonical
+ * suite over the performance-critical paths (QMDD construction,
+ * equivalence checking, unique-table growth, compute-cache pressure,
+ * end-to-end compilation, and parallel batch compilation) and emits a
+ * machine-readable JSON report — by convention committed as
+ * BENCH_qsyn.json at the repo root — so perf regressions show up as
+ * diffs rather than anecdotes.
+ *
+ * Self-timed (median wall time over --reps runs) on purpose: no
+ * google-benchmark dependency, so it builds in every configuration and
+ * its output schema is fully under our control.
+ *
+ * usage: qbench [--smoke] [--reps N] [--out FILE]
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "common/stopwatch.hpp"
+#include "core/qsyn.hpp"
+#include "ir/random_circuit.hpp"
+
+using namespace qsyn;
+
+namespace {
+
+/** One benchmark's result row. Extra metrics are name/value pairs so
+ *  each benchmark can report what matters for it (peak nodes, hit
+ *  rates, speedups) without a rigid schema. */
+struct BenchResult
+{
+    std::string name;
+    double medianMs = 0.0;
+    double minMs = 0.0;
+    size_t reps = 0;
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+Circuit
+makeRandom(int qubits, int gates, std::uint64_t seed = 7,
+           size_t max_controls = 2)
+{
+    Rng rng(seed);
+    RandomCircuitOptions opts;
+    opts.numQubits = static_cast<Qubit>(qubits);
+    opts.numGates = static_cast<size_t>(gates);
+    opts.maxControls = max_controls;
+    return randomCircuit(rng, opts);
+}
+
+double
+median(std::vector<double> xs)
+{
+    std::sort(xs.begin(), xs.end());
+    size_t n = xs.size();
+    return n % 2 == 1 ? xs[n / 2] : (xs[n / 2 - 1] + xs[n / 2]) / 2.0;
+}
+
+/** Time `fn` (which returns the metric list of its last run) `reps`
+ *  times and collect median/min wall milliseconds. */
+template <typename Fn>
+BenchResult
+timeIt(const std::string &name, size_t reps, Fn fn)
+{
+    BenchResult res;
+    res.name = name;
+    res.reps = reps;
+    std::vector<double> ms;
+    ms.reserve(reps);
+    for (size_t r = 0; r < reps; ++r) {
+        Stopwatch sw;
+        res.metrics = fn();
+        ms.push_back(sw.seconds() * 1e3);
+    }
+    res.medianMs = median(ms);
+    res.minMs = *std::min_element(ms.begin(), ms.end());
+    return res;
+}
+
+std::vector<std::pair<std::string, double>>
+ddMetrics(const dd::Package &pkg)
+{
+    const dd::PackageStats &s = pkg.stats();
+    return {
+        {"peak_nodes", static_cast<double>(s.peakNodes)},
+        {"unique_hit_rate", s.uniqueHitRate()},
+        {"compute_hit_rate", s.computeHitRate()},
+        {"unique_rehashes", static_cast<double>(s.uniqueRehashes)},
+    };
+}
+
+std::string
+jsonEscapeNumber(double v)
+{
+    // JSON has no NaN/Inf; clamp them to 0 (can only arise from
+    // degenerate hit rates on empty runs).
+    if (!(v == v) || v > 1e308 || v < -1e308)
+        return "0";
+    std::ostringstream os;
+    os.precision(6);
+    os << v;
+    return os.str();
+}
+
+std::string
+toJson(const std::vector<BenchResult> &results)
+{
+    std::ostringstream os;
+    os << "{\n  \"benchmarks\": {\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const BenchResult &r = results[i];
+        os << "    \"" << r.name << "\": {\n"
+           << "      \"median_ms\": " << jsonEscapeNumber(r.medianMs)
+           << ",\n"
+           << "      \"min_ms\": " << jsonEscapeNumber(r.minMs) << ",\n"
+           << "      \"reps\": " << r.reps;
+        for (const auto &m : r.metrics)
+            os << ",\n      \"" << m.first
+               << "\": " << jsonEscapeNumber(m.second);
+        os << "\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  }\n}\n";
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t reps = 7;
+    bool smoke = false;
+    std::string out_path;
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            auto next = [&]() -> std::string {
+                if (i + 1 >= argc)
+                    throw UserError("missing value for " + arg);
+                return argv[++i];
+            };
+            if (arg == "--smoke") {
+                smoke = true;
+            } else if (arg == "--reps") {
+                reps = std::stoul(next());
+                if (reps == 0)
+                    throw UserError("--reps must be >= 1");
+            } else if (arg == "--out") {
+                out_path = next();
+            } else if (arg == "-h" || arg == "--help") {
+                std::cout
+                    << "qbench - canonical performance suite\n\n"
+                       "usage: qbench [--smoke] [--reps N] [--out F]\n\n"
+                       "  --smoke    single rep, reduced sizes (CI "
+                       "smoke label)\n"
+                       "  --reps N   repetitions per benchmark "
+                       "(default 7); the\n"
+                       "             JSON records the median\n"
+                       "  --out F    write JSON here (default "
+                       "stdout)\n";
+                return 0;
+            } else {
+                throw UserError("unknown option '" + arg + "'");
+            }
+        }
+    } catch (const UserError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 2;
+    }
+
+    if (smoke)
+        reps = 1;
+    const int top_qubits = smoke ? 6 : 8;
+
+    std::vector<BenchResult> results;
+    auto note = [&](const BenchResult &r) {
+        std::cerr << r.name << ": " << r.medianMs << " ms median ("
+                  << r.reps << " reps)\n";
+        results.push_back(r);
+    };
+
+    // --- QMDD circuit construction (the BM_QmddBuildCircuit suite) ---
+    for (int q = 4; q <= top_qubits; q += 2) {
+        Circuit c = makeRandom(q, 120);
+        note(timeIt("qmdd_build_" + std::to_string(q), reps, [&]() {
+            dd::Package pkg;
+            pkg.buildCircuit(c);
+            return ddMetrics(pkg);
+        }));
+    }
+
+    // --- QMDD equivalence checking ---
+    {
+        Circuit a = makeRandom(6, 60, 1);
+        Circuit b = a;
+        b.addH(0);
+        b.addH(0);
+        note(timeIt("equivalence_check_6", reps, [&]() {
+            dd::Package pkg;
+            dd::EquivalenceChecker checker(pkg);
+            dd::Equivalence v = checker.check(a, b);
+            auto metrics = ddMetrics(pkg);
+            metrics.emplace_back("equivalent",
+                                 dd::isEquivalent(v) ? 1.0 : 0.0);
+            return metrics;
+        }));
+    }
+
+    // --- Unique-table growth under pressure ---
+    {
+        Circuit c = makeRandom(top_qubits, 200, 11, 3);
+        note(timeIt("unique_table_stress", reps, [&]() {
+            dd::PackageConfig cfg;
+            cfg.initialUniqueCapacity = 256;
+            dd::Package pkg(cfg);
+            pkg.buildCircuit(c);
+            auto metrics = ddMetrics(pkg);
+            metrics.emplace_back(
+                "final_capacity",
+                static_cast<double>(pkg.uniqueCapacity()));
+            return metrics;
+        }));
+    }
+
+    // --- Compute-cache pressure with small 2-way caches ---
+    {
+        Circuit c = makeRandom(top_qubits, 160, 13, 2);
+        note(timeIt("compute_cache_stress", reps, [&]() {
+            dd::PackageConfig cfg;
+            cfg.mulCacheSets = 256;
+            cfg.addCacheSets = 256;
+            cfg.ctCacheSets = 64;
+            dd::Package pkg(cfg);
+            pkg.buildCircuit(c);
+            auto metrics = ddMetrics(pkg);
+            metrics.emplace_back(
+                "evictions",
+                static_cast<double>(pkg.stats().mulEvictions +
+                                    pkg.stats().addEvictions +
+                                    pkg.stats().ctEvictions));
+            return metrics;
+        }));
+    }
+
+    // --- End-to-end compilation (decompose/place/route/opt/verify) ---
+    {
+        Device dev = makeIbmqx5();
+        Circuit c(5, "ccx_chain");
+        c.addCcx(0, 1, 2);
+        c.addCcx(2, 3, 4);
+        c.addCcx(0, 2, 4);
+        note(timeIt("end_to_end_compile", reps, [&]() {
+            Compiler compiler(dev);
+            CompileResult r = compiler.compile(c);
+            return std::vector<std::pair<std::string, double>>{
+                {"gates_out",
+                 static_cast<double>(r.optimizedM.gates)},
+                {"verified",
+                 r.verifyRan && dd::isEquivalent(r.verification) ? 1.0
+                                                                 : 0.0},
+            };
+        }));
+    }
+
+    // --- Parallel batch compilation at 1/2/4 workers ---
+    {
+        Device dev = makeIbmqx5();
+        std::vector<Circuit> circuits;
+        const int n = smoke ? 4 : 8;
+        for (int i = 0; i < n; ++i)
+            circuits.push_back(makeRandom(5, 40, 100 + i));
+        for (size_t jobs : {size_t(1), size_t(2), size_t(4)}) {
+            BatchCompiler batch(dev);
+            note(timeIt(
+                "batch_compile_jobs" + std::to_string(jobs), reps,
+                [&]() {
+                    batch.compileCircuits(circuits, jobs);
+                    const BatchSummary &s = batch.summary();
+                    return std::vector<std::pair<std::string, double>>{
+                        {"circuits",
+                         static_cast<double>(s.circuits)},
+                        {"failed", static_cast<double>(s.failed)},
+                        {"workers", static_cast<double>(s.jobs)},
+                        {"speedup", s.wallSeconds > 0.0
+                                        ? s.sumSeconds / s.wallSeconds
+                                        : 0.0},
+                    };
+                }));
+        }
+    }
+
+    std::string json = toJson(results);
+    if (out_path.empty()) {
+        std::cout << json;
+    } else {
+        std::ofstream out(out_path);
+        if (!out) {
+            std::cerr << "error: cannot write '" << out_path << "'\n";
+            return 2;
+        }
+        out << json;
+        std::cerr << "wrote " << out_path << "\n";
+    }
+    return 0;
+}

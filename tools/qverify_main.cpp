@@ -1,21 +1,28 @@
 /**
  * @file
- * qverify: standalone QMDD equivalence checking between two circuit
+ * qverify: standalone QMDD equivalence checking between circuit
  * files — the paper's formal-verification step as a tool of its own
  * (compare compiler outputs, hand edits, or third-party transpiles).
  *
- * usage: qverify [options] <a.{qasm,qc,real}> <b.{qasm,qc,real}>
+ * usage: qverify [options] <a.{qasm,qc,real}> <b.{qasm,qc,real}>...
  *
- * Exit code 0: equivalent; 1: not equivalent; 2: inconclusive/usage.
+ * More than two files are checked as consecutive pairs (a b c d =
+ * a-vs-b and c-vs-d), optionally in parallel with --jobs; each pair
+ * gets its own QMDD package and verdicts print in input order.
+ *
+ * Exit code 0: all equivalent; 1: any not equivalent; 2: any
+ * inconclusive, or a usage/internal error.
  */
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/errors.hpp"
 #include "common/stopwatch.hpp"
+#include "core/batch.hpp"
 #include "frontend/loader.hpp"
 #include "obs/obs.hpp"
 #include "qmdd/equivalence.hpp"
@@ -27,8 +34,13 @@ printHelp()
 {
     std::cout
         << "qverify - QMDD formal equivalence checking\n\n"
-           "usage: qverify [options] <a> <b>\n\n"
+           "usage: qverify [options] <a> <b> [<c> <d> ...]\n\n"
+           "More than two files are checked as consecutive pairs,\n"
+           "each with its own QMDD package; verdicts print in input\n"
+           "order.\n\n"
            "options:\n"
+           "  -j, --jobs <n>     check pairs on n worker threads\n"
+           "                     (0 = one per core)\n"
            "  --strict           require exact equality (no global "
            "phase slack)\n"
            "  --miter            alternating-miter accumulation\n"
@@ -91,6 +103,7 @@ main(int argc, char **argv)
     using namespace qsyn;
     std::vector<std::string> files;
     std::string trace_path, metrics_path;
+    size_t jobs = 1;
     dd::EquivalenceOptions options;
     options.quickRefuteSamples = 4;
 
@@ -113,6 +126,8 @@ main(int argc, char **argv)
                 options.ancillaWires = parseAncillaList(next());
             } else if (arg == "--budget") {
                 options.nodeBudget = std::stoul(next());
+            } else if (arg == "-j" || arg == "--jobs") {
+                jobs = std::stoul(next());
             } else if (arg == "--no-quick-refute") {
                 options.quickRefuteSamples = 0;
             } else if (arg == "--trace-json") {
@@ -132,8 +147,9 @@ main(int argc, char **argv)
                 files.push_back(arg);
             }
         }
-        if (files.size() != 2)
-            throw UserError("expected exactly two circuit files");
+        if (files.size() < 2 || files.size() % 2 != 0)
+            throw UserError(
+                "expected an even number of circuit files (>= 2)");
 
         obs::Sink obs_sink;
         const bool observing =
@@ -141,29 +157,72 @@ main(int argc, char **argv)
         if (observing)
             obs::installSink(&obs_sink);
 
-        Circuit a = frontend::loadCircuitFile(files[0]);
-        Circuit b = frontend::loadCircuitFile(files[1]);
-        std::cerr << files[0] << ": " << a.numQubits() << " qubits, "
-                  << a.size() << " gates\n";
-        std::cerr << files[1] << ": " << b.numQubits() << " qubits, "
-                  << b.size() << " gates\n";
+        /** One consecutive file pair, checked on its own package. */
+        struct PairOutcome
+        {
+            dd::Equivalence verdict = dd::Equivalence::Inconclusive;
+            bool errored = false;
+            std::string errText;  // per-pair stderr, printed in order
+            std::string outText;  // per-pair stdout (the verdict line)
+        };
+        const size_t pairs = files.size() / 2;
+        std::vector<PairOutcome> outcomes(pairs);
+        dd::Package last_pkg; // 2-file mode: metrics come from here
+        parallelFor(pairs, jobs, [&](size_t p) {
+            PairOutcome &res = outcomes[p];
+            const std::string &fa = files[2 * p];
+            const std::string &fb = files[2 * p + 1];
+            std::ostringstream err_os, out_os;
+            try {
+                Circuit a = frontend::loadCircuitFile(fa);
+                Circuit b = frontend::loadCircuitFile(fb);
+                err_os << fa << ": " << a.numQubits() << " qubits, "
+                       << a.size() << " gates\n";
+                err_os << fb << ": " << b.numQubits() << " qubits, "
+                       << b.size() << " gates\n";
+                Stopwatch sw;
+                // Packages are single-threaded by design; each pair
+                // owns one, so workers share nothing.
+                dd::Package local_pkg;
+                dd::Package &pkg = pairs == 1 ? last_pkg : local_pkg;
+                dd::EquivalenceChecker checker(pkg);
+                res.verdict = checker.check(a, b, options);
+                out_os << dd::equivalenceName(res.verdict) << "\n";
+                err_os << "checked in " << sw.seconds() << " s ("
+                       << pkg.activeNodes() << " live nodes)\n";
+            } catch (const UserError &e) {
+                res.errored = true;
+                err_os << "error: " << e.what() << "\n";
+            } catch (const Error &e) {
+                res.errored = true;
+                err_os << "internal failure: " << e.what() << "\n";
+            }
+            res.errText = err_os.str();
+            res.outText = out_os.str();
+        });
 
-        Stopwatch sw;
-        dd::Package pkg;
-        dd::EquivalenceChecker checker(pkg);
-        dd::Equivalence verdict = checker.check(a, b, options);
-        std::cout << dd::equivalenceName(verdict) << "\n";
-        std::cerr << "checked in " << sw.seconds() << " s ("
-                  << pkg.activeNodes() << " live nodes)\n";
+        bool any_not_equivalent = false;
+        bool any_inconclusive = false;
+        for (const PairOutcome &res : outcomes) {
+            std::cerr << res.errText;
+            std::cout << res.outText;
+            if (res.verdict == dd::Equivalence::NotEquivalent)
+                any_not_equivalent = true;
+            else if (res.errored || !dd::isEquivalent(res.verdict))
+                any_inconclusive = true;
+        }
         if (observing) {
-            pkg.publishMetrics();
+            // Per-package gauges only make sense for a single pair;
+            // trace spans from all pairs are in the sink regardless.
+            if (pairs == 1 && !outcomes[0].errored)
+                last_pkg.publishMetrics();
             obs::installSink(nullptr);
             writeObsFiles(obs_sink, trace_path, metrics_path);
         }
 
-        if (dd::isEquivalent(verdict))
-            return 0;
-        return verdict == dd::Equivalence::NotEquivalent ? 1 : 2;
+        if (any_not_equivalent)
+            return 1;
+        return any_inconclusive ? 2 : 0;
     } catch (const UserError &e) {
         std::cerr << "error: " << e.what() << "\n";
         printHelp();
