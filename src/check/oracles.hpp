@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Pluggable correctness oracles over a CompileResult — the reusable
+ * heart of the differential-testing subsystem. Each oracle checks one
+ * property the paper's pipeline promises:
+ *
+ *   qmdd         — input and output represent the same unitary
+ *                  (QMDD canonical-form equivalence, ancillas |0>);
+ *   statevector  — same claim, cross-checked on random product states
+ *                  with the dense simulator (<= 10-qubit targets), an
+ *                  oracle with an independent failure mode;
+ *   legality     — every emitted gate is native to the target Device:
+ *                  basis-library membership and correctly oriented
+ *                  coupling edges for every CNOT;
+ *   cost         — the optimizer never raised the Eqn. 2 cost and all
+ *                  reported stage metrics match the actual circuits;
+ *   determinism  — byte-identical QASM across repeated compiles and
+ *                  across batch worker counts.
+ *
+ * Oracles are pure observers: they never mutate the result and each
+ * builds its own QMDD package, so they compose with any compile the
+ * fuzzer, the corpus replayer, or a unit test performs.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+
+namespace qsyn::check {
+
+/** Identity of one oracle in the stack. */
+enum class OracleId
+{
+    QmddEquivalence,
+    Statevector,
+    Legality,
+    CostSanity,
+    Determinism
+};
+
+/** Stable short name ("qmdd", "statevector", "legality", "cost",
+ *  "determinism"). */
+const char *oracleName(OracleId id);
+
+/** Tuning knobs shared by the oracle stack. */
+struct OracleOptions
+{
+    /** Statevector cross-check cap: device registers wider than this
+     *  skip the dense oracle (2^n amplitudes). */
+    Qubit statevectorMaxQubits = 10;
+    /** Random product states pushed through both circuits. */
+    size_t statevectorSamples = 4;
+    /** Seed for the oracle's random stimuli. */
+    std::uint64_t stimulusSeed = 0x5eed;
+    /** Node budget for the QMDD oracle (0 = unlimited). Exhaustion
+     *  yields a skipped outcome, not a failure. */
+    size_t qmddNodeBudget = 1u << 20;
+    /** Extra sequential recompiles the determinism oracle performs. */
+    size_t determinismRecompiles = 1;
+    /** Batch worker counts that must produce identical bytes. */
+    std::vector<size_t> determinismJobs = {1, 4};
+    /** Run the (recompiling, comparatively expensive) determinism
+     *  oracle as part of runAllOracles. */
+    bool runDeterminism = true;
+};
+
+/** Verdict of one oracle on one compile. */
+struct OracleOutcome
+{
+    OracleId id = OracleId::QmddEquivalence;
+    bool passed = true;
+    /** True when the oracle could not apply (too wide, budget out);
+     *  skipped outcomes never fail. */
+    bool skipped = false;
+    /** Human-readable evidence (counterexample, mismatching numbers). */
+    std::string details;
+};
+
+/** All oracle verdicts for one compile. */
+struct OracleReport
+{
+    std::vector<OracleOutcome> outcomes;
+
+    bool allPassed() const;
+    /** First failing outcome, or null when green. */
+    const OracleOutcome *firstFailure() const;
+    /** One line per oracle: "qmdd: ok", "legality: FAIL (...)". */
+    std::string summary() const;
+};
+
+/** @name Individual oracles. */
+/// @{
+OracleOutcome checkQmddEquivalence(const CompileResult &result,
+                                   const Device &device,
+                                   const OracleOptions &opts = {});
+OracleOutcome checkStatevector(const CompileResult &result,
+                               const Device &device,
+                               const OracleOptions &opts = {});
+OracleOutcome checkLegality(const CompileResult &result,
+                            const Device &device);
+OracleOutcome checkCostSanity(const CompileResult &result,
+                              const CompileOptions &options);
+OracleOutcome checkDeterminism(const Circuit &input, const Device &device,
+                               const CompileOptions &options,
+                               const OracleOptions &opts = {});
+/// @}
+
+/**
+ * Compile `input` for `device` (verification forced Off — the oracles
+ * re-verify themselves) and run the full oracle stack on the result.
+ * Compile-time exceptions propagate; see runCase for a throw-absorbing
+ * wrapper.
+ */
+OracleReport runAllOracles(const Circuit &input, const Device &device,
+                           const CompileOptions &options,
+                           const OracleOptions &opts = {});
+
+/** How one fuzz/replay case ended. */
+enum class CaseStatus
+{
+    Ok,           ///< compiled and every oracle passed
+    OracleFailed, ///< compiled but at least one oracle failed
+    Rejected,     ///< compiler refused the input (UserError) — not a bug
+    CompileError  ///< internal error / verifier exception — a bug
+};
+
+/** Outcome of runCase: status + the oracle report when one exists. */
+struct CaseOutcome
+{
+    CaseStatus status = CaseStatus::Ok;
+    OracleReport report;
+    std::string error; ///< exception text for Rejected / CompileError
+
+    /** True for the two bug-indicating statuses. */
+    bool
+    failed() const
+    {
+        return status == CaseStatus::OracleFailed ||
+               status == CaseStatus::CompileError;
+    }
+};
+
+/**
+ * runAllOracles with every exception folded into the outcome: the
+ * fuzzer's and shrinker's single evaluation point.
+ */
+CaseOutcome runCase(const Circuit &input, const Device &device,
+                    const CompileOptions &options,
+                    const OracleOptions &opts = {});
+
+} // namespace qsyn::check

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Failure shrinking: delta-debugging a failing fuzz case down to a
+ * minimal reproducer. Reduction proceeds in the order that shrinks
+ * fastest in practice — gates (ddmin-style chunk removal), then qubits
+ * (drop untouched wires and compact the register), then compile flags
+ * (reset every non-default option whose removal keeps the case
+ * failing) — and repeats until a fixed point.
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "check/oracles.hpp"
+
+namespace qsyn::check {
+
+/**
+ * The reduction predicate: true when (circuit, options) still exhibits
+ * a failure. Shrinking preserves predicate truth, so the minimized
+ * case fails exactly like (well, at least like) the original.
+ */
+using StillFails =
+    std::function<bool(const Circuit &, const CompileOptions &)>;
+
+/** A minimized failing case. */
+struct ShrinkResult
+{
+    Circuit circuit{0};
+    CompileOptions options;
+    /** Predicate evaluations spent (each is a full compile + oracles). */
+    size_t evaluations = 0;
+    /** Gates removed / qubits removed / flags reset, for reporting. */
+    size_t gatesRemoved = 0;
+    Qubit qubitsRemoved = 0;
+    size_t flagsReset = 0;
+};
+
+/**
+ * Minimize a failing (circuit, options) pair under `still_fails`.
+ * `still_fails(input, options)` must be true on entry (the caller just
+ * observed the failure); the result is 1-minimal with respect to
+ * single-gate removal and the flag list.
+ */
+ShrinkResult shrinkFailure(const Circuit &input,
+                           const CompileOptions &options,
+                           const StillFails &still_fails,
+                           size_t max_evaluations = 2000);
+
+/**
+ * Convenience wrapper: shrink against the full oracle stack on
+ * `device` (predicate = runCase(...).failed()).
+ */
+ShrinkResult shrinkCase(const Circuit &input, const Device &device,
+                        const CompileOptions &options,
+                        const OracleOptions &oracle_opts = {},
+                        size_t max_evaluations = 2000);
+
+/**
+ * Blame attribution for a failing QMDD/statevector case: re-checks the
+ * staged circuits inside a fresh compile (decompose -> route ->
+ * optimize, the optimizer re-run with per-pass snapshots) and names
+ * the first stage — and, inside the optimizer, the first pass — whose
+ * output stops being equivalent to its input. Returns e.g. "route",
+ * "optimize:cancellation", or "none" when every stage checks out.
+ */
+std::string blameFirstBrokenStage(const Circuit &input,
+                                  const Device &device,
+                                  const CompileOptions &options,
+                                  size_t node_budget = 1u << 20);
+
+} // namespace qsyn::check

@@ -40,8 +40,10 @@ strategyFromName(const std::string &name)
                     "' (auto|clean|dirty|split|roots)");
 }
 
+} // namespace
+
 double
-parseDouble(const std::string &flag, const std::string &value)
+parseDoubleValue(const std::string &flag, const std::string &value)
 {
     try {
         size_t pos = 0;
@@ -55,7 +57,7 @@ parseDouble(const std::string &flag, const std::string &value)
 }
 
 size_t
-parseCount(const std::string &flag, const std::string &value)
+parseCountValue(const std::string &flag, const std::string &value)
 {
     try {
         size_t pos = 0;
@@ -67,8 +69,6 @@ parseCount(const std::string &flag, const std::string &value)
         throw UserError("bad count '" + value + "' for " + flag);
     }
 }
-
-} // namespace
 
 CliOptions
 parseCliArguments(const std::vector<std::string> &args)
@@ -93,13 +93,15 @@ parseCliArguments(const std::vector<std::string> &args)
             opts.deviceFile = next_value(arg);
         } else if (arg == "--simulator-qubits") {
             opts.simulatorQubits = static_cast<Qubit>(
-                parseDouble(arg, next_value(arg)));
+                parseDoubleValue(arg, next_value(arg)));
         } else if (arg == "-o" || arg == "--output") {
             opts.outputPath = next_value(arg);
         } else if (arg == "-j" || arg == "--jobs") {
-            opts.jobs = parseCount(arg, next_value(arg));
+            opts.jobs = parseCountValue(arg, next_value(arg));
         } else if (arg == "--no-optimize") {
             opts.compile.optimize = false;
+        } else if (arg == "--no-ti-optimize") {
+            opts.compile.optimizeTechIndependent = false;
         } else if (arg == "--no-verify") {
             opts.compile.verify = VerifyMode::Off;
         } else if (arg == "--verify-miter") {
@@ -123,17 +125,22 @@ parseCliArguments(const std::vector<std::string> &args)
             opts.compile.routing.dynamicLayout = true;
         } else if (arg == "--fidelity-aware") {
             opts.compile.routing.fidelityAware = true;
+        } else if (arg == "--test-omit-swap-back") {
+            // Hidden fault-injection flag (absent from --help): breaks
+            // CTR swap-back so the qfuzz oracle stack has a known bug
+            // to catch; see route::RouteOptions::testOmitSwapBack.
+            opts.compile.routing.testOmitSwapBack = true;
         } else if (arg == "--phase-poly") {
             opts.compile.optimizer.enablePhasePolynomial = true;
         } else if (arg == "--weight-t") {
             opts.compile.optimizer.weights.tWeight =
-                parseDouble(arg, next_value(arg));
+                parseDoubleValue(arg, next_value(arg));
         } else if (arg == "--weight-cnot") {
             opts.compile.optimizer.weights.cnotWeight =
-                parseDouble(arg, next_value(arg));
+                parseDoubleValue(arg, next_value(arg));
         } else if (arg == "--weight-gate") {
             opts.compile.optimizer.weights.gateWeight =
-                parseDouble(arg, next_value(arg));
+                parseDoubleValue(arg, next_value(arg));
         } else if (arg == "--draw") {
             opts.drawCircuits = true;
         } else if (arg == "--schedule") {
@@ -219,6 +226,8 @@ cliHelpText()
         "      --weight-cnot <w>    Eqn. 2 CNOT weight (default 0.25)\n"
         "      --weight-gate <w>    Eqn. 2 volume weight (default 1)\n"
         "      --no-optimize        skip local optimization\n"
+        "      --no-ti-optimize     skip the technology-independent\n"
+        "                           optimization round\n"
         "      --no-verify          skip QMDD verification\n"
         "      --verify-miter       alternating-miter verification\n"
         "      --draw               ASCII-draw input and output\n"

@@ -65,6 +65,16 @@ struct CliOptions
  */
 CliOptions parseCliArguments(const std::vector<std::string> &args);
 
+/** @name Strict numeric flag-value parsers.
+ * Shared by every qsyn tool so a value like "x" or "-2" for --jobs is
+ * a diagnosed UserError everywhere, never an uncaught std::stoul
+ * exception. `flag` names the offending option in the message.
+ */
+/// @{
+double parseDoubleValue(const std::string &flag, const std::string &value);
+size_t parseCountValue(const std::string &flag, const std::string &value);
+/// @}
+
 /** The --help text. */
 std::string cliHelpText();
 

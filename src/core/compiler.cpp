@@ -123,7 +123,7 @@ Compiler::compile(const Circuit &input) const
         obs::Span span("compile.verify", obs::kTimed);
         if (options_.verify != VerifyMode::Off && input.isUnitary()) {
             Circuit reference =
-                input.remapped(result.placement, device_.numQubits());
+                result.referenceOnDevice(device_.numQubits());
             dd::Package package;
             dd::EquivalenceChecker checker(package);
             dd::EquivalenceOptions eopts;

@@ -119,6 +119,19 @@ struct CompileResult
         return verifyRan && dd::isEquivalent(verification);
     }
 
+    /**
+     * The specification the compiled output must match: the input
+     * circuit remapped through the placement onto a register of
+     * `device_qubits` wires, with `ancillas` required |0>. This is the
+     * exact reference the compiler verified against, exposed so
+     * external oracles (qsyn::check, qfuzz) recheck the same claim.
+     */
+    Circuit
+    referenceOnDevice(Qubit device_qubits) const
+    {
+        return input.remapped(placement, device_qubits);
+    }
+
     /** Percent cost decrease achieved by optimization (Table 4/6/8). */
     double
     percentCostDecrease() const

@@ -1,0 +1,43 @@
+#include "frontend/pla_writer.hpp"
+
+#include <sstream>
+
+namespace qsyn::frontend {
+
+std::string
+writePla(const PlaFile &pla)
+{
+    std::ostringstream os;
+    os << ".i " << pla.numInputs << "\n";
+    os << ".o " << pla.numOutputs << "\n";
+    if (!pla.inputNames.empty()) {
+        os << ".ilb";
+        for (const std::string &name : pla.inputNames)
+            os << " " << name;
+        os << "\n";
+    }
+    if (!pla.outputNames.empty()) {
+        os << ".ob";
+        for (const std::string &name : pla.outputNames)
+            os << " " << name;
+        os << "\n";
+    }
+    os << ".type esop\n";
+    for (const PlaCube &cube : pla.cubes) {
+        for (int i = 0; i < pla.numInputs; ++i) {
+            std::uint64_t bit = 1ull << i;
+            if ((cube.careMask & bit) == 0)
+                os << '-';
+            else
+                os << ((cube.polarity & bit) != 0 ? '1' : '0');
+        }
+        os << ' ';
+        for (int o = 0; o < pla.numOutputs; ++o)
+            os << (((cube.outputs >> o) & 1) != 0 ? '1' : '0');
+        os << "\n";
+    }
+    os << ".e\n";
+    return os.str();
+}
+
+} // namespace qsyn::frontend

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * PLA cube-list writer: the inverse of pla_parser, closing the
+ * parse -> write -> reparse loop for the classical front end. Emitted
+ * files always declare `.type esop` since qsyn interprets every PLA as
+ * an exclusive-OR cube list.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "frontend/pla_parser.hpp"
+
+namespace qsyn::frontend {
+
+/**
+ * Serialize a PlaFile back into PLA text (`.i/.o[/.ilb/.ob]`, one cube
+ * per line, `.e` terminator). parsePla(writePla(f)) reproduces f's
+ * cubes, counts, and names exactly.
+ */
+std::string writePla(const PlaFile &pla);
+
+} // namespace qsyn::frontend

@@ -140,6 +140,19 @@ Circuit::remapped(const std::vector<Qubit> &map, Qubit new_num_qubits) const
     return out;
 }
 
+bool
+Circuit::operator==(const Circuit &other) const
+{
+    if (num_qubits_ != other.num_qubits_ ||
+        gates_.size() != other.gates_.size())
+        return false;
+    for (size_t i = 0; i < gates_.size(); ++i) {
+        if (gates_[i] != other.gates_[i])
+            return false;
+    }
+    return true;
+}
+
 std::string
 Circuit::toString() const
 {

@@ -95,6 +95,18 @@ class Circuit
     Circuit remapped(const std::vector<Qubit> &map,
                      Qubit new_num_qubits) const;
 
+    /**
+     * Structural equality: same register width and the same gate
+     * sequence under Gate::operator== (names and classical-bit counts
+     * are ignored). This is the equality the format round-trip tests
+     * and the fuzzer's determinism oracle rely on.
+     */
+    bool operator==(const Circuit &other) const;
+    bool operator!=(const Circuit &other) const
+    {
+        return !(*this == other);
+    }
+
     /** Multi-line human-readable listing. */
     std::string toString() const;
 

@@ -27,10 +27,41 @@ pickDistinct(Rng &rng, Qubit n, size_t count)
 
 } // namespace
 
+const char *
+randomGateSetName(RandomGateSet set)
+{
+    switch (set) {
+      case RandomGateSet::CliffordT: return "clifford_t";
+      case RandomGateSet::Nct: return "nct";
+      case RandomGateSet::CnotOnly: return "cnot";
+    }
+    return "?";
+}
+
+Circuit
+randomCircuit(const RandomCircuitOptions &opts)
+{
+    Rng rng(opts.seed);
+    return randomCircuit(rng, opts);
+}
+
 Circuit
 randomCircuit(Rng &rng, const RandomCircuitOptions &opts)
 {
     QSYN_ASSERT(opts.numQubits >= 1, "need at least one qubit");
+    if (opts.gateSet == RandomGateSet::Nct)
+        return randomNctCascade(rng, opts.numQubits, opts.numGates,
+                                std::max<size_t>(opts.maxControls, 1));
+    if (opts.gateSet == RandomGateSet::CnotOnly) {
+        QSYN_ASSERT(opts.numQubits >= 2,
+                    "CNOT-only circuits need two qubits");
+        Circuit c(opts.numQubits, "random_cnot");
+        while (c.size() < opts.numGates) {
+            auto wires = pickDistinct(rng, opts.numQubits, 2);
+            c.addCnot(wires[0], wires[1]);
+        }
+        return c;
+    }
     Circuit c(opts.numQubits, "random");
     const GateKind singles[] = {GateKind::X, GateKind::Y, GateKind::Z,
                                 GateKind::H, GateKind::S, GateKind::Sdg,

@@ -1,14 +1,31 @@
 /**
  * @file
- * Random circuit generators used by property tests and microbenchmarks.
+ * Random circuit generators used by property tests, microbenchmarks,
+ * and the qfuzz differential fuzzer.
  */
 
 #pragma once
+
+#include <cstdint>
 
 #include "common/rng.hpp"
 #include "ir/circuit.hpp"
 
 namespace qsyn {
+
+/** Which gate vocabulary a random circuit may draw from. */
+enum class RandomGateSet
+{
+    /** {X, Y, Z, H, S, S†, T, T†, CNOT} (+ optional MCX / rotations). */
+    CliffordT,
+    /** NOT / CNOT / Toffoli / MCX only (reversible NCT cascades). */
+    Nct,
+    /** CNOT only (pure routing stress; needs >= 2 qubits). */
+    CnotOnly
+};
+
+/** Printable name of a RandomGateSet ("clifford_t", "nct", "cnot"). */
+const char *randomGateSetName(RandomGateSet set);
 
 /** Knobs for random circuit generation. */
 struct RandomCircuitOptions
@@ -21,11 +38,25 @@ struct RandomCircuitOptions
     size_t maxControls = 1;
     /** Include parameterized rotations (off keeps Clifford+T only). */
     bool allowRotations = false;
+    /** Gate vocabulary restriction (qfuzz drives all of them). */
+    RandomGateSet gateSet = RandomGateSet::CliffordT;
+    /**
+     * Explicit generator seed. Identical options (seed included) yield
+     * byte-identical circuits on every platform — the property the
+     * fuzzer's reproducers and the seeded test sweeps depend on.
+     */
+    std::uint64_t seed = 0x9e3779b97f4a7c15ull;
 };
 
 /**
- * Generate a random unitary circuit from the transmon-style library
- * {X, Y, Z, H, S, S†, T, T†, CNOT} (+ optional rotations / Toffolis).
+ * Generate a random unitary circuit from `opts.gateSet`. Seeds a fresh
+ * deterministic generator from `opts.seed`.
+ */
+Circuit randomCircuit(const RandomCircuitOptions &opts);
+
+/**
+ * Generate a random unitary circuit drawing randomness from `rng`
+ * (callers sharing one generator across draws); `opts.seed` is ignored.
  */
 Circuit randomCircuit(Rng &rng, const RandomCircuitOptions &opts);
 

@@ -21,6 +21,7 @@ optimizeCircuit(const Circuit &circuit, const OptimizerOptions &options,
         report->initialGates = computeStats(current).volume;
         report->rounds = 0;
         report->passes.clear();
+        report->snapshots.clear();
     }
 
     PassReport cancellation{"cancellation", 0, 0, 0, 0.0};
@@ -29,12 +30,21 @@ optimizeCircuit(const Circuit &circuit, const OptimizerOptions &options,
     PassReport window{"window_identity", 0, 0, 0, 0.0};
     PassReport phase{"phase_polynomial", 0, 0, 0, 0.0};
 
+    const bool capture = options.capturePassCircuits && report != nullptr;
+    int current_round = 0;
     auto run_pass = [&](PassReport &pr, const char *span_name,
                         auto &&fn) -> bool {
         obs::Span span(span_name, "opt");
         size_t gates_before = current.size();
         double cost_before = detailed ? model.cost(current) : 0.0;
+        Circuit before{0};
+        if (capture)
+            before = current;
         bool changed = fn();
+        if (capture && changed) {
+            report->snapshots.push_back(
+                {pr.name, current_round, std::move(before), current});
+        }
         ++pr.invocations;
         if (changed)
             ++pr.changedRounds;
@@ -64,6 +74,7 @@ optimizeCircuit(const Circuit &circuit, const OptimizerOptions &options,
     };
 
     for (int round = 0; round < options.maxRounds; ++round) {
+        current_round = round;
         obs::Span round_span("opt.round", "opt");
         round_span.arg("round", round);
         bool changed = false;

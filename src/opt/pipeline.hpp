@@ -52,6 +52,26 @@ struct OptimizerOptions
      * Invocation and gates-removed accounting is O(1) and always on.
      */
     bool collectPassStats = false;
+
+    /**
+     * Capture a before/after circuit snapshot around every pass
+     * invocation that changed the circuit (OptimizeReport::snapshots).
+     * Costs an O(gates) circuit copy per effective pass, so it is off
+     * by default; the check library's blame attribution enables it
+     * when re-running a failing compile to name the culprit pass.
+     */
+    bool capturePassCircuits = false;
+};
+
+/** One effective pass invocation: the circuit it saw and produced. */
+struct PassSnapshot
+{
+    /** Stable pass name ("cancellation", "rotation_merge", ...). */
+    const char *pass = "";
+    /** 0-based driver round the invocation ran in. */
+    int round = 0;
+    Circuit before{0};
+    Circuit after{0};
 };
 
 /** Per-pass accounting across all driver rounds. */
@@ -80,6 +100,9 @@ struct OptimizeReport
     int rounds = 0;
     /** One entry per enabled pass, in execution order. */
     std::vector<PassReport> passes;
+    /** Effective pass invocations in execution order; only filled when
+     *  OptimizerOptions::capturePassCircuits is set. */
+    std::vector<PassSnapshot> snapshots;
 
     double
     percentCostDecrease() const

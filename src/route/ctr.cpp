@@ -56,7 +56,8 @@ emitSwapPathReversed(Circuit &out, const CouplingMap &map,
 
 void
 routeCnotCtr(Circuit &out, const Device &device, Qubit control,
-             Qubit target, RouteStats *stats, bool fidelity_aware)
+             Qubit target, RouteStats *stats, bool fidelity_aware,
+             bool omit_swap_back)
 {
     const CouplingMap &map = device.coupling();
     // Shortest path from the control to any neighbor of the target
@@ -95,7 +96,8 @@ routeCnotCtr(Circuit &out, const Device &device, Qubit control,
         decompose::appendReversedCnot(out, moved, target);
         countReversal(stats);
     }
-    emitSwapPathReversed(out, map, path, stats);
+    if (!omit_swap_back)
+        emitSwapPathReversed(out, map, path, stats);
 }
 
 void
@@ -320,7 +322,8 @@ routeCircuit(const Circuit &circuit, const Device &device,
             routeCnotMeetInMiddle(out, map, control, target, stats);
         else
             routeCnotCtr(out, device, control, target, stats,
-                         options.fidelityAware);
+                         options.fidelityAware,
+                         options.testOmitSwapBack);
     }
     if (sink != nullptr && stats != nullptr) {
         flushRouteStats(sink, *stats);

@@ -59,6 +59,15 @@ struct RouteOptions
      * unchanged. Usually far fewer SWAPs on reroute-heavy circuits.
      */
     bool dynamicLayout = false;
+
+    /**
+     * TEST ONLY — omit the swap-back half of every CTR reroute. The
+     * output stays legal on the device but its unitary is wrong, which
+     * is exactly what the qfuzz oracle stack must catch and shrink.
+     * Surfaced as the hidden `--test-omit-swap-back` CLI flag; never
+     * set it outside fault-injection tests.
+     */
+    bool testOmitSwapBack = false;
 };
 
 /**

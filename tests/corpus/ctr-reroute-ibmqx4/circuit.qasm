@@ -1,0 +1,6 @@
+// qfuzz reproducer; replay: qsync circuit.qasm --device-file device.txt $(grep -v '^#' flags.txt)
+// circuit: random_nct
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+cx q[0],q[3];

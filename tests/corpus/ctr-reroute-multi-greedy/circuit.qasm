@@ -1,0 +1,8 @@
+// qfuzz reproducer; replay: qsync circuit.qasm --device-file device.txt $(grep -v '^#' flags.txt)
+// circuit: random_cnot
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+cx q[3],q[0];
+cx q[2],q[3];
+cx q[1],q[0];

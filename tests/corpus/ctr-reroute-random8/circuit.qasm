@@ -1,0 +1,6 @@
+// qfuzz reproducer; replay: qsync circuit.qasm --device-file device.txt $(grep -v '^#' flags.txt)
+// circuit: random_cnot
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[5];
+cx q[3],q[0];

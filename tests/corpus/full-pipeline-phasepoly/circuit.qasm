@@ -1,0 +1,16 @@
+// full-pipeline regression: decompose + greedy place + CTR + optimizer + phase-poly
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0];
+t q[0];
+cx q[0],q[3];
+t q[3];
+cx q[1],q[2];
+tdg q[3];
+cx q[0],q[3];
+h q[1];
+ccx q[0],q[1],q[2];
+t q[2];
+cx q[3],q[1];
+h q[3];

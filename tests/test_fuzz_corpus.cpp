@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Replays the committed reproducer corpus (tests/corpus/) through the
+ * full compile pipeline and oracle stack. Every entry is a previously
+ * shrunk failure whose bug is fixed (or whose fault flag was removed),
+ * so replay must be green; a regression here means an old bug is back.
+ *
+ * Runs under `ctest -L fuzz-corpus` and inside the sanitize preset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "check/corpus.hpp"
+#include "check/fuzzer.hpp"
+
+#ifndef QSYN_CORPUS_DIR
+#error "QSYN_CORPUS_DIR must point at tests/corpus"
+#endif
+
+using namespace qsyn;
+using namespace qsyn::check;
+
+TEST(FuzzCorpus, CorpusIsNonEmpty)
+{
+    EXPECT_FALSE(listCorpus(QSYN_CORPUS_DIR).empty())
+        << "no reproducer entries under " << QSYN_CORPUS_DIR;
+}
+
+TEST(FuzzCorpus, EveryEntryReplaysGreen)
+{
+    for (const std::string &entry : listCorpus(QSYN_CORPUS_DIR)) {
+        SCOPED_TRACE(entry);
+        Reproducer repro;
+        ASSERT_NO_THROW(repro = loadReproducer(entry));
+        EXPECT_FALSE(repro.circuit.empty());
+
+        CaseOutcome outcome = replayReproducer(repro);
+        EXPECT_EQ(outcome.status, CaseStatus::Ok)
+            << (outcome.error.empty() ? outcome.report.summary()
+                                      : outcome.error);
+    }
+}
+
+TEST(FuzzCorpus, EntriesSurviveASaveLoadCycle)
+{
+    namespace fs = std::filesystem;
+    fs::path tmp = fs::temp_directory_path() / "qsyn_corpus_cycle";
+    fs::remove_all(tmp);
+    for (const std::string &entry : listCorpus(QSYN_CORPUS_DIR)) {
+        SCOPED_TRACE(entry);
+        Reproducer repro = loadReproducer(entry);
+        std::string rewritten = saveReproducer(tmp.string(), repro);
+        Reproducer again = loadReproducer(rewritten);
+        EXPECT_EQ(again.circuit, repro.circuit);
+        EXPECT_EQ(again.device.numQubits(), repro.device.numQubits());
+        EXPECT_EQ(compileOptionsToFlags(again.options),
+                  compileOptionsToFlags(repro.options));
+    }
+    fs::remove_all(tmp);
+}

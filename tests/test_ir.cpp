@@ -198,3 +198,43 @@ TEST(RandomCircuitTest, NctCascadeIsNct)
     EXPECT_TRUE(c.isNctCascade());
     EXPECT_EQ(c.size(), 30u);
 }
+
+TEST(RandomCircuitTest, IdenticalSeedsYieldIdenticalCircuits)
+{
+    RandomCircuitOptions opts;
+    opts.numQubits = 5;
+    opts.numGates = 40;
+    opts.maxControls = 2;
+    opts.allowRotations = true;
+    opts.seed = 0xfeedbeef;
+    Circuit a = randomCircuit(opts);
+    Circuit b = randomCircuit(opts);
+    EXPECT_EQ(a, b);
+
+    opts.seed = 0xfeedbef0;
+    Circuit c = randomCircuit(opts);
+    EXPECT_NE(a, c);
+}
+
+TEST(RandomCircuitTest, GateSetRestrictionIsHonored)
+{
+    RandomCircuitOptions opts;
+    opts.numQubits = 4;
+    opts.numGates = 30;
+    opts.maxControls = 2;
+    opts.seed = 99;
+
+    opts.gateSet = RandomGateSet::Nct;
+    Circuit nct = randomCircuit(opts);
+    EXPECT_TRUE(nct.isNctCascade());
+
+    opts.gateSet = RandomGateSet::CnotOnly;
+    Circuit cnots = randomCircuit(opts);
+    for (const Gate &g : cnots)
+        EXPECT_TRUE(g.isCnot()) << g.toString();
+
+    EXPECT_STREQ(randomGateSetName(RandomGateSet::CliffordT),
+                 "clifford_t");
+    EXPECT_STREQ(randomGateSetName(RandomGateSet::Nct), "nct");
+    EXPECT_STREQ(randomGateSetName(RandomGateSet::CnotOnly), "cnot");
+}

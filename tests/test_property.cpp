@@ -335,3 +335,58 @@ INSTANTIATE_TEST_SUITE_P(
         return std::get<0>(info.param) + "_seed" +
                std::to_string(std::get<1>(info.param));
     });
+
+// ---------------------------------------------------------------------
+// Pass-level equivalence: every optimizer pass, run alone, must be
+// QMDD-equivalent to its input on seeded random NCT circuits.
+// ---------------------------------------------------------------------
+
+class PassEquivalenceProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PassEquivalenceProperty, EachPassAloneIsExactOnRandomNct)
+{
+    RandomCircuitOptions gen;
+    gen.numQubits = 4;
+    gen.numGates = 24;
+    gen.maxControls = 2;
+    gen.gateSet = RandomGateSet::Nct;
+    gen.seed = static_cast<std::uint64_t>(GetParam());
+    Circuit nct = randomCircuit(gen);
+
+    // Lower to primitives first: the passes operate on the 1q + CNOT
+    // level the optimizer actually sees inside the pipeline.
+    decompose::DecomposeOptions dopts;
+    Circuit lowered = decompose::decomposeToPrimitives(nct, dopts).circuit;
+
+    struct NamedPass
+    {
+        const char *name;
+        bool (*run)(Circuit &);
+    };
+    const NamedPass passes[] = {
+        {"cancellation",
+         [](Circuit &c) { return opt::cancelInversePairs(c); }},
+        {"rotation_merge",
+         [](Circuit &c) { return opt::mergeRotations(c); }},
+        {"hadamard_rules",
+         [](Circuit &c) { return opt::applyHadamardRules(c, nullptr); }},
+        {"window_identity",
+         [](Circuit &c) { return opt::removeIdentityWindows(c); }},
+        {"phase_polynomial",
+         [](Circuit &c) { return opt::mergePhasePolynomial(c); }},
+    };
+    for (const NamedPass &pass : passes) {
+        Circuit rewritten = lowered;
+        pass.run(rewritten);
+        dd::Package pkg;
+        dd::EquivalenceChecker checker(pkg);
+        EXPECT_TRUE(
+            dd::isEquivalent(checker.check(lowered, rewritten)))
+            << pass.name << " broke seed " << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftySeeds, PassEquivalenceProperty,
+                         ::testing::Range(400, 450));

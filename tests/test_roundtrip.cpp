@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Golden round-trip tests over the checked-in data/circuits/ files:
+ * parse -> write -> reparse must reproduce a structurally identical
+ * circuit (Circuit::operator==) for every format the front end both
+ * reads and writes (.qasm, .real, .qc, .pla).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "esop/cascade.hpp"
+#include "frontend/circuit_writers.hpp"
+#include "frontend/loader.hpp"
+#include "frontend/pla_parser.hpp"
+#include "frontend/pla_writer.hpp"
+#include "frontend/qasm_parser.hpp"
+#include "frontend/qasm_writer.hpp"
+#include "frontend/qc_parser.hpp"
+#include "frontend/real_parser.hpp"
+
+#ifndef QSYN_DATA_DIR
+#error "QSYN_DATA_DIR must point at data/circuits"
+#endif
+
+using namespace qsyn;
+
+namespace {
+
+std::string
+dataFile(const std::string &name)
+{
+    return std::string(QSYN_DATA_DIR) + "/" + name;
+}
+
+} // namespace
+
+TEST(RoundTrip, QasmGolden)
+{
+    Circuit original = frontend::loadCircuitFile(dataFile("toffoli.qasm"));
+    ASSERT_FALSE(original.empty());
+    std::string written = frontend::writeQasm(original);
+    Circuit reparsed = frontend::parseQasm(written, original.name());
+    EXPECT_EQ(reparsed, original);
+
+    // Idempotence: writing the reparse changes nothing.
+    EXPECT_EQ(frontend::writeQasm(reparsed), written);
+}
+
+TEST(RoundTrip, RealGolden)
+{
+    Circuit original =
+        frontend::loadCircuitFile(dataFile("mod5_cascade.real"));
+    ASSERT_FALSE(original.empty());
+    std::string written = frontend::writeReal(original);
+    Circuit reparsed = frontend::parseReal(written, "roundtrip");
+    EXPECT_EQ(reparsed, original);
+    EXPECT_EQ(frontend::writeReal(reparsed), written);
+}
+
+TEST(RoundTrip, QcGolden)
+{
+    Circuit original =
+        frontend::loadCircuitFile(dataFile("clifford_t.qc"));
+    ASSERT_FALSE(original.empty());
+    std::string written = frontend::writeQc(original);
+    Circuit reparsed = frontend::parseQc(written, "roundtrip");
+    EXPECT_EQ(reparsed, original);
+    EXPECT_EQ(frontend::writeQc(reparsed), written);
+}
+
+TEST(RoundTrip, QcCrossesIntoQasmAndBack)
+{
+    // Cross-format: .qc -> QASM text -> circuit must stay structurally
+    // identical (both vocabularies cover the Clifford+T set).
+    Circuit original =
+        frontend::loadCircuitFile(dataFile("clifford_t.qc"));
+    Circuit via_qasm =
+        frontend::parseQasm(frontend::writeQasm(original), "via");
+    EXPECT_EQ(via_qasm, original);
+}
+
+TEST(RoundTrip, PlaGolden)
+{
+    frontend::PlaFile original =
+        frontend::loadPlaFile(dataFile("adder.pla"));
+    ASSERT_FALSE(original.cubes.empty());
+    std::string written = frontend::writePla(original);
+    frontend::PlaFile reparsed = frontend::parsePla(written);
+
+    EXPECT_EQ(reparsed.numInputs, original.numInputs);
+    EXPECT_EQ(reparsed.numOutputs, original.numOutputs);
+    ASSERT_EQ(reparsed.cubes.size(), original.cubes.size());
+    for (size_t i = 0; i < original.cubes.size(); ++i) {
+        EXPECT_EQ(reparsed.cubes[i].careMask,
+                  original.cubes[i].careMask)
+            << "cube " << i;
+        EXPECT_EQ(reparsed.cubes[i].polarity,
+                  original.cubes[i].polarity)
+            << "cube " << i;
+        EXPECT_EQ(reparsed.cubes[i].outputs, original.cubes[i].outputs)
+            << "cube " << i;
+    }
+
+    // The synthesized cascades agree gate for gate.
+    EXPECT_EQ(esop::synthesizePla(reparsed),
+              esop::synthesizePla(original));
+
+    // Idempotence of the writer.
+    EXPECT_EQ(frontend::writePla(reparsed), written);
+}

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * qfuzz: differential fuzzer for the qsyn compile pipeline.
+ *
+ * Generates seeded random (circuit, device, flags) cases, compiles
+ * them, and judges every result with the qsyn::check oracle stack
+ * (QMDD equivalence, statevector cross-check, legality, cost sanity,
+ * determinism). Failures are delta-debugged down to minimal
+ * reproducers and optionally saved as corpus entries.
+ *
+ * `qfuzz --smoke` is the CI entry point: a short clean run that must
+ * be green and exercise every oracle, followed by a fault-injected run
+ * (the hidden CTR swap-back bug) that must be caught and shrunk to a
+ * tiny reproducer. Exit 0 only when both hold.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "check/fuzzer.hpp"
+#include "cli/options.hpp"
+#include "common/errors.hpp"
+
+namespace {
+
+const char *kHelp =
+    "qfuzz - differential fuzzer for the qsyn compiler\n"
+    "\n"
+    "usage: qfuzz [options]\n"
+    "\n"
+    "options:\n"
+    "      --seed <n>           master seed (default 1)\n"
+    "      --iterations <n>     cases to run (default 100;\n"
+    "                           0 = until the time budget expires)\n"
+    "      --time-budget <s>    wall-clock budget in seconds\n"
+    "      --max-qubits <n>     input width cap (default 6)\n"
+    "      --max-gates <n>      input gate-count cap (default 32)\n"
+    "      --shrink-budget <n>  evaluations per shrink (default 300)\n"
+    "      --corpus-dir <dir>   save shrunk reproducers here\n"
+    "      --replay <dir>       replay a reproducer corpus instead of\n"
+    "                           fuzzing; exit 1 unless all green\n"
+    "      --inject-fault       plant the CTR swap-back bug in every\n"
+    "                           case (the oracles must catch it)\n"
+    "      --no-determinism     skip the determinism oracle\n"
+    "      --smoke              time-boxed CI self-test (see above)\n"
+    "      --verbose            log every case, not just failures\n"
+    "  -h, --help               this text\n";
+
+int
+runSmoke(qsyn::check::FuzzOptions base)
+{
+    using namespace qsyn::check;
+    int rc = 0;
+
+    // 1. Clean sweep: the shipped pipeline must satisfy every oracle
+    //    on random cases, and every oracle must actually fire.
+    FuzzOptions clean = base;
+    clean.iterations = 25;
+    clean.timeBudgetSeconds = 12.0;
+    clean.maxQubits = 4;
+    clean.maxGates = 10;
+    clean.injectSwapBackFault = false;
+    std::cerr << "[smoke] clean sweep (" << clean.iterations
+              << " cases)\n";
+    FuzzSummary cleanSum = runFuzzer(clean, std::cerr);
+    if (!cleanSum.clean()) {
+        std::cerr << "[smoke] FAIL: clean run found "
+                  << cleanSum.failures.size() << " failure(s)\n";
+        rc = 1;
+    }
+    const OracleId all[] = {OracleId::QmddEquivalence,
+                            OracleId::Statevector, OracleId::Legality,
+                            OracleId::CostSanity, OracleId::Determinism};
+    for (OracleId id : all) {
+        if (!cleanSum.oracleExercised(id)) {
+            std::cerr << "[smoke] FAIL: oracle '" << oracleName(id)
+                      << "' never produced a verdict\n";
+            rc = 1;
+        }
+    }
+
+    // 2. Fault injection: the planted swap-back bug must be caught
+    //    and shrunk to a tiny reproducer.
+    FuzzOptions fault = base;
+    fault.iterations = 10;
+    fault.timeBudgetSeconds = 12.0;
+    fault.maxQubits = 4;
+    fault.maxGates = 12;
+    fault.injectSwapBackFault = true;
+    std::cerr << "[smoke] fault-injected sweep (" << fault.iterations
+              << " cases, CTR swap-back disabled)\n";
+    FuzzSummary faultSum = runFuzzer(fault, std::cerr);
+    if (faultSum.failures.empty()) {
+        std::cerr << "[smoke] FAIL: the planted swap-back fault was "
+                     "never caught\n";
+        rc = 1;
+    } else if (faultSum.smallestFailureGates() > 8) {
+        std::cerr << "[smoke] FAIL: smallest reproducer has "
+                  << faultSum.smallestFailureGates()
+                  << " gates (want <= 8)\n";
+        rc = 1;
+    } else {
+        std::cerr << "[smoke] fault caught and shrunk to "
+                  << faultSum.smallestFailureGates() << " gate(s)\n";
+    }
+
+    std::cerr << (rc == 0 ? "[smoke] PASS\n" : "[smoke] FAIL\n");
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace qsyn;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    try {
+        check::FuzzOptions opts;
+        bool smoke = false;
+        std::string replay_dir;
+        size_t i = 0;
+        auto next = [&](const std::string &flag) -> std::string {
+            if (i + 1 >= args.size())
+                throw UserError("missing value for " + flag);
+            return args[++i];
+        };
+        for (; i < args.size(); ++i) {
+            const std::string &arg = args[i];
+            if (arg == "-h" || arg == "--help") {
+                std::cout << kHelp;
+                return 0;
+            } else if (arg == "--seed") {
+                opts.seed = cli::parseCountValue(arg, next(arg));
+            } else if (arg == "--iterations") {
+                opts.iterations = cli::parseCountValue(arg, next(arg));
+            } else if (arg == "--time-budget") {
+                opts.timeBudgetSeconds =
+                    cli::parseDoubleValue(arg, next(arg));
+            } else if (arg == "--max-qubits") {
+                opts.maxQubits = static_cast<Qubit>(
+                    cli::parseCountValue(arg, next(arg)));
+            } else if (arg == "--max-gates") {
+                opts.maxGates = cli::parseCountValue(arg, next(arg));
+            } else if (arg == "--shrink-budget") {
+                opts.shrinkBudget =
+                    cli::parseCountValue(arg, next(arg));
+            } else if (arg == "--corpus-dir") {
+                opts.corpusDir = next(arg);
+            } else if (arg == "--replay") {
+                replay_dir = next(arg);
+            } else if (arg == "--inject-fault") {
+                opts.injectSwapBackFault = true;
+            } else if (arg == "--no-determinism") {
+                opts.oracle.runDeterminism = false;
+            } else if (arg == "--smoke") {
+                smoke = true;
+            } else if (arg == "--verbose") {
+                opts.verbose = true;
+            } else {
+                throw UserError("unknown option '" + arg +
+                                "' (try --help)");
+            }
+        }
+
+        if (!replay_dir.empty()) {
+            std::vector<std::string> failing =
+                check::replayCorpus(replay_dir, opts.oracle, std::cerr);
+            if (!failing.empty()) {
+                std::cerr << "[qfuzz] " << failing.size()
+                          << " corpus entr"
+                          << (failing.size() == 1 ? "y" : "ies")
+                          << " did not replay green\n";
+                return 1;
+            }
+            return 0;
+        }
+        if (smoke)
+            return runSmoke(opts);
+
+        check::FuzzSummary summary = check::runFuzzer(opts, std::cerr);
+        return summary.clean() ? 0 : 1;
+    } catch (const UserError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    } catch (const Error &e) {
+        std::cerr << "internal failure: " << e.what() << "\n";
+        return 2;
+    }
+}

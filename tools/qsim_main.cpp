@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "cli/options.hpp"
 #include "common/errors.hpp"
 #include "common/stopwatch.hpp"
 #include "frontend/loader.hpp"
@@ -91,9 +92,9 @@ main(int argc, char **argv)
             } else if (arg == "--input") {
                 input_bits = next();
             } else if (arg == "--top") {
-                top = std::stoul(next());
+                top = cli::parseCountValue(arg, next());
             } else if (arg == "--threshold") {
-                threshold = std::stod(next());
+                threshold = cli::parseDoubleValue(arg, next());
             } else if (arg == "--trace-json") {
                 trace_path = next();
             } else if (arg == "--metrics-json") {

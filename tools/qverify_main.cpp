@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "cli/options.hpp"
 #include "common/errors.hpp"
 #include "common/stopwatch.hpp"
 #include "core/batch.hpp"
@@ -88,8 +89,8 @@ parseAncillaList(const std::string &text)
             comma = text.size();
         std::string token = text.substr(start, comma - start);
         if (!token.empty())
-            wires.push_back(
-                static_cast<qsyn::Qubit>(std::stoul(token)));
+            wires.push_back(static_cast<qsyn::Qubit>(
+                qsyn::cli::parseCountValue("--ancilla", token)));
         start = comma + 1;
     }
     return wires;
@@ -125,9 +126,9 @@ main(int argc, char **argv)
             } else if (arg == "--ancilla") {
                 options.ancillaWires = parseAncillaList(next());
             } else if (arg == "--budget") {
-                options.nodeBudget = std::stoul(next());
+                options.nodeBudget = cli::parseCountValue(arg, next());
             } else if (arg == "-j" || arg == "--jobs") {
-                jobs = std::stoul(next());
+                jobs = cli::parseCountValue(arg, next());
             } else if (arg == "--no-quick-refute") {
                 options.quickRefuteSamples = 0;
             } else if (arg == "--trace-json") {
