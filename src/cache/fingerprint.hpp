@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Content-addressed cache keys: a stable 128-bit fingerprint over
+ * (canonical circuit serialization, device definition, CompileOptions,
+ * compiler version salt), rendered as 32 hex characters.
+ *
+ * The fingerprint covers everything that can change the bytes of a
+ * compile's output — gate stream, register shape, circuit name (it
+ * appears in report JSON), coupling map, calibration data, every
+ * option field, and a version salt so a new compiler release never
+ * replays artifacts produced by an old one.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/compiler.hpp"
+#include "qmdd/equivalence.hpp"
+
+namespace qsyn::cache {
+
+/** Incremental two-lane FNV-1a hasher (2 x 64 bit). Not
+ *  cryptographic; collision odds at cache scale are negligible and a
+ *  corrupted/forged entry is caught by the store's payload checksum. */
+class Fingerprint
+{
+  public:
+    void mixBytes(const void *data, size_t size);
+    void mixU64(std::uint64_t value);
+    /** Length-prefixed, so "ab"+"c" != "a"+"bc". */
+    void mixString(std::string_view text);
+    /** Exact bit pattern: -0.0 != +0.0, every NaN payload distinct. */
+    void mixDouble(double value);
+
+    /** 32 lowercase hex characters. */
+    std::string hex() const;
+
+  private:
+    std::uint64_t lo_ = 0xcbf29ce484222325ull; // FNV-1a offset basis
+    std::uint64_t hi_ = 0x9e3779b97f4a7c15ull; // golden-ratio seed
+};
+
+/** Mix a full circuit: name, width, and the exact gate stream. */
+void mixCircuit(Fingerprint &fp, const Circuit &circuit);
+
+/** Mix a device: name, size, coupling edges, calibration (if any). */
+void mixDevice(Fingerprint &fp, const Device &device);
+
+/** Mix every CompileOptions field. */
+void mixCompileOptions(Fingerprint &fp, const CompileOptions &options);
+
+/** Cache key for one compilation. */
+std::string compileCacheKey(const Circuit &input, const Device &device,
+                            const CompileOptions &options,
+                            std::string_view salt);
+
+/** Cache key for one qverify equivalence query (both circuits plus
+ *  every EquivalenceOptions field). */
+std::string equivalenceCacheKey(const Circuit &a, const Circuit &b,
+                                const dd::EquivalenceOptions &options,
+                                std::string_view salt);
+
+} // namespace qsyn::cache

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Binary codec for cached compile artifacts. encodeCachedCompile
+ * produces a deterministic, self-contained byte string for one
+ * CachedCompile (every CompileResult field, the original timings, and
+ * the canonical QASM); decodeCachedCompile reconstructs it exactly —
+ * the cache-correctness oracle asserts byte-identity of the QASM and
+ * report JSON across a round trip.
+ *
+ * Decoding is defensive: any truncation, bad tag, or out-of-range
+ * value throws qsyn::Error, which the cache layer treats as a miss
+ * (the corrupt entry is dropped and the compile runs cold).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/compile_cache.hpp"
+
+namespace qsyn::cache {
+
+/** Appends fixed-width little-endian primitives to a byte buffer. */
+class ByteWriter
+{
+  public:
+    void u8(std::uint8_t v) { bytes_.push_back(v); }
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    void f64(double v);
+    void str(std::string_view s);
+
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Bounds-checked reader over an encoded buffer; throws qsyn::Error
+ *  on any overrun. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(const std::vector<std::uint8_t> &bytes)
+        : bytes_(bytes)
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    double f64();
+    std::string str();
+
+    bool atEnd() const { return pos_ == bytes_.size(); }
+
+  private:
+    const std::vector<std::uint8_t> &bytes_;
+    size_t pos_ = 0;
+};
+
+/** @name Circuit codec (also reused by the equivalence-cache tests). */
+/// @{
+void encodeCircuit(ByteWriter &w, const Circuit &circuit);
+Circuit decodeCircuit(ByteReader &r);
+/// @}
+
+/** Serialize one cached compile (payload only; the store adds its own
+ *  integrity header). */
+std::vector<std::uint8_t>
+encodeCachedCompile(const CachedCompile &artifact);
+
+/** Inverse of encodeCachedCompile; throws qsyn::Error on malformed
+ *  input. */
+CachedCompile
+decodeCachedCompile(const std::vector<std::uint8_t> &bytes);
+
+} // namespace qsyn::cache

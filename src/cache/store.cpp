@@ -1,0 +1,292 @@
+#include "cache/store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/numeric.hpp"
+
+namespace qsyn::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[4] = {'Q', 'S', 'Y', 'C'};
+constexpr std::uint32_t kFormatVersion = 1;
+
+std::uint64_t
+payloadChecksum(const std::vector<std::uint8_t> &payload)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint8_t byte : payload)
+        h = (h ^ byte) * 0x100000001b3ull;
+    return h;
+}
+
+void
+putU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void
+putU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+std::uint32_t
+getU32(const std::string &in, size_t pos)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(in[pos + i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint64_t
+getU64(const std::string &in, size_t pos)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(in[pos + i]))
+             << (8 * i);
+    return v;
+}
+
+/** magic + version + key(32) + payload size + payload checksum. */
+constexpr size_t kHeaderSize = 4 + 4 + 32 + 8 + 8;
+
+} // namespace
+
+CacheStore::CacheStore(StoreConfig config) : config_(std::move(config))
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(config_.dir) / "objects", ec);
+    fs::create_directories(fs::path(config_.dir) / "tmp", ec);
+    std::lock_guard<std::mutex> lock(mu_);
+    loadIndexLocked();
+}
+
+std::string
+CacheStore::objectPath(const std::string &key) const
+{
+    return (fs::path(config_.dir) / "objects" / key.substr(0, 2) /
+            (key + ".qsc"))
+        .string();
+}
+
+void
+CacheStore::loadIndexLocked()
+{
+    std::ifstream in(fs::path(config_.dir) / "index.txt");
+    if (!in)
+        return;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::istringstream fields(line);
+        std::string key, size_text, seq_text;
+        if (!(fields >> key >> size_text >> seq_text))
+            continue;
+        unsigned long long size = 0, seq = 0;
+        if (key.size() != 32 || !parseUnsigned(size_text, &size) ||
+            !parseUnsigned(seq_text, &seq))
+            continue;
+        Entry entry;
+        entry.size = size;
+        entry.seq = seq;
+        auto [it, inserted] = index_.emplace(key, entry);
+        if (inserted)
+            totalBytes_ += size;
+        nextSeq_ = std::max<uint64_t>(nextSeq_, seq + 1);
+    }
+}
+
+void
+CacheStore::writeIndexLocked()
+{
+    fs::path tmp = fs::path(config_.dir) / "tmp" / "index.txt.tmp";
+    {
+        std::ofstream out(tmp);
+        if (!out)
+            return;
+        for (const auto &[key, entry] : index_)
+            out << key << " " << entry.size << " " << entry.seq << "\n";
+    }
+    std::error_code ec;
+    fs::rename(tmp, fs::path(config_.dir) / "index.txt", ec);
+}
+
+void
+CacheStore::removeEntryLocked(const std::string &key)
+{
+    // `key` may alias the index entry being erased (evictLocked passes
+    // victim->first); resolve the path before invalidating it.
+    std::string path = objectPath(key);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+        totalBytes_ -= std::min(totalBytes_, it->second.size);
+        index_.erase(it);
+    }
+    std::error_code ec;
+    fs::remove(path, ec);
+}
+
+void
+CacheStore::evictLocked()
+{
+    while (totalBytes_ > config_.maxBytes && !index_.empty()) {
+        auto victim = index_.begin();
+        for (auto it = index_.begin(); it != index_.end(); ++it) {
+            if (it->second.seq < victim->second.seq)
+                victim = it;
+        }
+        removeEntryLocked(victim->first);
+        ++evictions_;
+    }
+}
+
+bool
+CacheStore::load(const std::string &key,
+                 std::vector<std::uint8_t> *payload)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ifstream in(objectPath(key), std::ios::binary);
+    if (!in) {
+        // Entry disappeared (external cleanup): drop the stale index
+        // row so bytes() stays honest.
+        if (index_.count(key)) {
+            removeEntryLocked(key);
+            writeIndexLocked();
+        }
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string raw = buf.str();
+
+    auto corrupt = [&]() {
+        removeEntryLocked(key);
+        writeIndexLocked();
+        return false;
+    };
+    if (raw.size() < kHeaderSize)
+        return corrupt();
+    if (raw.compare(0, 4, kMagic, 4) != 0)
+        return corrupt();
+    if (getU32(raw, 4) != kFormatVersion)
+        return corrupt();
+    if (raw.compare(8, 32, key) != 0)
+        return corrupt();
+    std::uint64_t size = getU64(raw, 40);
+    std::uint64_t checksum = getU64(raw, 48);
+    if (raw.size() != kHeaderSize + size)
+        return corrupt();
+    std::vector<std::uint8_t> bytes(raw.begin() + kHeaderSize,
+                                    raw.end());
+    if (payloadChecksum(bytes) != checksum)
+        return corrupt();
+
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        // Object exists but was never indexed (e.g. an interrupted
+        // earlier run): adopt it.
+        Entry entry;
+        entry.size = size;
+        it = index_.emplace(key, entry).first;
+        totalBytes_ += size;
+    }
+    it->second.seq = nextSeq_++;
+    writeIndexLocked();
+    *payload = std::move(bytes);
+    return true;
+}
+
+void
+CacheStore::store(const std::string &key,
+                  const std::vector<std::uint8_t> &payload)
+{
+    if (key.size() != 32)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+
+    std::string blob;
+    blob.reserve(kHeaderSize + payload.size());
+    blob.append(kMagic, 4);
+    putU32(blob, kFormatVersion);
+    blob.append(key);
+    putU64(blob, payload.size());
+    putU64(blob, payloadChecksum(payload));
+    blob.append(payload.begin(), payload.end());
+
+    // Stage in tmp/ (unique name per thread) and rename into place so
+    // a concurrent reader sees either nothing or the complete entry.
+    fs::path tmp =
+        fs::path(config_.dir) / "tmp" /
+        (key + "." +
+         std::to_string(
+             std::hash<std::thread::id>{}(std::this_thread::get_id())) +
+         ".tmp");
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            return;
+        out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+        if (!out)
+            return;
+    }
+    fs::path final_path = objectPath(key);
+    std::error_code ec;
+    fs::create_directories(final_path.parent_path(), ec);
+    fs::rename(tmp, final_path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return;
+    }
+
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+        Entry entry;
+        entry.size = payload.size();
+        it = index_.emplace(key, entry).first;
+        totalBytes_ += payload.size();
+    } else {
+        totalBytes_ -= std::min(totalBytes_, it->second.size);
+        it->second.size = payload.size();
+        totalBytes_ += payload.size();
+    }
+    it->second.seq = nextSeq_++;
+    evictLocked();
+    writeIndexLocked();
+}
+
+std::uint64_t
+CacheStore::bytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return totalBytes_;
+}
+
+size_t
+CacheStore::entries() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+}
+
+size_t
+CacheStore::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+}
+
+} // namespace qsyn::cache

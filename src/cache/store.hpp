@@ -1,0 +1,90 @@
+/**
+ * @file
+ * On-disk tier of the compile cache: a content-addressed object store
+ * under one directory.
+ *
+ * Layout (see docs/caching.md):
+ *
+ *   <dir>/objects/<key[0:2]>/<key>.qsc   one entry per fingerprint
+ *   <dir>/tmp/                           staging for atomic commits
+ *   <dir>/index.txt                      "key size seq" LRU index
+ *
+ * Entries are committed by writing to tmp/ and renaming into place —
+ * readers never observe a half-written object. Every entry carries an
+ * integrity header (magic, format version, its own key, payload size,
+ * payload checksum); anything that fails validation is deleted and
+ * reported as a miss, so truncation or bit flips degrade to a cold
+ * compile instead of a crash. When the store grows past maxBytes the
+ * least-recently-used entries (by index seq) are evicted.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qsyn::cache {
+
+struct StoreConfig
+{
+    /** Root directory; created on demand. */
+    std::string dir;
+    /** Total payload budget before LRU eviction kicks in. */
+    std::uint64_t maxBytes = 256ull << 20;
+};
+
+/** Thread-safe persistent key/bytes store with LRU eviction. */
+class CacheStore
+{
+  public:
+    explicit CacheStore(StoreConfig config);
+
+    /**
+     * Fetch an entry. Returns false on miss; a present-but-corrupt
+     * entry (bad header, wrong key, checksum mismatch, truncation) is
+     * removed and also reported as a miss. A hit refreshes the entry's
+     * LRU position.
+     */
+    bool load(const std::string &key, std::vector<std::uint8_t> *payload);
+
+    /**
+     * Commit an entry atomically (write to tmp, fsync-free rename into
+     * objects/). Best-effort: I/O failures are swallowed — the cache
+     * must never turn a successful compile into an error. Evicts LRU
+     * entries afterwards if the store exceeds its byte budget.
+     */
+    void store(const std::string &key,
+               const std::vector<std::uint8_t> &payload);
+
+    /** Total payload bytes currently indexed. */
+    std::uint64_t bytes() const;
+    /** Entries currently indexed. */
+    size_t entries() const;
+    /** Entries evicted by the byte budget over this store's lifetime. */
+    size_t evictions() const;
+
+  private:
+    struct Entry
+    {
+        std::uint64_t size = 0;
+        std::uint64_t seq = 0; // larger = more recently used
+    };
+
+    std::string objectPath(const std::string &key) const;
+    void loadIndexLocked();
+    void writeIndexLocked();
+    void evictLocked();
+    void removeEntryLocked(const std::string &key);
+
+    StoreConfig config_;
+    mutable std::mutex mu_;
+    std::map<std::string, Entry> index_;
+    std::uint64_t totalBytes_ = 0;
+    std::uint64_t nextSeq_ = 1;
+    size_t evictions_ = 0;
+};
+
+} // namespace qsyn::cache

@@ -4,9 +4,12 @@
 #include <numbers>
 #include <sstream>
 
+#include "cache/cache.hpp"
+#include "cache/serialize.hpp"
 #include "common/errors.hpp"
 #include "common/rng.hpp"
 #include "core/batch.hpp"
+#include "core/report.hpp"
 #include "obs/obs.hpp"
 #include "sim/statevector.hpp"
 
@@ -21,6 +24,7 @@ oracleName(OracleId id)
       case OracleId::Legality: return "legality";
       case OracleId::CostSanity: return "cost";
       case OracleId::Determinism: return "determinism";
+      case OracleId::CacheConsistency: return "cache";
     }
     return "?";
 }
@@ -287,6 +291,79 @@ checkDeterminism(const Circuit &input, const Device &device,
     return out;
 }
 
+OracleOutcome
+checkCacheConsistency(const Circuit &input, const Device &device,
+                      const CompileOptions &options)
+{
+    obs::Span span("check.cache", "check");
+    OracleOutcome out;
+    out.id = OracleId::CacheConsistency;
+
+    cache::CacheConfig config; // memory tier only
+    cache::CompileCache compile_cache(config);
+    Compiler compiler(device, options);
+    size_t computes = 0;
+    auto compute = [&] {
+        ++computes;
+        CachedCompile artifact;
+        artifact.result = compiler.compile(input);
+        artifact.qasm = compiler.toQasm(artifact.result);
+        return artifact;
+    };
+
+    auto first =
+        compile_cache.getOrCompute(input, device, options, compute);
+    auto second =
+        compile_cache.getOrCompute(input, device, options, compute);
+    if (computes != 1) {
+        out.passed = false;
+        out.details = "expected exactly one cold compile, saw " +
+                      std::to_string(computes);
+        return out;
+    }
+    if (second->qasm != first->qasm) {
+        out.passed = false;
+        out.details = "cache hit returned different QASM bytes";
+        return out;
+    }
+
+    // The artifact codec must round-trip exactly, including timings:
+    // a disk hit replays these bytes verbatim.
+    CachedCompile decoded =
+        cache::decodeCachedCompile(cache::encodeCachedCompile(*first));
+    if (decoded.qasm != first->qasm) {
+        out.passed = false;
+        out.details = "codec round-trip changed the QASM bytes";
+        return out;
+    }
+    if (compileReportJson(decoded.result, device) !=
+        compileReportJson(first->result, device)) {
+        out.passed = false;
+        out.details = "codec round-trip changed the report JSON";
+        return out;
+    }
+
+    // The cached artifact must match a cold recompile byte for byte —
+    // wall-clock timings excluded, they are measurements of this run,
+    // not cacheable content.
+    Compiler cold_compiler(device, options);
+    CompileResult cold = cold_compiler.compile(input);
+    if (cold_compiler.toQasm(cold) != first->qasm) {
+        out.passed = false;
+        out.details = "cached QASM differs from a cold recompile";
+        return out;
+    }
+    ReportOptions no_seconds;
+    no_seconds.includeSeconds = false;
+    if (compileReportJson(cold, device, no_seconds) !=
+        compileReportJson(first->result, device, no_seconds)) {
+        out.passed = false;
+        out.details = "cached report JSON differs from a cold recompile";
+        return out;
+    }
+    return out;
+}
+
 OracleReport
 runAllOracles(const Circuit &input, const Device &device,
               const CompileOptions &options, const OracleOptions &opts)
@@ -308,6 +385,9 @@ runAllOracles(const Circuit &input, const Device &device,
     if (opts.runDeterminism)
         report.outcomes.push_back(
             checkDeterminism(input, device, copts, opts));
+    if (opts.runCache)
+        report.outcomes.push_back(
+            checkCacheConsistency(input, device, copts));
     return report;
 }
 

@@ -15,7 +15,11 @@
  *   cost         — the optimizer never raised the Eqn. 2 cost and all
  *                  reported stage metrics match the actual circuits;
  *   determinism  — byte-identical QASM across repeated compiles and
- *                  across batch worker counts.
+ *                  across batch worker counts;
+ *   cache        — a compile served from the compile cache is
+ *                  byte-identical (QASM and report JSON) to a cold
+ *                  recompile, and the artifact codec round-trips
+ *                  exactly.
  *
  * Oracles are pure observers: they never mutate the result and each
  * builds its own QMDD package, so they compose with any compile the
@@ -38,11 +42,12 @@ enum class OracleId
     Statevector,
     Legality,
     CostSanity,
-    Determinism
+    Determinism,
+    CacheConsistency
 };
 
 /** Stable short name ("qmdd", "statevector", "legality", "cost",
- *  "determinism"). */
+ *  "determinism", "cache"). */
 const char *oracleName(OracleId id);
 
 /** Tuning knobs shared by the oracle stack. */
@@ -65,6 +70,9 @@ struct OracleOptions
     /** Run the (recompiling, comparatively expensive) determinism
      *  oracle as part of runAllOracles. */
     bool runDeterminism = true;
+    /** Run the (also recompiling) cache-consistency oracle as part of
+     *  runAllOracles. */
+    bool runCache = true;
 };
 
 /** Verdict of one oracle on one compile. */
@@ -106,6 +114,9 @@ OracleOutcome checkCostSanity(const CompileResult &result,
 OracleOutcome checkDeterminism(const Circuit &input, const Device &device,
                                const CompileOptions &options,
                                const OracleOptions &opts = {});
+OracleOutcome checkCacheConsistency(const Circuit &input,
+                                    const Device &device,
+                                    const CompileOptions &options);
 /// @}
 
 /**

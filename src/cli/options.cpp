@@ -3,7 +3,12 @@
 #include <ostream>
 #include <sstream>
 
+#include <limits>
+#include <memory>
+
+#include "cache/cache.hpp"
 #include "common/errors.hpp"
+#include "common/numeric.hpp"
 #include "common/strings.hpp"
 #include "device/loader.hpp"
 #include "device/registry.hpp"
@@ -45,29 +50,20 @@ strategyFromName(const std::string &name)
 double
 parseDoubleValue(const std::string &flag, const std::string &value)
 {
-    try {
-        size_t pos = 0;
-        double v = std::stod(value, &pos);
-        if (pos != value.size())
-            throw std::invalid_argument("trailing");
-        return v;
-    } catch (const std::exception &) {
+    double v = 0.0;
+    if (!parseFiniteDouble(value, &v))
         throw UserError("bad numeric value '" + value + "' for " + flag);
-    }
+    return v;
 }
 
 size_t
 parseCountValue(const std::string &flag, const std::string &value)
 {
-    try {
-        size_t pos = 0;
-        unsigned long v = std::stoul(value, &pos);
-        if (pos != value.size() || value[0] == '-')
-            throw std::invalid_argument("trailing");
-        return static_cast<size_t>(v);
-    } catch (const std::exception &) {
+    unsigned long long v = 0;
+    if (!parseUnsigned(value, &v) ||
+        v > std::numeric_limits<size_t>::max())
         throw UserError("bad count '" + value + "' for " + flag);
-    }
+    return static_cast<size_t>(v);
 }
 
 CliOptions
@@ -164,6 +160,14 @@ parseCliArguments(const std::vector<std::string> &args)
                 throw UserError("unknown rebase target '" + value +
                                 "' (cz|cnot)");
             opts.rebase = value;
+        } else if (arg == "--cache-dir") {
+            opts.cacheDir = next_value(arg);
+        } else if (arg == "--no-cache") {
+            opts.useCache = false;
+        } else if (arg == "--cache-max-mb") {
+            opts.cacheMaxMb = parseCountValue(arg, next_value(arg));
+            if (opts.cacheMaxMb == 0)
+                throw UserError("--cache-max-mb must be >= 1");
         } else if (arg == "--quiet") {
             opts.printStats = false;
         } else if (arg == "--no-emit") {
@@ -240,6 +244,13 @@ cliHelpText()
         "      --log-level <l>      quiet | info | debug | trace\n"
         "                           (default: $QSYN_LOG or quiet)\n"
         "      --rebase <basis>     cz | cnot two-qubit output basis\n"
+        "      --cache-dir <dir>    persistent compile cache: identical\n"
+        "                           (circuit, device, options) compiles\n"
+        "                           replay from disk\n"
+        "      --no-cache           disable compile memoization (also\n"
+        "                           the in-process batch tier)\n"
+        "      --cache-max-mb <n>   on-disk cache budget before LRU\n"
+        "                           eviction (default 256)\n"
         "      --quiet              suppress the statistics report\n"
         "      --no-emit            suppress QASM output\n"
         "      --list-devices       print the device library and exit\n"
@@ -304,10 +315,41 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
             return builtinDevice(options.deviceName);
         }();
 
+        // The compile cache: always holds the in-process tier for
+        // batch dedup; --cache-dir adds the persistent store.
+        std::unique_ptr<cache::CompileCache> compile_cache;
+        if (options.useCache) {
+            cache::CacheConfig ccfg;
+            ccfg.dir = options.cacheDir;
+            ccfg.maxDiskBytes =
+                static_cast<std::uint64_t>(options.cacheMaxMb) << 20;
+            compile_cache =
+                std::make_unique<cache::CompileCache>(ccfg);
+        }
+        auto printCacheStats = [&]() {
+            if (compile_cache == nullptr || !options.printStats)
+                return;
+            cache::CacheStats cs = compile_cache->stats();
+            if (cs.hits + cs.misses == 0)
+                return;
+            err << "cache:             " << cs.hits << " hit(s), "
+                << cs.misses << " miss(es) (" << cs.diskHits
+                << " from disk, " << cs.singleFlightShared
+                << " shared in flight)";
+            if (!options.cacheDir.empty()) {
+                err << ", " << cs.diskEntries << " entr"
+                    << (cs.diskEntries == 1 ? "y" : "ies") << " / "
+                    << cs.diskBytes << " bytes on disk, "
+                    << cs.diskEvictions << " evicted";
+            }
+            err << "\n";
+        };
+
         if (options.inputs.size() > 1) {
             // Batch mode: one Compiler per input on a worker pool,
             // results reported and emitted strictly in input order.
             BatchCompiler batch(device, options.compile);
+            batch.setCache(compile_cache.get());
             std::vector<BatchItem> items =
                 batch.compileFiles(options.inputs, options.jobs);
             const BatchSummary &sum = batch.summary();
@@ -331,6 +373,7 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
                     << " worker(s), " << sum.wallSeconds << " s wall ("
                     << sum.sumSeconds << " s summed)\n";
             }
+            printCacheStats();
             if (options.emitQasm) {
                 for (const BatchItem &item : items) {
                     if (!item.ok)
@@ -347,6 +390,8 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
                 }
             }
             batch.publishMetrics();
+            if (compile_cache != nullptr)
+                compile_cache->publishMetrics();
             if (!options.tracePath.empty()) {
                 std::ofstream trace(options.tracePath);
                 if (!trace)
@@ -385,7 +430,14 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
         if (obs::logEnabled(obs::LogLevel::Debug))
             copts.optimizer.collectPassStats = true;
         Compiler compiler(device, copts);
-        CompileResult result = compiler.compile(input);
+        // Single-input compiles only consult the cache when it can
+        // persist across runs; a process-local tier would never hit.
+        std::shared_ptr<const CachedCompile> artifact =
+            compiler.compileCached(input,
+                                   options.cacheDir.empty()
+                                       ? nullptr
+                                       : compile_cache.get());
+        const CompileResult &result = artifact->result;
 
         if (obs::logEnabled(obs::LogLevel::Debug) &&
             !result.optReport.passes.empty()) {
@@ -423,6 +475,7 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
             }
             err << "time:              " << result.totalSeconds << " s\n";
         }
+        printCacheStats();
         if (options.drawCircuits) {
             frontend::DrawOptions dopts;
             dopts.maxColumns = 40;
@@ -466,6 +519,8 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
                 err << "wrote " << options.outputPath << "\n";
             }
         }
+        if (compile_cache != nullptr)
+            compile_cache->publishMetrics();
         if (!options.tracePath.empty()) {
             std::ofstream trace(options.tracePath);
             if (!trace)

@@ -57,6 +57,14 @@ struct CliOptions
     /** Rebase the emitted circuit's two-qubit basis: "" (keep CNOT)
      *  or "cz" (emit CZ + Hadamards, for CZ-native platforms). */
     std::string rebase;
+
+    /** Persistent compile-cache directory (--cache-dir); empty = the
+     *  in-process tier only. */
+    std::string cacheDir;
+    /** Memoize compiles at all (--no-cache clears it). */
+    bool useCache = true;
+    /** On-disk cache budget in MiB (--cache-max-mb). */
+    size_t cacheMaxMb = 256;
 };
 
 /**

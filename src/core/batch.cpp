@@ -101,8 +101,21 @@ BatchCompiler::run(size_t n, size_t jobs,
             // item: nothing QMDD-related is shared across workers.
             Circuit input = load(i);
             Compiler compiler(device_, options_);
-            item.result = compiler.compile(input);
-            item.qasm = compiler.toQasm(item.result);
+            if (cache_ != nullptr) {
+                std::shared_ptr<const CachedCompile> cached =
+                    cache_->getOrCompute(input, device_, options_, [&] {
+                        CachedCompile artifact;
+                        artifact.result = compiler.compile(input);
+                        artifact.qasm =
+                            compiler.toQasm(artifact.result);
+                        return artifact;
+                    });
+                item.result = cached->result;
+                item.qasm = cached->qasm;
+            } else {
+                item.result = compiler.compile(input);
+                item.qasm = compiler.toQasm(item.result);
+            }
             item.ok = true;
         } catch (const UserError &e) {
             item.error = e.what();

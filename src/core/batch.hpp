@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/compile_cache.hpp"
 #include "core/compiler.hpp"
 
 namespace qsyn {
@@ -91,6 +92,15 @@ class BatchCompiler
     const BatchSummary &summary() const { return summary_; }
 
     /**
+     * Attach a compile cache (not owned; must outlive the batch runs).
+     * Workers then fetch memoized results by content fingerprint, and
+     * concurrent workers compiling identical inputs single-flight:
+     * one computes, the rest share. Null detaches.
+     */
+    void setCache(CompileCacheBase *cache) { cache_ = cache; }
+    CompileCacheBase *cache() const { return cache_; }
+
+    /**
      * Publish the last run's merged per-circuit metrics as
      * `<prefix>.*` gauges on the installed obs sink: batch shape
      * (circuits/jobs/failures), wall vs summed seconds, and the summed
@@ -110,6 +120,7 @@ class BatchCompiler
 
     Device device_;
     CompileOptions options_;
+    CompileCacheBase *cache_ = nullptr;
     BatchSummary summary_;
     /** Element-wise sum (peakNodes: max) of per-item dd stats. */
     dd::PackageStats mergedDd_;

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Abstract compile-cache interface the core layer programs against.
+ *
+ * The concrete implementation (content-addressed fingerprinting, the
+ * on-disk store, single-flight dedup) lives in qsyn::cache, which
+ * depends on the core types; defining only this interface here keeps
+ * the dependency one-way: core knows *that* results can be memoized,
+ * the cache library knows *how*.
+ */
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/compiler.hpp"
+
+namespace qsyn {
+
+/** A memoized compilation: the full result plus its canonical QASM
+ *  serialization (produced by Compiler::toQasm at compute time). */
+struct CachedCompile
+{
+    CompileResult result;
+    std::string qasm;
+};
+
+/**
+ * Interface of a compile memoizer. getOrCompute returns the cached
+ * artifact for (input, device, options) or invokes `compute` exactly
+ * once per key — even under concurrent callers — and caches what it
+ * returns. Exceptions from `compute` propagate to every caller waiting
+ * on that key and nothing is cached.
+ */
+class CompileCacheBase
+{
+  public:
+    virtual ~CompileCacheBase() = default;
+
+    virtual std::shared_ptr<const CachedCompile>
+    getOrCompute(const Circuit &input, const Device &device,
+                 const CompileOptions &options,
+                 const std::function<CachedCompile()> &compute) = 0;
+};
+
+} // namespace qsyn

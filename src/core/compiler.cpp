@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/errors.hpp"
+#include "core/compile_cache.hpp"
 #include "frontend/qasm_writer.hpp"
 #include "obs/obs.hpp"
 
@@ -165,6 +166,21 @@ Compiler::toQasm(const CompileResult &result) const
     frontend::QasmWriterOptions wopts;
     wopts.headerComment = "qsyn: mapped to " + device_.name();
     return frontend::writeQasm(result.optimized, wopts);
+}
+
+std::shared_ptr<const CachedCompile>
+Compiler::compileCached(const Circuit &input,
+                        CompileCacheBase *cache) const
+{
+    auto compute = [&] {
+        CachedCompile artifact;
+        artifact.result = compile(input);
+        artifact.qasm = toQasm(artifact.result);
+        return artifact;
+    };
+    if (cache == nullptr)
+        return std::make_shared<const CachedCompile>(compute());
+    return cache->getOrCompute(input, device_, options_, compute);
 }
 
 } // namespace qsyn

@@ -12,6 +12,8 @@
 
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "decompose/pass.hpp"
@@ -23,6 +25,10 @@
 #include "route/placement.hpp"
 
 namespace qsyn {
+
+// From core/compile_cache.hpp (which includes this header).
+struct CachedCompile;
+class CompileCacheBase;
 
 /** Verification behavior of the compiler. */
 enum class VerifyMode
@@ -161,6 +167,16 @@ class Compiler
 
     /** Serialize a result's final circuit as OpenQASM 2.0. */
     std::string toQasm(const CompileResult &result) const;
+
+    /**
+     * compile() through a compile cache (see core/compile_cache.hpp):
+     * returns the memoized artifact when the (input, device, options)
+     * fingerprint hits, compiles and caches otherwise. A null cache
+     * degrades to a plain compile. The returned artifact is shared
+     * with the cache — treat it as immutable.
+     */
+    std::shared_ptr<const CachedCompile>
+    compileCached(const Circuit &input, CompileCacheBase *cache) const;
 
   private:
     Device device_;

@@ -28,7 +28,8 @@ emitMetrics(std::ostringstream &os, const char *key,
 } // namespace
 
 std::string
-compileReportJson(const CompileResult &result, const Device &device)
+compileReportJson(const CompileResult &result, const Device &device,
+                  const ReportOptions &options)
 {
     std::ostringstream os;
     os.precision(12);
@@ -82,14 +83,17 @@ compileReportJson(const CompileResult &result, const Device &device)
        << ", \"compute_lookups\": " << result.ddStats.computeLookups
        << ", \"compute_hits\": " << result.ddStats.computeHits
        << ", \"compute_hit_rate\": " << result.ddStats.computeHitRate()
-       << ", \"gc_runs\": " << result.ddStats.gcRuns << "},\n";
-    os << "  \"seconds\": {\"decompose\": " << result.decomposeSeconds
-       << ", \"place\": " << result.placeSeconds
-       << ", \"route\": " << result.routeSeconds
-       << ", \"optimize\": " << result.optimizeSeconds
-       << ", \"verify\": " << result.verifySeconds
-       << ", \"total\": " << result.totalSeconds << "}\n";
-    os << "}\n";
+       << ", \"gc_runs\": " << result.ddStats.gcRuns << "}";
+    if (options.includeSeconds) {
+        os << ",\n  \"seconds\": {\"decompose\": "
+           << result.decomposeSeconds
+           << ", \"place\": " << result.placeSeconds
+           << ", \"route\": " << result.routeSeconds
+           << ", \"optimize\": " << result.optimizeSeconds
+           << ", \"verify\": " << result.verifySeconds
+           << ", \"total\": " << result.totalSeconds << "}";
+    }
+    os << "\n}\n";
     return os.str();
 }
 

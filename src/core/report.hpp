@@ -13,9 +13,19 @@
 
 namespace qsyn {
 
+/** Report serialization knobs. */
+struct ReportOptions
+{
+    /** Emit the "seconds" timing object. The cache-correctness oracle
+     *  turns this off: timings legitimately differ between a cached
+     *  fetch and a cold recompile, everything else must not. */
+    bool includeSeconds = true;
+};
+
 /** Serialize a compile result (metrics, routing stats, timings,
  *  verification verdict) as a JSON object. */
 std::string compileReportJson(const CompileResult &result,
-                              const Device &device);
+                              const Device &device,
+                              const ReportOptions &options = {});
 
 } // namespace qsyn

@@ -4,33 +4,68 @@
 #include <sstream>
 
 #include "common/errors.hpp"
+#include "common/numeric.hpp"
 #include "common/strings.hpp"
 
 namespace qsyn {
 
 namespace {
 
-Qubit
-parseQubitIndex(const std::string &token, Qubit num_qubits, int line_no)
+/** A whitespace-delimited token plus its 1-based column in the line. */
+struct Field
 {
-    size_t pos = 0;
-    unsigned long value = 0;
-    try {
-        value = std::stoul(token, &pos);
-    } catch (const std::exception &) {
-        throw ParseError("expected a qubit index, got '" + token + "'",
-                         line_no, 0);
+    std::string text;
+    int column = 0;
+};
+
+bool
+isSeparator(char c, const char *seps)
+{
+    for (const char *s = seps; *s; ++s)
+        if (*s == c)
+            return true;
+    return false;
+}
+
+/**
+ * Split `line[from, to)` into tokens, remembering where each one
+ * starts so diagnostics can point at the offending column rather than
+ * the start of the line.
+ */
+std::vector<Field>
+fieldsWithColumns(const std::string &line, size_t from, size_t to,
+                  const char *seps = " \t")
+{
+    std::vector<Field> fields;
+    size_t i = from;
+    while (i < to) {
+        while (i < to && isSeparator(line[i], seps))
+            ++i;
+        if (i >= to)
+            break;
+        size_t start = i;
+        while (i < to && !isSeparator(line[i], seps))
+            ++i;
+        fields.push_back({line.substr(start, i - start),
+                          static_cast<int>(start) + 1});
     }
-    if (pos != token.size()) {
-        throw ParseError("trailing characters after qubit index '" +
-                             token + "'",
-                         line_no, 0);
+    return fields;
+}
+
+Qubit
+parseQubitIndex(const Field &token, Qubit num_qubits, int line_no)
+{
+    unsigned long long value = 0;
+    if (!parseUnsigned(token.text, &value)) {
+        throw ParseError("expected a qubit index, got '" + token.text +
+                             "'",
+                         line_no, token.column);
     }
     if (value >= num_qubits) {
-        throw ParseError("qubit index " + token +
+        throw ParseError("qubit index " + token.text +
                              " exceeds device size " +
                              std::to_string(num_qubits),
-                         line_no, 0);
+                         line_no, token.column);
     }
     return static_cast<Qubit>(value);
 }
@@ -53,42 +88,56 @@ parseDevice(std::istream &input)
         if (text.empty() || text[0] == '#')
             continue;
         if (!have_header) {
-            auto fields = splitFields(text);
-            if (fields.size() != 3 || fields[0] != "device") {
+            auto fields = fieldsWithColumns(line, 0, line.size());
+            if (fields.size() != 3 || fields[0].text != "device") {
                 throw ParseError(
                     "expected header 'device <name> <num_qubits>'",
-                    line_no, 0);
+                    line_no, fields.empty() ? 0 : fields[0].column);
             }
-            name = fields[1];
-            try {
-                num_qubits = static_cast<Qubit>(std::stoul(fields[2]));
-            } catch (const std::exception &) {
-                throw ParseError("bad qubit count '" + fields[2] + "'",
-                                 line_no, 0);
+            name = fields[1].text;
+            unsigned long long count = 0;
+            if (!parseUnsigned(fields[2].text, &count) ||
+                count > kMaxRegisterWidth) {
+                throw ParseError("bad qubit count '" + fields[2].text +
+                                     "'",
+                                 line_no, fields[2].column);
             }
+            num_qubits = static_cast<Qubit>(count);
             if (num_qubits == 0)
                 throw ParseError("device must have at least one qubit",
-                                 line_no, 0);
+                                 line_no, fields[2].column);
             map = CouplingMap(num_qubits);
             have_header = true;
             continue;
         }
-        auto colon = text.find(':');
+        auto colon = line.find(':');
         if (colon == std::string::npos) {
+            auto fields = fieldsWithColumns(line, 0, line.size());
             throw ParseError("expected '<control>: <targets...>'",
-                             line_no, 0);
+                             line_no,
+                             fields.empty() ? 0 : fields[0].column);
         }
-        Qubit control = parseQubitIndex(trim(text.substr(0, colon)),
-                                        num_qubits, line_no);
-        auto targets = splitFields(text.substr(colon + 1), " \t,");
+        auto control_fields = fieldsWithColumns(line, 0, colon);
+        if (control_fields.size() != 1) {
+            throw ParseError(
+                "expected a single qubit index before ':'", line_no,
+                control_fields.empty()
+                    ? static_cast<int>(colon) + 1
+                    : control_fields.back().column);
+        }
+        Qubit control =
+            parseQubitIndex(control_fields[0], num_qubits, line_no);
+        auto targets =
+            fieldsWithColumns(line, colon + 1, line.size(), " \t,");
         if (targets.empty()) {
-            throw ParseError("control with no targets", line_no, 0);
+            throw ParseError("control with no targets", line_no,
+                             static_cast<int>(colon) + 1);
         }
-        for (const std::string &t : targets) {
+        for (const Field &t : targets) {
             Qubit target = parseQubitIndex(t, num_qubits, line_no);
             if (target == control) {
-                throw ParseError("self-coupling on qubit " + t, line_no,
-                                 0);
+                throw ParseError("self-coupling on qubit " + t.text,
+                                 line_no, t.column);
             }
             map.addEdge(control, target);
         }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/errors.hpp"
+#include "common/numeric.hpp"
 #include "common/strings.hpp"
 
 namespace qsyn::frontend {
@@ -79,17 +80,23 @@ parsePla(const std::string &source)
             if (dir == ".i") {
                 if (fields.size() != 2)
                     throw ParseError(".i expects one value", line_no, 0);
-                pla.numInputs = std::stoi(fields[1]);
-                if (pla.numInputs <= 0 || pla.numInputs > 62)
+                // Raw std::stoi threw out_of_range on huge counts;
+                // route them into the same range diagnostic.
+                unsigned long long inputs = 0;
+                if (!parseUnsigned(fields[1], &inputs) || inputs == 0 ||
+                    inputs > 62)
                     throw ParseError("input count must be in [1, 62]",
                                      line_no, 0);
+                pla.numInputs = static_cast<int>(inputs);
             } else if (dir == ".o") {
                 if (fields.size() != 2)
                     throw ParseError(".o expects one value", line_no, 0);
-                pla.numOutputs = std::stoi(fields[1]);
-                if (pla.numOutputs <= 0 || pla.numOutputs > 62)
+                unsigned long long outputs = 0;
+                if (!parseUnsigned(fields[1], &outputs) ||
+                    outputs == 0 || outputs > 62)
                     throw ParseError("output count must be in [1, 62]",
                                      line_no, 0);
+                pla.numOutputs = static_cast<int>(outputs);
             } else if (dir == ".type") {
                 if (fields.size() == 2 &&
                     (iequals(fields[1], "esop") ||

@@ -3,12 +3,14 @@
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <numbers>
 #include <sstream>
 
 #include "common/errors.hpp"
+#include "common/numeric.hpp"
 #include "frontend/qasm_lexer.hpp"
 
 namespace qsyn::frontend {
@@ -178,7 +180,16 @@ class Parser
             throw ParseError("expected integer, got '" + peek().text + "'",
                              peek().line, peek().column);
         }
-        return std::stol(advance().text);
+        const Token &tok = advance();
+        unsigned long long value = 0;
+        if (!parseUnsigned(tok.text, &value) ||
+            value > static_cast<unsigned long long>(
+                        std::numeric_limits<long>::max())) {
+            throw ParseError("integer literal '" + tok.text +
+                                 "' is out of range",
+                             tok.line, tok.column);
+        }
+        return static_cast<long>(value);
     }
 
     ExprPtr parseExpr();
@@ -274,9 +285,16 @@ Parser::parseFactor()
     }
     if (peek().kind == TokenKind::Integer ||
         peek().kind == TokenKind::Real) {
+        const Token &tok = advance();
         auto node = std::make_unique<Expr>();
         node->kind = Expr::Kind::Number;
-        node->value = std::stod(advance().text);
+        if (!parseFiniteDouble(tok.text, &node->value)) {
+            // e.g. rz(1e999): std::stod would escape as an uncaught
+            // std::out_of_range here; diagnose it instead.
+            throw ParseError("numeric literal '" + tok.text +
+                                 "' is out of range",
+                             tok.line, tok.column);
+        }
         return node;
     }
     if (peek().kind == TokenKind::Identifier) {
@@ -397,11 +415,19 @@ Parser::parseRegisterDecl(bool quantum)
     advance(); // qreg / creg
     std::string name = expectIdent();
     expectSymbol("[");
+    int size_line = peek().line;
+    int size_column = peek().column;
     long size = expectInteger();
     expectSymbol("]");
     expectSymbol(";");
     if (size <= 0)
         throw ParseError("register size must be positive", peek().line, 0);
+    if (static_cast<unsigned long long>(size) > kMaxRegisterWidth) {
+        throw ParseError("register size " + std::to_string(size) +
+                             " exceeds the supported maximum of " +
+                             std::to_string(kMaxRegisterWidth),
+                         size_line, size_column);
+    }
     auto &table = quantum ? qregs_ : cregs_;
     if (table.count(name) || (quantum ? cregs_ : qregs_).count(name))
         throw ParseError("duplicate register '" + name + "'", peek().line,

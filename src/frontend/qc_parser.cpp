@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/errors.hpp"
+#include "common/numeric.hpp"
 #include "common/strings.hpp"
 
 namespace qsyn::frontend {
@@ -186,7 +187,15 @@ class QcParser
         // tN notation: t1 = NOT, t2 = CNOT, t3 = Toffoli, ...
         if (lower.size() >= 2 && lower[0] == 't' &&
             std::isdigit(static_cast<unsigned char>(lower[1]))) {
-            size_t n = std::stoul(lower.substr(1));
+            // Raw std::stoul threw out_of_range on arities like
+            // t99999999999999999999; parse strictly and bound it.
+            unsigned long long n_value = 0;
+            if (!parseUnsigned(lower.substr(1), &n_value) ||
+                n_value == 0 || n_value > kMaxRegisterWidth) {
+                throw ParseError("bad gate arity in '" + op + "'",
+                                 line_no_, 0);
+            }
+            size_t n = static_cast<size_t>(n_value);
             if (n != wires.size())
                 throw ParseError("gate '" + op + "' expects " +
                                      std::to_string(n) + " operands",

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/errors.hpp"
+#include "common/numeric.hpp"
 #include "common/strings.hpp"
 
 namespace qsyn::frontend {
@@ -71,7 +72,18 @@ class RealParser
             if (fields.size() != 2)
                 throw ParseError(".numvars expects one value", line_no_,
                                  0);
-            num_vars_ = static_cast<Qubit>(std::stoul(fields[1]));
+            // Raw std::stoul crashed on oversized counts and silently
+            // truncated values past the Qubit range; parse strictly.
+            unsigned long long value = 0;
+            if (!parseUnsigned(fields[1], &value) || value == 0 ||
+                value > kMaxRegisterWidth) {
+                throw ParseError(
+                    "bad .numvars value '" + fields[1] +
+                        "' (expected an integer in [1, " +
+                        std::to_string(kMaxRegisterWidth) + "])",
+                    line_no_, 0);
+            }
+            num_vars_ = static_cast<Qubit>(value);
         } else if (dir == ".variables") {
             for (size_t i = 1; i < fields.size(); ++i) {
                 if (vars_.count(fields[i]))
@@ -127,13 +139,15 @@ class RealParser
             throw ParseError("bad gate '" + fields[0] + "'", line_no_, 0);
 
         char family = op[0];
-        size_t arity = 0;
-        try {
-            arity = std::stoul(op.substr(1));
-        } catch (const std::exception &) {
+        unsigned long long arity_value = 0;
+        // Strict: "t3x" or an arity overflowing size_t is an error,
+        // not a truncated best guess.
+        if (!parseUnsigned(op.substr(1), &arity_value) ||
+            arity_value == 0 || arity_value > kMaxRegisterWidth) {
             throw ParseError("bad gate arity in '" + fields[0] + "'",
                              line_no_, 0);
         }
+        size_t arity = static_cast<size_t>(arity_value);
         if (fields.size() - 1 != arity) {
             throw ParseError("gate '" + fields[0] + "' expects " +
                                  std::to_string(arity) + " operands",

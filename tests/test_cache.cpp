@@ -1,0 +1,447 @@
+/**
+ * @file
+ * Tests for the persistent compile cache: fingerprint stability and
+ * sensitivity, artifact codec round-trips, memory/disk hits, corrupted
+ * entry recovery, LRU eviction, version-salt invalidation,
+ * single-flight dedup under the batch compiler, and the CLI flags.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <vector>
+
+#include "cache/cache.hpp"
+#include "cache/fingerprint.hpp"
+#include "cache/serialize.hpp"
+#include "cache/store.hpp"
+#include "cli/options.hpp"
+#include "common/errors.hpp"
+#include "core/batch.hpp"
+#include "core/compile_cache.hpp"
+#include "core/compiler.hpp"
+#include "core/report.hpp"
+#include "device/registry.hpp"
+#include "obs/obs.hpp"
+
+using namespace qsyn;
+namespace fs = std::filesystem;
+
+namespace {
+
+/** Fresh scratch directory, removed on destruction. */
+struct TempDir
+{
+    fs::path path;
+
+    explicit TempDir(const std::string &tag)
+    {
+        path = fs::temp_directory_path() /
+               ("qsyn_cache_test_" + tag + "_" +
+                std::to_string(::getpid()));
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+
+    std::string str() const { return path.string(); }
+};
+
+Circuit
+makeTestCircuit(double angle = 0.25)
+{
+    Circuit c(3, "cache_case");
+    c.addH(0);
+    c.addCnot(0, 1);
+    c.addCcx(0, 1, 2);
+    c.add(Gate::rz(1, angle));
+    return c;
+}
+
+/** All object files currently in a store directory. */
+std::vector<fs::path>
+objectFiles(const fs::path &dir)
+{
+    std::vector<fs::path> files;
+    fs::path objects = dir / "objects";
+    if (!fs::exists(objects))
+        return files;
+    for (const auto &entry : fs::recursive_directory_iterator(objects))
+        if (entry.is_regular_file())
+            files.push_back(entry.path());
+    return files;
+}
+
+} // namespace
+
+/* ------------------------------------------------------------------ */
+/* Fingerprints                                                       */
+/* ------------------------------------------------------------------ */
+
+TEST(CacheFingerprintTest, StableAcrossIdenticalInputs)
+{
+    Circuit a = makeTestCircuit();
+    Circuit b = makeTestCircuit();
+    Device dev = makeIbmqx5();
+    CompileOptions opts;
+    EXPECT_EQ(cache::compileCacheKey(a, dev, opts, "salt"),
+              cache::compileCacheKey(b, dev, opts, "salt"));
+    EXPECT_EQ(cache::compileCacheKey(a, dev, opts, "salt").size(), 32u);
+}
+
+TEST(CacheFingerprintTest, SensitiveToEveryKeyComponent)
+{
+    Circuit a = makeTestCircuit();
+    Device dev = makeIbmqx5();
+    CompileOptions opts;
+    const std::string base = cache::compileCacheKey(a, dev, opts, "salt");
+
+    Circuit changed_gate = makeTestCircuit(0.25000001);
+    EXPECT_NE(cache::compileCacheKey(changed_gate, dev, opts, "salt"),
+              base);
+
+    Circuit renamed = makeTestCircuit();
+    renamed.setName("other_name");
+    EXPECT_NE(cache::compileCacheKey(renamed, dev, opts, "salt"), base);
+
+    Device other_dev = makeIbmqx4();
+    EXPECT_NE(cache::compileCacheKey(a, other_dev, opts, "salt"), base);
+
+    CompileOptions other_opts;
+    other_opts.optimize = !opts.optimize;
+    EXPECT_NE(cache::compileCacheKey(a, dev, other_opts, "salt"), base);
+
+    EXPECT_NE(cache::compileCacheKey(a, dev, opts, "salt2"), base);
+}
+
+/* ------------------------------------------------------------------ */
+/* Artifact codec                                                     */
+/* ------------------------------------------------------------------ */
+
+TEST(CacheSerializeTest, CircuitRoundTripsExactly)
+{
+    Circuit c = makeTestCircuit();
+    c.add(Gate::measure(2, 0));
+    cache::ByteWriter w;
+    cache::encodeCircuit(w, c);
+    std::vector<std::uint8_t> bytes = w.take();
+    cache::ByteReader r(bytes);
+    Circuit back = cache::decodeCircuit(r);
+    EXPECT_EQ(back.name(), c.name());
+    EXPECT_EQ(back.numQubits(), c.numQubits());
+    ASSERT_EQ(back.size(), c.size());
+    for (size_t i = 0; i < c.size(); ++i) {
+        EXPECT_EQ(back[i].kind(), c[i].kind());
+        EXPECT_EQ(back[i].targets(), c[i].targets());
+        EXPECT_EQ(back[i].controls(), c[i].controls());
+        EXPECT_EQ(back[i].param(), c[i].param());
+    }
+}
+
+TEST(CacheSerializeTest, ArtifactRoundTripIsByteIdentical)
+{
+    Device dev = makeIbmqx5();
+    Compiler compiler(dev);
+    CachedCompile artifact;
+    artifact.result = compiler.compile(makeTestCircuit());
+    artifact.qasm = compiler.toQasm(artifact.result);
+
+    CachedCompile back = cache::decodeCachedCompile(
+        cache::encodeCachedCompile(artifact));
+    EXPECT_EQ(back.qasm, artifact.qasm);
+    // Full report JSON, timings included: a disk hit replays these
+    // exact bytes.
+    EXPECT_EQ(compileReportJson(back.result, dev),
+              compileReportJson(artifact.result, dev));
+}
+
+TEST(CacheSerializeTest, TruncatedPayloadThrowsError)
+{
+    Device dev = makeIbmqx5();
+    Compiler compiler(dev);
+    CachedCompile artifact;
+    artifact.result = compiler.compile(makeTestCircuit());
+    artifact.qasm = compiler.toQasm(artifact.result);
+
+    std::vector<std::uint8_t> bytes =
+        cache::encodeCachedCompile(artifact);
+    bytes.resize(bytes.size() / 2);
+    EXPECT_THROW(cache::decodeCachedCompile(bytes), Error);
+}
+
+/* ------------------------------------------------------------------ */
+/* Cache behavior                                                     */
+/* ------------------------------------------------------------------ */
+
+TEST(CompileCacheTest, MemoryTierHitsAndCountsComputes)
+{
+    Device dev = makeIbmqx5();
+    CompileOptions opts;
+    Circuit input = makeTestCircuit();
+    cache::CompileCache cc;
+    Compiler compiler(dev, opts);
+
+    int computes = 0;
+    auto compute = [&] {
+        ++computes;
+        CachedCompile artifact;
+        artifact.result = compiler.compile(input);
+        artifact.qasm = compiler.toQasm(artifact.result);
+        return artifact;
+    };
+    auto first = cc.getOrCompute(input, dev, opts, compute);
+    auto second = cc.getOrCompute(input, dev, opts, compute);
+    EXPECT_EQ(computes, 1);
+    EXPECT_EQ(first.get(), second.get());
+
+    cache::CacheStats stats = cc.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.memoryHits, 1u);
+    EXPECT_EQ(stats.memoryEntries, 1u);
+}
+
+TEST(CompileCacheTest, DiskTierSurvivesProcessRestart)
+{
+    TempDir dir("disk");
+    Device dev = makeIbmqx5();
+    CompileOptions opts;
+    Circuit input = makeTestCircuit();
+
+    cache::CacheConfig config;
+    config.dir = dir.str();
+    std::string qasm;
+    {
+        cache::CompileCache cc(config);
+        Compiler compiler(dev, opts);
+        auto artifact = cc.getOrCompute(input, dev, opts, [&] {
+            CachedCompile a;
+            a.result = compiler.compile(input);
+            a.qasm = compiler.toQasm(a.result);
+            return a;
+        });
+        qasm = artifact->qasm;
+        EXPECT_EQ(cc.stats().stores, 1u);
+        EXPECT_EQ(cc.stats().diskEntries, 1u);
+    }
+    // A new instance simulates a fresh process: the artifact must come
+    // back from disk without recompiling.
+    cache::CompileCache cc2(config);
+    auto artifact = cc2.getOrCompute(input, dev, opts, [&]() {
+        ADD_FAILURE() << "disk hit should not recompile";
+        return CachedCompile{};
+    });
+    EXPECT_EQ(artifact->qasm, qasm);
+    EXPECT_EQ(cc2.stats().diskHits, 1u);
+    EXPECT_EQ(cc2.stats().hits, 1u);
+}
+
+TEST(CompileCacheTest, CorruptedEntriesFallBackToColdCompile)
+{
+    Device dev = makeIbmqx5();
+    CompileOptions opts;
+    Circuit input = makeTestCircuit();
+
+    // Corruption mode 1: truncation. Mode 2: a flipped payload bit.
+    for (int mode = 0; mode < 2; ++mode) {
+        TempDir dir(mode == 0 ? "trunc" : "flip");
+        cache::CacheConfig config;
+        config.dir = dir.str();
+        std::string qasm;
+        {
+            cache::CompileCache cc(config);
+            Compiler compiler(dev, opts);
+            qasm = cc.getOrCompute(input, dev, opts, [&] {
+                          CachedCompile a;
+                          a.result = compiler.compile(input);
+                          a.qasm = compiler.toQasm(a.result);
+                          return a;
+                      })
+                       ->qasm;
+        }
+        auto files = objectFiles(dir.path);
+        ASSERT_EQ(files.size(), 1u);
+        if (mode == 0) {
+            auto size = fs::file_size(files[0]);
+            fs::resize_file(files[0], size / 2);
+        } else {
+            std::ifstream in(files[0], std::ios::binary);
+            std::string blob((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+            in.close();
+            ASSERT_GT(blob.size(), 8u);
+            blob[blob.size() - 8] ^= 0x40;
+            std::ofstream out(files[0],
+                              std::ios::binary | std::ios::trunc);
+            out.write(blob.data(),
+                      static_cast<std::streamsize>(blob.size()));
+        }
+
+        cache::CompileCache cc(config);
+        Compiler compiler(dev, opts);
+        int computes = 0;
+        auto artifact = cc.getOrCompute(input, dev, opts, [&] {
+            ++computes;
+            CachedCompile a;
+            a.result = compiler.compile(input);
+            a.qasm = compiler.toQasm(a.result);
+            return a;
+        });
+        EXPECT_EQ(computes, 1) << "corrupt entry must recompile cold";
+        EXPECT_EQ(artifact->qasm, qasm);
+        EXPECT_EQ(cc.stats().misses, 1u);
+    }
+}
+
+TEST(CacheStoreTest, EvictsLeastRecentlyUsedWhenOverBudget)
+{
+    TempDir dir("evict");
+    cache::StoreConfig config;
+    config.dir = dir.str();
+    config.maxBytes = 4096;
+    cache::CacheStore store(config);
+
+    // Three ~1.5 KiB entries against a 4 KiB budget: committing the
+    // third must evict the least recently used one.
+    std::vector<std::uint8_t> payload(1536, 0xab);
+    std::string k1(32, '1'), k2(32, '2'), k3(32, '3');
+    store.store(k1, payload);
+    store.store(k2, payload);
+
+    // Touch k1 so k2 becomes the LRU victim.
+    std::vector<std::uint8_t> out;
+    EXPECT_TRUE(store.load(k1, &out));
+    store.store(k3, payload);
+
+    EXPECT_EQ(store.evictions(), 1u);
+    EXPECT_TRUE(store.load(k1, &out));
+    EXPECT_FALSE(store.load(k2, &out));
+    EXPECT_TRUE(store.load(k3, &out));
+    EXPECT_LE(store.bytes(), config.maxBytes);
+}
+
+TEST(CompileCacheTest, VersionSaltInvalidatesOldEntries)
+{
+    TempDir dir("salt");
+    Device dev = makeIbmqx5();
+    CompileOptions opts;
+    Circuit input = makeTestCircuit();
+
+    cache::CacheConfig config;
+    config.dir = dir.str();
+    config.versionSalt = "release-1";
+    auto compile_once = [&](cache::CompileCache &cc, int *computes) {
+        Compiler compiler(dev, opts);
+        return cc.getOrCompute(input, dev, opts, [&] {
+            ++*computes;
+            CachedCompile a;
+            a.result = compiler.compile(input);
+            a.qasm = compiler.toQasm(a.result);
+            return a;
+        });
+    };
+
+    int computes = 0;
+    {
+        cache::CompileCache cc(config);
+        compile_once(cc, &computes);
+    }
+    EXPECT_EQ(computes, 1);
+
+    // Same directory, new compiler release: the old artifact must not
+    // be replayed.
+    config.versionSalt = "release-2";
+    cache::CompileCache cc(config);
+    compile_once(cc, &computes);
+    EXPECT_EQ(computes, 2);
+    EXPECT_EQ(cc.stats().misses, 1u);
+    EXPECT_EQ(cc.stats().hits, 0u);
+}
+
+/* ------------------------------------------------------------------ */
+/* Batch integration and single-flight                                */
+/* ------------------------------------------------------------------ */
+
+TEST(CompileCacheTest, BatchWorkersComputeIdenticalInputsOnce)
+{
+    obs::ScopedSink sink;
+    Device dev = makeIbmqx5();
+    Circuit input = makeTestCircuit();
+    // 12 identical circuits over 4 workers: one cold compile, eleven
+    // hits (from the memory tier or shared in flight).
+    std::vector<Circuit> circuits(12, input);
+
+    cache::CompileCache cc;
+    BatchCompiler batch(dev);
+    batch.setCache(&cc);
+    std::vector<BatchItem> items = batch.compileCircuits(circuits, 4);
+
+    ASSERT_EQ(items.size(), circuits.size());
+    for (const BatchItem &item : items) {
+        EXPECT_TRUE(item.ok) << item.error;
+        EXPECT_EQ(item.qasm, items[0].qasm);
+    }
+    cache::CacheStats stats = cc.stats();
+    EXPECT_EQ(stats.misses, 1u) << "identical inputs must compute once";
+    EXPECT_EQ(stats.hits, circuits.size() - 1);
+    EXPECT_EQ(stats.memoryHits + stats.singleFlightShared,
+              circuits.size() - 1);
+
+    // The same counts must be visible through the obs metrics.
+    const obs::MetricsRegistry &m = sink->metrics();
+    EXPECT_EQ(m.counter("cache.misses"), 1.0);
+    EXPECT_EQ(m.counter("cache.hits"),
+              static_cast<double>(circuits.size() - 1));
+}
+
+/* ------------------------------------------------------------------ */
+/* CLI integration                                                    */
+/* ------------------------------------------------------------------ */
+
+TEST(CacheCliTest, FlagsParse)
+{
+    cli::CliOptions opts = cli::parseCliArguments(
+        {"--cache-dir", "/tmp/qc", "--cache-max-mb", "16", "a.qasm"});
+    EXPECT_EQ(opts.cacheDir, "/tmp/qc");
+    EXPECT_TRUE(opts.useCache);
+    EXPECT_EQ(opts.cacheMaxMb, 16u);
+
+    cli::CliOptions off = cli::parseCliArguments({"--no-cache", "a.qasm"});
+    EXPECT_FALSE(off.useCache);
+
+    EXPECT_THROW(
+        cli::parseCliArguments({"--cache-max-mb", "0", "a.qasm"}),
+        UserError);
+    EXPECT_THROW(
+        cli::parseCliArguments({"--cache-max-mb", "x", "a.qasm"}),
+        UserError);
+}
+
+TEST(CacheCliTest, WarmRunReportsCacheHit)
+{
+    TempDir dir("cli");
+    fs::path qasm = dir.path / "in.qasm";
+    {
+        std::ofstream f(qasm);
+        f << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"
+             "qreg q[3];\nh q[0];\ncx q[0],q[1];\n";
+    }
+    fs::path cache_dir = dir.path / "cache";
+
+    auto run = [&]() {
+        std::ostringstream out, err;
+        cli::CliOptions opts = cli::parseCliArguments(
+            {"--cache-dir", cache_dir.string(), qasm.string()});
+        EXPECT_EQ(cli::runCli(opts, out, err), 0);
+        return err.str();
+    };
+    std::string cold = run();
+    EXPECT_NE(cold.find("1 miss(es)"), std::string::npos) << cold;
+    std::string warm = run();
+    EXPECT_NE(warm.find("1 hit(s)"), std::string::npos) << warm;
+}

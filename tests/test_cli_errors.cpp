@@ -126,6 +126,62 @@ TEST(QsyncErrors, MissingFlagValue)
                            "missing value");
 }
 
+TEST(QsyncErrors, OutOfRangeAngleIsDiagnosed)
+{
+    // rz(1e999) used to escape as an uncaught std::out_of_range and
+    // kill the process (exit >= 126).
+    std::string huge = scratchFile(
+        "huge_angle.qasm",
+        "OPENQASM 2.0;\nqreg q[1];\nrz(1e999) q[0];\n");
+    expectDiagnosedFailure(runTool("qsync", huge), "1e999");
+}
+
+TEST(QsyncErrors, OversizedRegisterIsDiagnosed)
+{
+    std::string wide = scratchFile(
+        "wide.qasm", "OPENQASM 2.0;\nqreg q[99999999999999999999];\n");
+    expectDiagnosedFailure(runTool("qsync", wide), "out of range");
+}
+
+TEST(QsyncErrors, MalformedRealCountsAreDiagnosed)
+{
+    std::string real = scratchFile(
+        "overflow.real",
+        ".numvars 99999999999999999999\n.begin\n.end\n");
+    expectDiagnosedFailure(runTool("qsync", real), ".numvars");
+}
+
+TEST(QsyncErrors, MalformedPlaCountsAreDiagnosed)
+{
+    std::string pla = scratchFile(
+        "overflow.pla",
+        ".i 99999999999999999999\n.o 1\n.type esop\n.e\n");
+    expectDiagnosedFailure(runTool("qsync", pla),
+                           "input count must be in [1, 62]");
+}
+
+TEST(QsyncErrors, DeviceFileErrorsCarryLineAndColumn)
+{
+    // Bad target token "x" on line 2 starts at column 6; the loader
+    // used to report column 0 for every device-file diagnostic.
+    std::string dev = scratchFile("bad_column.dev",
+                                  "device d 2\n0: 1 x\n");
+    std::string ok = scratchFile(
+        "ok.qasm", "OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[1];\n");
+    expectDiagnosedFailure(
+        runTool("qsync", "--device-file " + dev + " " + ok), "2:6");
+}
+
+TEST(QsyncErrors, BadCacheFlagValues)
+{
+    std::string ok = scratchFile(
+        "ok.qasm", "OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[1];\n");
+    expectDiagnosedFailure(
+        runTool("qsync", "--cache-max-mb zero " + ok), "bad count");
+    expectDiagnosedFailure(
+        runTool("qsync", "--cache-max-mb 0 " + ok), "--cache-max-mb");
+}
+
 TEST(QsyncErrors, UnknownDevice)
 {
     std::string ok = scratchFile(

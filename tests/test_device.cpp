@@ -201,3 +201,28 @@ TEST(LoaderTest, Errors)
                  ParseError);
     EXPECT_THROW(loadDeviceFile("/nonexistent/device.txt"), UserError);
 }
+
+TEST(LoaderTest, ErrorsReportTheOffendingColumn)
+{
+    // Diagnostics used to report column 0 for everything; they must
+    // now point at the bad token itself.
+    auto columnOf = [](const std::string &text) {
+        try {
+            parseDeviceString(text);
+        } catch (const ParseError &e) {
+            return std::pair<int, int>{e.line(), e.column()};
+        }
+        return std::pair<int, int>{-1, -1};
+    };
+
+    // "x" is the 2nd target on line 2; it starts at column 6.
+    EXPECT_EQ(columnOf("device d 2\n0: 1 x\n"), (std::pair<int, int>{2, 6}));
+    // Bad qubit count in the header, column 10.
+    EXPECT_EQ(columnOf("device d many\n"), (std::pair<int, int>{1, 10}));
+    // Out-of-range target index.
+    EXPECT_EQ(columnOf("device d 2\n0: 5\n"), (std::pair<int, int>{2, 4}));
+    // Self-coupling points at the repeated index.
+    EXPECT_EQ(columnOf("device d 2\n0: 0\n"), (std::pair<int, int>{2, 4}));
+    // Bad control before the colon.
+    EXPECT_EQ(columnOf("device d 2\nz: 1\n"), (std::pair<int, int>{2, 1}));
+}

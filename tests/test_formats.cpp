@@ -87,6 +87,14 @@ TEST(QcParser, Errors)
     EXPECT_THROW(parseQc(".v a b\nBEGIN\nt3 a b\nEND\n"), ParseError);
 }
 
+TEST(QcParser, OversizedGateArityIsAParseError)
+{
+    // std::stoul used to throw raw std::out_of_range here.
+    EXPECT_THROW(
+        parseQc(".v a b\nBEGIN\nt99999999999999999999 a b\nEND\n"),
+        ParseError);
+}
+
 TEST(RealParser, ToffoliCascade)
 {
     Circuit c = parseReal(".version 1.0\n"
@@ -153,6 +161,24 @@ TEST(RealParser, Errors)
         ParseError); // unsupported family
 }
 
+TEST(RealParser, MalformedNumbersAreParseErrors)
+{
+    // Both sites used raw std::stoul: overflow escaped as
+    // std::out_of_range, and garbage after the digits was ignored.
+    EXPECT_THROW(
+        parseReal(".numvars 99999999999999999999\n.begin\n.end\n"),
+        ParseError);
+    EXPECT_THROW(parseReal(".numvars 0\n.begin\n.end\n"), ParseError);
+    EXPECT_THROW(parseReal(".numvars 2x\n.begin\nt1 x0\n.end\n"),
+                 ParseError);
+    EXPECT_THROW(
+        parseReal(
+            ".numvars 2\n.begin\nt99999999999999999999 x0 x1\n.end\n"),
+        ParseError);
+    EXPECT_THROW(parseReal(".numvars 2\n.begin\nt2x x0 x1\n.end\n"),
+                 ParseError);
+}
+
 TEST(PlaParser, ParsesEsop)
 {
     PlaFile pla = parsePla("# adder\n"
@@ -185,6 +211,17 @@ TEST(PlaParser, Errors)
     EXPECT_THROW(parsePla(".i 2\n.o 1\n1-- 1\n"), ParseError);
     EXPECT_THROW(parsePla(".i 2\n.o 1\n1x 1\n"), ParseError);
     EXPECT_THROW(parsePla(".i 0\n.o 1\n"), ParseError);
+}
+
+TEST(PlaParser, OversizedCountsAreParseErrors)
+{
+    // std::stoi used to throw raw std::out_of_range on these.
+    EXPECT_THROW(parsePla(".i 99999999999999999999\n.o 1\n"),
+                 ParseError);
+    EXPECT_THROW(parsePla(".i 2\n.o 99999999999999999999\n"),
+                 ParseError);
+    EXPECT_THROW(parsePla(".i -1\n.o 1\n"), ParseError);
+    EXPECT_THROW(parsePla(".i 63\n.o 1\n"), ParseError);
 }
 
 TEST(LoaderTest, DispatchesOnExtension)

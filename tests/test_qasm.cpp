@@ -167,6 +167,32 @@ TEST(QasmParser, Errors)
         ParseError);
 }
 
+TEST(QasmParser, OutOfRangeNumericLiteralsAreParseErrors)
+{
+    // These used to escape as uncaught std::out_of_range from
+    // std::stod/std::stoul and kill the process.
+    try {
+        parseQasm("qreg q[1];\nrz(1e999) q[0];");
+        FAIL() << "expected ParseError";
+    } catch (const ParseError &e) {
+        EXPECT_NE(std::string(e.what()).find("1e999"),
+                  std::string::npos);
+        // The diagnostic must carry the literal's line and column.
+        EXPECT_NE(std::string(e.what()).find("line 2:"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(parseQasm("qreg q[99999999999999999999];"),
+                 ParseError);
+}
+
+TEST(QasmParser, RegisterWidthIsCapped)
+{
+    // 4096 wires is the supported maximum; one more is a ParseError
+    // instead of an allocation bomb.
+    EXPECT_NO_THROW(parseQasm("qreg q[4096];"));
+    EXPECT_THROW(parseQasm("qreg q[4097];"), ParseError);
+}
+
 TEST(QasmParser, Barrier)
 {
     Circuit c = parseQasm("qreg q[3]; barrier q; barrier q[0],q[2];");

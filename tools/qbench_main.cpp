@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "cache/cache.hpp"
+#include "cli/options.hpp"
 #include "common/errors.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
@@ -151,7 +153,7 @@ main(int argc, char **argv)
             if (arg == "--smoke") {
                 smoke = true;
             } else if (arg == "--reps") {
-                reps = std::stoul(next());
+                reps = cli::parseCountValue(arg, next());
                 if (reps == 0)
                     throw UserError("--reps must be >= 1");
             } else if (arg == "--out") {
@@ -296,6 +298,51 @@ main(int argc, char **argv)
                     };
                 }));
         }
+    }
+
+    // --- Compile cache: cold batch vs fully warm recompilation ---
+    {
+        Device dev = makeIbmqx5();
+        std::vector<Circuit> circuits;
+        const int n = smoke ? 4 : 8;
+        for (int i = 0; i < n; ++i)
+            circuits.push_back(makeRandom(5, 40, 200 + i));
+        const size_t jobs = 2;
+
+        BenchResult cold = timeIt("cache_batch_cold", reps, [&]() {
+            // Fresh cache per rep: every compile misses and stores.
+            cache::CompileCache cold_cache;
+            BatchCompiler batch(dev);
+            batch.setCache(&cold_cache);
+            batch.compileCircuits(circuits, jobs);
+            cache::CacheStats s = cold_cache.stats();
+            return std::vector<std::pair<std::string, double>>{
+                {"misses", static_cast<double>(s.misses)},
+                {"hits", static_cast<double>(s.hits)},
+            };
+        });
+        note(cold);
+
+        cache::CompileCache warm_cache;
+        {
+            BatchCompiler prime(dev);
+            prime.setCache(&warm_cache);
+            prime.compileCircuits(circuits, jobs); // untimed prime pass
+        }
+        BenchResult warm = timeIt("cache_batch_warm", reps, [&]() {
+            BatchCompiler batch(dev);
+            batch.setCache(&warm_cache);
+            batch.compileCircuits(circuits, jobs);
+            cache::CacheStats s = warm_cache.stats();
+            return std::vector<std::pair<std::string, double>>{
+                {"hits", static_cast<double>(s.hits)},
+                {"misses", static_cast<double>(s.misses)},
+            };
+        });
+        warm.metrics.emplace_back(
+            "warm_speedup",
+            warm.medianMs > 0.0 ? cold.medianMs / warm.medianMs : 0.0);
+        note(warm);
     }
 
     std::string json = toJson(results);

@@ -43,6 +43,7 @@ const char *kHelp =
     "      --inject-fault       plant the CTR swap-back bug in every\n"
     "                           case (the oracles must catch it)\n"
     "      --no-determinism     skip the determinism oracle\n"
+    "      --no-cache-oracle    skip the cache-consistency oracle\n"
     "      --smoke              time-boxed CI self-test (see above)\n"
     "      --verbose            log every case, not just failures\n"
     "  -h, --help               this text\n";
@@ -71,7 +72,8 @@ runSmoke(qsyn::check::FuzzOptions base)
     }
     const OracleId all[] = {OracleId::QmddEquivalence,
                             OracleId::Statevector, OracleId::Legality,
-                            OracleId::CostSanity, OracleId::Determinism};
+                            OracleId::CostSanity, OracleId::Determinism,
+                            OracleId::CacheConsistency};
     for (OracleId id : all) {
         if (!cleanSum.oracleExercised(id)) {
             std::cerr << "[smoke] FAIL: oracle '" << oracleName(id)
@@ -154,6 +156,8 @@ main(int argc, char **argv)
                 opts.injectSwapBackFault = true;
             } else if (arg == "--no-determinism") {
                 opts.oracle.runDeterminism = false;
+            } else if (arg == "--no-cache-oracle") {
+                opts.oracle.runCache = false;
             } else if (arg == "--smoke") {
                 smoke = true;
             } else if (arg == "--verbose") {

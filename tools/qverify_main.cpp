@@ -16,10 +16,14 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "cache/cache.hpp"
+#include "cache/fingerprint.hpp"
+#include "cache/store.hpp"
 #include "cli/options.hpp"
 #include "common/errors.hpp"
 #include "common/stopwatch.hpp"
@@ -49,6 +53,10 @@ printHelp()
            "                     input and output (clean ancillas)\n"
            "  --budget <n>       node budget (0 = unlimited)\n"
            "  --no-quick-refute  skip the random-stimuli pre-check\n"
+           "  --cache-dir <d>    memoize verdicts in a persistent\n"
+           "                     cache directory (keyed by both\n"
+           "                     circuits and every option)\n"
+           "  --no-cache         ignore --cache-dir for this run\n"
            "  --trace-json <f>   write a Chrome trace-event file\n"
            "  --metrics-json <f> write a metrics snapshot\n"
            "  --log-level <l>    quiet | info | debug | trace\n"
@@ -104,6 +112,8 @@ main(int argc, char **argv)
     using namespace qsyn;
     std::vector<std::string> files;
     std::string trace_path, metrics_path;
+    std::string cache_dir;
+    bool use_cache = true;
     size_t jobs = 1;
     dd::EquivalenceOptions options;
     options.quickRefuteSamples = 4;
@@ -131,6 +141,10 @@ main(int argc, char **argv)
                 jobs = cli::parseCountValue(arg, next());
             } else if (arg == "--no-quick-refute") {
                 options.quickRefuteSamples = 0;
+            } else if (arg == "--cache-dir") {
+                cache_dir = next();
+            } else if (arg == "--no-cache") {
+                use_cache = false;
             } else if (arg == "--trace-json") {
                 trace_path = next();
             } else if (arg == "--metrics-json") {
@@ -169,6 +183,15 @@ main(int argc, char **argv)
         const size_t pairs = files.size() / 2;
         std::vector<PairOutcome> outcomes(pairs);
         dd::Package last_pkg; // 2-file mode: metrics come from here
+
+        // Persistent verdict memoization: one byte per (pair, options)
+        // fingerprint, sharing the compile cache's store machinery.
+        std::unique_ptr<cache::CacheStore> verdict_cache;
+        if (use_cache && !cache_dir.empty())
+            verdict_cache =
+                std::make_unique<cache::CacheStore>(
+                    cache::StoreConfig{cache_dir, 256ull << 20});
+
         parallelFor(pairs, jobs, [&](size_t p) {
             PairOutcome &res = outcomes[p];
             const std::string &fa = files[2 * p];
@@ -182,6 +205,25 @@ main(int argc, char **argv)
                 err_os << fb << ": " << b.numQubits() << " qubits, "
                        << b.size() << " gates\n";
                 Stopwatch sw;
+                std::string key;
+                if (verdict_cache) {
+                    key = cache::equivalenceCacheKey(
+                        a, b, options, cache::kCacheVersionSalt);
+                    std::vector<std::uint8_t> payload;
+                    if (verdict_cache->load(key, &payload) &&
+                        payload.size() == 1 &&
+                        payload[0] <= static_cast<std::uint8_t>(
+                                          dd::Equivalence::Inconclusive)) {
+                        res.verdict =
+                            static_cast<dd::Equivalence>(payload[0]);
+                        out_os << dd::equivalenceName(res.verdict)
+                               << "\n";
+                        err_os << "verdict served from cache\n";
+                        res.errText = err_os.str();
+                        res.outText = out_os.str();
+                        return;
+                    }
+                }
                 // Packages are single-threaded by design; each pair
                 // owns one, so workers share nothing.
                 dd::Package local_pkg;
@@ -191,6 +233,13 @@ main(int argc, char **argv)
                 out_os << dd::equivalenceName(res.verdict) << "\n";
                 err_os << "checked in " << sw.seconds() << " s ("
                        << pkg.activeNodes() << " live nodes)\n";
+                // Inconclusive is budget-dependent; keep it out of the
+                // cache so a rerun with more budget can still decide.
+                if (verdict_cache &&
+                    res.verdict != dd::Equivalence::Inconclusive) {
+                    verdict_cache->store(
+                        key, {static_cast<std::uint8_t>(res.verdict)});
+                }
             } catch (const UserError &e) {
                 res.errored = true;
                 err_os << "error: " << e.what() << "\n";
