@@ -1,5 +1,7 @@
 #include "cache/cache.hpp"
 
+#include <chrono>
+
 #include "cache/fingerprint.hpp"
 #include "cache/serialize.hpp"
 #include "common/errors.hpp"
@@ -25,6 +27,25 @@ CompileCache::bumpCounter(const char *name, double delta) const
     if (s != nullptr)
         s->metrics().addCounter(name, delta);
 }
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** Record a `*.latency_us` histogram sample (microsecond rule). */
+void
+observeLatencyUs(const char *name, Clock::time_point since)
+{
+    obs::Sink *s = obs::sink();
+    if (s == nullptr)
+        return;
+    double us = std::chrono::duration<double, std::micro>(
+                    Clock::now() - since)
+                    .count();
+    s->metrics().observe(name, us);
+}
+
+} // namespace
 
 std::shared_ptr<const CachedCompile>
 CompileCache::lookupMemoryLocked(const std::string &key)
@@ -61,6 +82,7 @@ CompileCache::getOrCompute(const Circuit &input, const Device &device,
 {
     const std::string key =
         compileCacheKey(input, device, options, config_.versionSalt);
+    Clock::time_point lookupStart = Clock::now();
 
     // Fast path + single-flight registration under the cache lock.
     std::shared_ptr<Flight> flight;
@@ -72,6 +94,7 @@ CompileCache::getOrCompute(const Circuit &input, const Device &device,
             ++stats_.memoryHits;
             bumpCounter("cache.hits");
             bumpCounter("cache.memory_hits");
+            observeLatencyUs("cache.lookup.latency_us", lookupStart);
             return hit;
         }
         auto it = flights_.find(key);
@@ -139,6 +162,8 @@ CompileCache::getOrCompute(const Circuit &input, const Device &device,
                     }
                     bumpCounter("cache.hits");
                     bumpCounter("cache.disk_hits");
+                    observeLatencyUs("cache.lookup.latency_us",
+                                     lookupStart);
                     finishFlight(shared, nullptr);
                     return shared;
                 }
@@ -153,8 +178,11 @@ CompileCache::getOrCompute(const Circuit &input, const Device &device,
 
         auto shared =
             std::make_shared<const CachedCompile>(compute());
-        if (store_ != nullptr)
+        if (store_ != nullptr) {
+            Clock::time_point storeStart = Clock::now();
             store_->store(key, encodeCachedCompile(*shared));
+            observeLatencyUs("cache.store.latency_us", storeStart);
+        }
         {
             std::lock_guard<std::mutex> lock(mu_);
             insertMemoryLocked(key, shared);

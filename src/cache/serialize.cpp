@@ -280,6 +280,18 @@ encodeCachedCompile(const CachedCompile &artifact)
     w.f64(res.verifySeconds);
     w.f64(res.totalSeconds);
 
+    // Resource accounting of the original (cold) compile. A cache hit
+    // reports what the artifact *cost to produce*, not the lookup —
+    // the lookup's own cost lands in the cache.* histograms.
+    w.f64(res.resources.wallSeconds);
+    w.f64(res.resources.userCpuSeconds);
+    w.f64(res.resources.sysCpuSeconds);
+    w.u64(static_cast<std::uint64_t>(res.resources.peakRssDeltaKb));
+    w.u64(static_cast<std::uint64_t>(res.resources.peakRssKb));
+    w.u64(res.resources.qmddPeakNodes);
+    w.u64(res.resources.qmddArenaBytes);
+    w.u8(res.resources.valid ? 1 : 0);
+
     w.str(artifact.qasm);
     return w.take();
 }
@@ -359,6 +371,15 @@ decodeCachedCompile(const std::vector<std::uint8_t> &bytes)
     res.optimizeSeconds = r.f64();
     res.verifySeconds = r.f64();
     res.totalSeconds = r.f64();
+
+    res.resources.wallSeconds = r.f64();
+    res.resources.userCpuSeconds = r.f64();
+    res.resources.sysCpuSeconds = r.f64();
+    res.resources.peakRssDeltaKb = static_cast<std::int64_t>(r.u64());
+    res.resources.peakRssKb = static_cast<std::int64_t>(r.u64());
+    res.resources.qmddPeakNodes = r.u64();
+    res.resources.qmddArenaBytes = r.u64();
+    res.resources.valid = r.u8() != 0;
 
     artifact.qasm = r.str();
     if (!r.atEnd())

@@ -6,8 +6,12 @@
 #include <limits>
 #include <memory>
 
+#include <cstdlib>
+
 #include "cache/cache.hpp"
 #include "common/errors.hpp"
+#include "obs/expo.hpp"
+#include "obs/flight.hpp"
 #include "common/numeric.hpp"
 #include "common/strings.hpp"
 #include "device/loader.hpp"
@@ -147,6 +151,21 @@ parseCliArguments(const std::vector<std::string> &args)
             opts.tracePath = next_value(arg);
         } else if (arg == "--metrics-json") {
             opts.metricsPath = next_value(arg);
+        } else if (arg == "--metrics-prom") {
+            opts.metricsPromPath = next_value(arg);
+        } else if (arg == "--stats-interval") {
+            opts.statsIntervalSeconds =
+                parseDoubleValue(arg, next_value(arg));
+            if (opts.statsIntervalSeconds < 0.0)
+                throw UserError("--stats-interval must be >= 0");
+        } else if (arg == "--crash-dump") {
+            opts.crashDumpDir = next_value(arg);
+        } else if (arg == "--test-crash") {
+            // Hidden fault-injection flag (absent from --help): abort()
+            // after the compile so the crash-dump subprocess test has a
+            // deterministic crash; see --test-omit-swap-back for the
+            // pattern.
+            opts.testCrash = true;
         } else if (arg == "--log-level") {
             std::string value = next_value(arg);
             obs::LogLevel level;
@@ -241,6 +260,15 @@ cliHelpText()
         "                           (open in Perfetto / chrome://tracing)\n"
         "      --metrics-json <file> write a metrics snapshot (counters,\n"
         "                           gauges, QMDD table hit rates)\n"
+        "      --metrics-prom <file> write Prometheus text exposition\n"
+        "                           (qsyn_* series; scrape or node_\n"
+        "                           exporter textfile collector)\n"
+        "      --stats-interval <s> while a batch runs, log progress\n"
+        "                           and refresh --metrics-prom every\n"
+        "                           s seconds\n"
+        "      --crash-dump <dir>   arm the flight-recorder crash\n"
+        "                           handler; a crash leaves\n"
+        "                           qsyn-crash-<pid>.json in <dir>\n"
         "      --log-level <l>      quiet | info | debug | trace\n"
         "                           (default: $QSYN_LOG or quiet)\n"
         "      --rebase <basis>     cz | cnot two-qubit output basis\n"
@@ -303,8 +331,20 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
     }
     if (options.logLevel)
         obs::setLogLevel(*options.logLevel);
+    // The flight recorder is always on for tool runs (one relaxed
+    // store per span event); --crash-dump additionally arms the signal
+    // handler that turns the ring into qsyn-crash-<pid>.json.
+    obs::flight::setRecording(true);
+    if (!options.crashDumpDir.empty()) {
+        obs::flight::CrashConfig crash_config;
+        crash_config.dir = options.crashDumpDir;
+        obs::flight::installCrashHandler(crash_config);
+    }
     SinkInstallation obs_install(!options.tracePath.empty() ||
-                                 !options.metricsPath.empty());
+                                 !options.metricsPath.empty() ||
+                                 !options.metricsPromPath.empty() ||
+                                 options.statsIntervalSeconds > 0.0);
+    obs::nameCurrentThread("qsync-main");
 
     try {
         Device device = [&]() -> Device {
@@ -350,6 +390,8 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
             // results reported and emitted strictly in input order.
             BatchCompiler batch(device, options.compile);
             batch.setCache(compile_cache.get());
+            batch.setStatsInterval(options.statsIntervalSeconds,
+                                   options.metricsPromPath);
             std::vector<BatchItem> items =
                 batch.compileFiles(options.inputs, options.jobs);
             const BatchSummary &sum = batch.summary();
@@ -408,6 +450,15 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
                 metrics << obs_install.sink().metricsJson();
                 err << "wrote " << options.metricsPath << "\n";
             }
+            if (!options.metricsPromPath.empty()) {
+                std::string prom_error;
+                if (!obs::writePrometheusFile(
+                        obs_install.sink().metrics(),
+                        options.metricsPromPath, &prom_error))
+                    throw UserError("cannot write metrics: " +
+                                    prom_error);
+                err << "wrote " << options.metricsPromPath << "\n";
+            }
             if (sum.failed == 0)
                 return 0;
             for (const BatchItem &item : items)
@@ -438,6 +489,13 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
                                        ? nullptr
                                        : compile_cache.get());
         const CompileResult &result = artifact->result;
+
+        if (options.testCrash) {
+            // Fault injection for the crash-dump subprocess test: the
+            // ring now holds the compile's span events, so the dump
+            // has real content to assert on.
+            std::abort();
+        }
 
         if (obs::logEnabled(obs::LogLevel::Debug) &&
             !result.optReport.passes.empty()) {
@@ -536,6 +594,14 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
                                 options.metricsPath + "'");
             metrics << obs_install.sink().metricsJson();
             err << "wrote " << options.metricsPath << "\n";
+        }
+        if (!options.metricsPromPath.empty()) {
+            std::string prom_error;
+            if (!obs::writePrometheusFile(obs_install.sink().metrics(),
+                                          options.metricsPromPath,
+                                          &prom_error))
+                throw UserError("cannot write metrics: " + prom_error);
+            err << "wrote " << options.metricsPromPath << "\n";
         }
         return 0;
     } catch (const UserError &e) {

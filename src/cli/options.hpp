@@ -52,6 +52,18 @@ struct CliOptions
     std::string tracePath;
     /** Write a metrics snapshot JSON file here (empty = none). */
     std::string metricsPath;
+    /** Write Prometheus text exposition here at exit (empty = none);
+     *  with --stats-interval the file is also rewritten periodically
+     *  while a batch runs. */
+    std::string metricsPromPath;
+    /** Periodic batch stats interval, seconds (0 = off). */
+    double statsIntervalSeconds = 0.0;
+    /** Arm the flight-recorder crash handler; a crashing run dumps
+     *  `qsyn-crash-<pid>.json` into this directory (empty = off). */
+    std::string crashDumpDir;
+    /** Hidden fault-injection flag (--test-crash): abort() after the
+     *  compile so the crash-dump path has a deterministic test. */
+    bool testCrash = false;
     /** --log-level override; unset = QSYN_LOG env (default quiet). */
     std::optional<obs::LogLevel> logLevel;
     /** Rebase the emitted circuit's two-qubit basis: "" (keep CNOT)

@@ -1,6 +1,9 @@
 #include "core/batch.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "common/errors.hpp"
@@ -9,6 +12,7 @@
 #include "esop/cascade.hpp"
 #include "frontend/loader.hpp"
 #include "frontend/pla_parser.hpp"
+#include "obs/expo.hpp"
 #include "obs/obs.hpp"
 
 namespace qsyn {
@@ -23,7 +27,8 @@ resolveJobs(size_t jobs)
 }
 
 void
-parallelFor(size_t n, size_t jobs, const std::function<void(size_t)> &fn)
+parallelFor(size_t n, size_t jobs, const std::function<void(size_t)> &fn,
+            const char *threadNamePrefix)
 {
     jobs = std::min(resolveJobs(jobs), n);
     if (jobs <= 1) {
@@ -32,7 +37,10 @@ parallelFor(size_t n, size_t jobs, const std::function<void(size_t)> &fn)
         return;
     }
     std::atomic<size_t> next{0};
-    auto worker = [&]() {
+    auto worker = [&](size_t t) {
+        if (threadNamePrefix != nullptr && t != 0)
+            obs::nameCurrentThread(std::string(threadNamePrefix) + "-" +
+                                   std::to_string(t));
         for (;;) {
             size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)
@@ -43,8 +51,8 @@ parallelFor(size_t n, size_t jobs, const std::function<void(size_t)> &fn)
     std::vector<std::thread> pool;
     pool.reserve(jobs - 1);
     for (size_t t = 1; t < jobs; ++t)
-        pool.emplace_back(worker);
-    worker(); // the calling thread is worker 0
+        pool.emplace_back(worker, t);
+    worker(0); // the calling thread is worker 0
     for (std::thread &t : pool)
         t.join();
 }
@@ -52,6 +60,13 @@ parallelFor(size_t n, size_t jobs, const std::function<void(size_t)> &fn)
 BatchCompiler::BatchCompiler(Device device, CompileOptions options)
     : device_(std::move(device)), options_(std::move(options))
 {
+}
+
+void
+BatchCompiler::setStatsInterval(double seconds, std::string promPath)
+{
+    statsIntervalSeconds_ = seconds;
+    statsPromPath_ = std::move(promPath);
 }
 
 std::vector<BatchItem>
@@ -92,7 +107,39 @@ BatchCompiler::run(size_t n, size_t jobs,
     span.arg("jobs", workers);
 
     std::vector<BatchItem> items(n);
-    parallelFor(n, workers, [&](size_t i) {
+
+    // Periodic stats emitter (--stats-interval): progress to the log,
+    // and a fresh Prometheus page when a path is configured. Runs only
+    // for the duration of this batch; woken early on completion.
+    std::atomic<size_t> completed{0};
+    std::mutex emitterMu;
+    std::condition_variable emitterCv;
+    bool emitterStop = false;
+    std::thread emitter;
+    if (statsIntervalSeconds_ > 0.0) {
+        emitter = std::thread([&] {
+            obs::nameCurrentThread("batch-stats");
+            auto interval = std::chrono::duration<double>(
+                statsIntervalSeconds_);
+            std::unique_lock<std::mutex> lock(emitterMu);
+            while (!emitterCv.wait_for(lock, interval,
+                                       [&] { return emitterStop; })) {
+                QSYN_OBS_LOG(Info, "batch")
+                    << "progress "
+                    << completed.load(std::memory_order_relaxed) << "/"
+                    << n;
+                if (!statsPromPath_.empty()) {
+                    if (obs::Sink *s = obs::sink())
+                        obs::writePrometheusFile(s->metrics(),
+                                                 statsPromPath_);
+                }
+            }
+        });
+    }
+
+    parallelFor(
+        n, workers,
+        [&](size_t i) {
         BatchItem &item = items[i];
         item.inputPath = name(i);
         Stopwatch sw;
@@ -124,12 +171,23 @@ BatchCompiler::run(size_t n, size_t jobs,
             item.internalError = true;
         }
         item.seconds = sw.seconds();
+        completed.fetch_add(1, std::memory_order_relaxed);
         QSYN_OBS_LOG(Debug, "batch")
             << (item.inputPath.empty() ? std::string("<circuit>")
                                        : item.inputPath)
             << ": " << (item.ok ? "ok" : item.error) << " ("
             << item.seconds << " s)";
-    });
+        },
+        "batch-worker");
+
+    if (emitter.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(emitterMu);
+            emitterStop = true;
+        }
+        emitterCv.notify_all();
+        emitter.join();
+    }
 
     summary_ = BatchSummary{};
     summary_.circuits = n;
@@ -143,6 +201,7 @@ BatchCompiler::run(size_t n, size_t jobs,
             continue;
         }
         ++summary_.succeeded;
+        summary_.resources.accumulate(item.result.resources);
         totalGatesOut_ += item.result.optimizedM.gates;
         const dd::PackageStats &s = item.result.ddStats;
         mergedDd_.uniqueLookups += s.uniqueLookups;
@@ -188,6 +247,13 @@ BatchCompiler::publishMetrics(const char *prefix) const
                    : 0.0);
     m.setGauge(p + ".gates_out",
                static_cast<double>(totalGatesOut_));
+    m.setGauge(p + ".user_cpu_seconds",
+               summary_.resources.userCpuSeconds);
+    m.setGauge(p + ".sys_cpu_seconds", summary_.resources.sysCpuSeconds);
+    m.setGauge(p + ".peak_rss_kb",
+               static_cast<double>(summary_.resources.peakRssKb));
+    m.setGauge(p + ".qmdd_arena_bytes",
+               static_cast<double>(summary_.resources.qmddArenaBytes));
     std::string q = p + ".qmdd";
     m.setGauge(q + ".unique_lookups",
                static_cast<double>(mergedDd_.uniqueLookups));

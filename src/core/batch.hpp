@@ -30,9 +30,15 @@ namespace qsyn {
  * index-owned slots). jobs <= 1 runs inline on the calling thread —
  * the sequential and parallel paths execute the same code. jobs == 0
  * means "one per hardware thread". fn must not throw.
+ *
+ * When `threadNamePrefix` is non-null, each *spawned* worker names
+ * itself `<prefix>-<t>` via obs::nameCurrentThread (trace thread_name
+ * metadata + crash-dump span stacks); the calling thread keeps its
+ * existing name (e.g. `qsync-main`).
  */
 void parallelFor(size_t n, size_t jobs,
-                 const std::function<void(size_t)> &fn);
+                 const std::function<void(size_t)> &fn,
+                 const char *threadNamePrefix = nullptr);
 
 /** Number of workers `jobs` resolves to (0 -> hardware threads). */
 size_t resolveJobs(size_t jobs);
@@ -67,6 +73,9 @@ struct BatchSummary
     /** Sum of per-item wall times (== sequential-equivalent time;
      *  wallSeconds / sumSeconds shows the parallel speedup). */
     double sumSeconds = 0.0;
+    /** Aggregated per-compile resource usage of the successful items:
+     *  CPU times add, RSS / QMDD peaks take the max. */
+    obs::ResourceUsage resources;
 };
 
 /** Compiles batches of independent circuits for one device. */
@@ -101,6 +110,16 @@ class BatchCompiler
     CompileCacheBase *cache() const { return cache_; }
 
     /**
+     * Emit periodic stats while a batch runs (`--stats-interval
+     * <sec>`): every `seconds` a background thread logs progress
+     * (Info level) and, when `promPath` is non-empty, rewrites that
+     * file with the current Prometheus exposition — a poor man's
+     * /metrics endpoint a scraper can tail until qsynd mounts a real
+     * one. `seconds <= 0` disables (the default).
+     */
+    void setStatsInterval(double seconds, std::string promPath = {});
+
+    /**
      * Publish the last run's merged per-circuit metrics as
      * `<prefix>.*` gauges on the installed obs sink: batch shape
      * (circuits/jobs/failures), wall vs summed seconds, and the summed
@@ -121,6 +140,8 @@ class BatchCompiler
     Device device_;
     CompileOptions options_;
     CompileCacheBase *cache_ = nullptr;
+    double statsIntervalSeconds_ = 0.0;
+    std::string statsPromPath_;
     BatchSummary summary_;
     /** Element-wise sum (peakNodes: max) of per-item dd stats. */
     dd::PackageStats mergedDd_;

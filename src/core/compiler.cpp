@@ -33,6 +33,7 @@ Compiler::compile(const Circuit &input) const
     total.arg("device", device_.name());
     total.arg("qubits", input.numQubits());
     total.arg("gates", input.size());
+    obs::ResourceProbe probe;
     CompileResult result;
     result.input = input;
     opt::CostModel model(options_.optimizer.weights);
@@ -120,6 +121,7 @@ Compiler::compile(const Circuit &input) const
 
     // 5. Formal verification: the mapped output against the input,
     //    remapped through the placement, ancillas projected onto |0>.
+    size_t ddArenaBytes = 0;
     {
         obs::Span span("compile.verify", obs::kTimed);
         if (options_.verify != VerifyMode::Off && input.isUnitary()) {
@@ -138,6 +140,7 @@ Compiler::compile(const Circuit &input) const
             result.verifyRan = true;
             result.ddStats = package.stats();
             result.ddLiveNodes = package.activeNodes();
+            ddArenaBytes = package.arenaBytes();
             package.publishMetrics();
             span.arg("verdict",
                      dd::equivalenceName(result.verification));
@@ -151,6 +154,24 @@ Compiler::compile(const Circuit &input) const
         result.verifySeconds = span.seconds();
     }
     result.totalSeconds = total.seconds();
+    result.resources = probe.sample();
+    result.resources.qmddPeakNodes = result.ddStats.peakNodes;
+    result.resources.qmddArenaBytes = ddArenaBytes;
+    if (obs::Sink *s = obs::sink()) {
+        // Latency histograms follow the `*.latency_us` microsecond
+        // rule so sub-second stages spread across the power-of-two
+        // buckets instead of collapsing into bucket 0.
+        obs::MetricsRegistry &m = s->metrics();
+        obs::observeResourceUsage(m, "compile", result.resources);
+        m.observe("compile.decompose.latency_us",
+                  result.decomposeSeconds * 1e6);
+        m.observe("compile.place.latency_us", result.placeSeconds * 1e6);
+        m.observe("compile.route.latency_us", result.routeSeconds * 1e6);
+        m.observe("compile.optimize.latency_us",
+                  result.optimizeSeconds * 1e6);
+        m.observe("compile.verify.latency_us",
+                  result.verifySeconds * 1e6);
+    }
     QSYN_OBS_LOG(Info, "compile")
         << "'" << input.name() << "' -> " << device_.name() << ": "
         << result.optimizedM.gates << " gates, cost "

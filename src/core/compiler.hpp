@@ -19,6 +19,7 @@
 #include "decompose/pass.hpp"
 #include "device/device.hpp"
 #include "ir/circuit.hpp"
+#include "obs/rusage.hpp"
 #include "opt/pipeline.hpp"
 #include "qmdd/equivalence.hpp"
 #include "route/ctr.hpp"
@@ -117,6 +118,11 @@ struct CompileResult
     double optimizeSeconds = 0.0;
     double verifySeconds = 0.0;
     double totalSeconds = 0.0;
+
+    /** Resources this compile consumed (wall / user / sys CPU, peak
+     *  RSS delta, QMDD allocator high-water). Always populated —
+     *  resource accounting is not gated on the obs sink. */
+    obs::ResourceUsage resources;
 
     /** True when verification ran and confirmed equivalence. */
     bool

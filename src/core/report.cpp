@@ -92,6 +92,18 @@ compileReportJson(const CompileResult &result, const Device &device,
            << ", \"optimize\": " << result.optimizeSeconds
            << ", \"verify\": " << result.verifySeconds
            << ", \"total\": " << result.totalSeconds << "}";
+        // Per-compile resource accounting (obs::ResourceUsage). Gated
+        // with the timings: both are run-dependent, and golden-output
+        // tests rely on reports without them being reproducible.
+        const obs::ResourceUsage &r = result.resources;
+        os << ",\n  \"resources\": {\"wall_seconds\": " << r.wallSeconds
+           << ", \"user_cpu_seconds\": " << r.userCpuSeconds
+           << ", \"sys_cpu_seconds\": " << r.sysCpuSeconds
+           << ", \"peak_rss_delta_kb\": " << r.peakRssDeltaKb
+           << ", \"peak_rss_kb\": " << r.peakRssKb
+           << ", \"qmdd_peak_nodes\": " << r.qmddPeakNodes
+           << ", \"qmdd_arena_bytes\": " << r.qmddArenaBytes
+           << ", \"valid\": " << (r.valid ? "true" : "false") << "}";
     }
     os << "\n}\n";
     return os.str();

@@ -1,0 +1,156 @@
+#include "obs/expo.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/obs.hpp"
+
+namespace qsyn::obs {
+
+/* ------------------------------------------------------------------ */
+/* Quantile estimation over the power-of-two buckets                  */
+/* ------------------------------------------------------------------ */
+
+double
+Histogram::bucketUpperBound(int bucket)
+{
+    return std::ldexp(1.0, bucket); // 2^bucket
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the requested quantile, 1-based; q=0 -> first sample.
+    double target = q * static_cast<double>(count);
+    if (target < 1.0)
+        target = 1.0;
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        std::uint64_t inBucket = buckets[static_cast<size_t>(i)];
+        if (inBucket == 0)
+            continue;
+        if (static_cast<double>(cumulative + inBucket) >= target) {
+            // Linear interpolation inside the bucket [lower, upper].
+            double lower = i == 0 ? 0.0 : bucketUpperBound(i - 1);
+            double upper = bucketUpperBound(i);
+            double frac = (target - static_cast<double>(cumulative)) /
+                          static_cast<double>(inBucket);
+            double estimate = lower + frac * (upper - lower);
+            // The recorded extremes are exact; never estimate outside
+            // them (the last bucket is a catch-all, min may sit above
+            // a bucket's lower edge).
+            return std::clamp(estimate, min, max);
+        }
+        cumulative += inBucket;
+    }
+    return max;
+}
+
+/* ------------------------------------------------------------------ */
+/* Prometheus rendering                                               */
+/* ------------------------------------------------------------------ */
+
+std::string
+promName(std::string_view name)
+{
+    std::string out = "qsyn_";
+    out.reserve(name.size() + out.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+namespace {
+
+void
+promValue(std::ostringstream &os, double v)
+{
+    if (std::isnan(v)) {
+        os << "NaN";
+    } else if (std::isinf(v)) {
+        os << (v > 0 ? "+Inf" : "-Inf");
+    } else if (v == static_cast<double>(static_cast<long long>(v))) {
+        os << static_cast<long long>(v);
+    } else {
+        os << v;
+    }
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::toPrometheus() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os.precision(12);
+
+    for (const auto &[name, value] : counters_) {
+        std::string prom = promName(name);
+        // Prometheus counter convention: one `_total` suffix.
+        if (prom.size() < 6 ||
+            prom.compare(prom.size() - 6, 6, "_total") != 0)
+            prom += "_total";
+        os << "# TYPE " << prom << " counter\n" << prom << " ";
+        promValue(os, value);
+        os << "\n";
+    }
+
+    for (const auto &[name, value] : gauges_) {
+        std::string prom = promName(name);
+        os << "# TYPE " << prom << " gauge\n" << prom << " ";
+        promValue(os, value);
+        os << "\n";
+    }
+
+    for (const auto &[name, h] : histograms_) {
+        std::string prom = promName(name);
+        os << "# TYPE " << prom << " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+            cumulative += h.buckets[static_cast<size_t>(i)];
+            os << prom << "_bucket{le=\"";
+            promValue(os, Histogram::bucketUpperBound(i));
+            os << "\"} " << cumulative << "\n";
+            // All remaining buckets are empty once everything is
+            // cumulated; stop early and let +Inf close the series.
+            if (cumulative == h.count)
+                break;
+        }
+        os << prom << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+        os << prom << "_sum ";
+        promValue(os, h.sum);
+        os << "\n" << prom << "_count " << h.count << "\n";
+    }
+    return os.str();
+}
+
+bool
+writePrometheusFile(const MetricsRegistry &m, const std::string &path,
+                    std::string *error)
+{
+    std::ofstream out(path);
+    if (!out) {
+        if (error != nullptr)
+            *error = "cannot open " + path;
+        return false;
+    }
+    out << m.toPrometheus();
+    out.flush();
+    if (!out) {
+        if (error != nullptr)
+            *error = "write failed: " + path;
+        return false;
+    }
+    return true;
+}
+
+} // namespace qsyn::obs

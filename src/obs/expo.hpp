@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Prometheus text exposition (format 0.0.4) for the metrics registry.
+ *
+ * The registry's internal names are dot-separated
+ * (`route.swaps_inserted`); exposition sanitizes them to
+ * `[a-zA-Z0-9_:]` and prefixes `qsyn_`, so the series above scrapes as
+ * `qsyn_route_swaps_inserted_total`. Counters get the `_total` suffix,
+ * gauges are emitted verbatim, and histograms render the standard
+ * cumulative `_bucket{le="..."}` series (ending with `+Inf`) plus
+ * `_sum` / `_count`, reusing the registry's power-of-two bucket bounds.
+ *
+ * `MetricsRegistry::toPrometheus()` (declared in obs.hpp, defined
+ * here) produces the page; `writePrometheusFile` is the `--metrics-prom
+ * <file>` backend shared by the tools.
+ */
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace qsyn::obs {
+
+class MetricsRegistry;
+
+/**
+ * Sanitize a registry metric name into a Prometheus metric name:
+ * every character outside `[a-zA-Z0-9_:]` becomes `_`, and the result
+ * is prefixed with `qsyn_`.
+ */
+std::string promName(std::string_view name);
+
+/**
+ * Render `m.toPrometheus()` into `path`. Returns false (and fills
+ * `*error` when non-null) if the file cannot be written.
+ */
+bool writePrometheusFile(const MetricsRegistry &m,
+                         const std::string &path,
+                         std::string *error = nullptr);
+
+} // namespace qsyn::obs

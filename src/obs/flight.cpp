@@ -1,0 +1,424 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "obs/obs.hpp"
+
+namespace qsyn::obs::flight {
+
+namespace detail {
+std::atomic<bool> g_recording{false};
+} // namespace detail
+
+const char *
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::SpanBegin:
+        return "span_begin";
+      case EventKind::SpanEnd:
+        return "span_end";
+      case EventKind::Log:
+        return "log";
+      case EventKind::Mark:
+        return "mark";
+    }
+    return "?";
+}
+
+namespace {
+
+/* ------------------------------------------------------------------ */
+/* The ring                                                           */
+/* ------------------------------------------------------------------ */
+
+/** Seqlock-style slot: seq is 0 while empty or mid-write, the event's
+ *  1-based sequence number once the payload is complete. */
+struct Slot
+{
+    std::atomic<std::uint64_t> seq{0};
+    std::uint64_t tsNs = 0;
+    const char *name = nullptr;
+    double value = 0.0;
+    std::uint32_t tid = 0;
+    EventKind kind = EventKind::Mark;
+    char detail[sizeof(Event::detail)] = {};
+};
+
+Slot g_ring[kCapacity];
+std::atomic<std::uint64_t> g_cursor{0};
+
+/** Recorder epoch, captured before main() so tsNs is meaningful from
+ *  the first event. */
+const std::chrono::steady_clock::time_point g_epoch =
+    std::chrono::steady_clock::now();
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - g_epoch)
+            .count());
+}
+
+/* ------------------------------------------------------------------ */
+/* Per-thread span stacks                                             */
+/* ------------------------------------------------------------------ */
+
+constexpr int kMaxSpanDepth = 32;
+constexpr std::size_t kMaxThreads = 128;
+
+/** One registered thread's live-span state. tid == 0 marks a free
+ *  slot. The crash handler reads these racily: depth is clamped and
+ *  names are static-lifetime strings, so the worst outcome of a race
+ *  is a one-frame-stale stack. */
+struct ThreadSlot
+{
+    std::atomic<std::uint32_t> tid{0};
+    std::atomic<int> depth{0};
+    const char *names[kMaxSpanDepth] = {};
+    char threadName[32] = {};
+};
+
+ThreadSlot g_threads[kMaxThreads];
+
+/** Claims a ThreadSlot on first use, releases it at thread exit so
+ *  slot count bounds *live* threads, not historical ones. */
+struct ThreadRegistration
+{
+    ThreadSlot *slot = nullptr;
+
+    ThreadRegistration()
+    {
+        std::uint32_t tid = currentThreadId();
+        for (auto &candidate : g_threads) {
+            std::uint32_t expected = 0;
+            if (candidate.tid.compare_exchange_strong(
+                    expected, tid, std::memory_order_acq_rel)) {
+                slot = &candidate;
+                return;
+            }
+        }
+        // Table full: this thread's spans go untracked (events still
+        // land in the ring).
+    }
+
+    ~ThreadRegistration()
+    {
+        if (slot != nullptr) {
+            slot->depth.store(0, std::memory_order_relaxed);
+            slot->threadName[0] = '\0';
+            slot->tid.store(0, std::memory_order_release);
+        }
+    }
+};
+
+ThreadSlot *
+threadSlot()
+{
+    thread_local ThreadRegistration reg;
+    return reg.slot;
+}
+
+/* ------------------------------------------------------------------ */
+/* Crash handler state                                                */
+/* ------------------------------------------------------------------ */
+
+std::atomic<bool> g_in_handler{false};
+std::atomic<bool> g_handler_installed{false};
+char g_dump_dir[512] = ".";
+std::mutex g_install_mu;
+
+const char *
+signalName(int sig)
+{
+    switch (sig) {
+      case SIGABRT:
+        return "SIGABRT";
+      case SIGSEGV:
+        return "SIGSEGV";
+      case SIGFPE:
+        return "SIGFPE";
+      case SIGBUS:
+        return "SIGBUS";
+      case SIGILL:
+        return "SIGILL";
+    }
+    return "signal";
+}
+
+void
+crashHandler(int sig)
+{
+    // One dump per process; a fault inside the dump path falls through
+    // to the default action instead of recursing.
+    if (!g_in_handler.exchange(true))
+        writeCrashDump(signalName(sig));
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+} // namespace
+
+/* ------------------------------------------------------------------ */
+/* Recording                                                          */
+/* ------------------------------------------------------------------ */
+
+void
+setRecording(bool on)
+{
+    detail::g_recording.store(on, std::memory_order_relaxed);
+}
+
+void
+record(EventKind kind, const char *name, double value,
+       std::string_view detail)
+{
+    if (!recording())
+        return;
+    std::uint64_t seq =
+        g_cursor.fetch_add(1, std::memory_order_relaxed) + 1;
+    Slot &slot = g_ring[seq & (kCapacity - 1)];
+    slot.seq.store(0, std::memory_order_release); // mark mid-write
+    slot.tsNs = nowNs();
+    slot.name = name;
+    slot.value = value;
+    slot.tid = currentThreadId();
+    slot.kind = kind;
+    std::size_t n = std::min(detail.size(), sizeof(slot.detail) - 1);
+    if (n != 0)
+        std::memcpy(slot.detail, detail.data(), n);
+    slot.detail[n] = '\0';
+    slot.seq.store(seq, std::memory_order_release);
+}
+
+std::vector<Event>
+snapshot()
+{
+    std::vector<Event> events;
+    events.reserve(kCapacity);
+    for (const Slot &slot : g_ring) {
+        std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+        if (seq == 0)
+            continue;
+        Event e;
+        e.seq = seq;
+        e.tsNs = slot.tsNs;
+        e.name = slot.name;
+        e.value = slot.value;
+        e.tid = slot.tid;
+        e.kind = slot.kind;
+        std::memcpy(e.detail, slot.detail, sizeof(e.detail));
+        e.detail[sizeof(e.detail) - 1] = '\0';
+        // Seqlock validation: drop the slot if a writer raced us.
+        if (slot.seq.load(std::memory_order_acquire) != seq)
+            continue;
+        events.push_back(e);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) { return a.seq < b.seq; });
+    return events;
+}
+
+void
+reset()
+{
+    for (Slot &slot : g_ring)
+        slot.seq.store(0, std::memory_order_release);
+    g_cursor.store(0, std::memory_order_release);
+    if (ThreadSlot *slot = threadSlot())
+        slot->depth.store(0, std::memory_order_relaxed);
+}
+
+/* ------------------------------------------------------------------ */
+/* Span stacks + thread names                                         */
+/* ------------------------------------------------------------------ */
+
+void
+pushSpan(const char *name)
+{
+    ThreadSlot *slot = threadSlot();
+    if (slot == nullptr)
+        return;
+    int depth = slot->depth.load(std::memory_order_relaxed);
+    if (depth < kMaxSpanDepth)
+        slot->names[depth] = name;
+    slot->depth.store(depth + 1, std::memory_order_release);
+}
+
+void
+popSpan()
+{
+    ThreadSlot *slot = threadSlot();
+    if (slot == nullptr)
+        return;
+    int depth = slot->depth.load(std::memory_order_relaxed);
+    if (depth > 0)
+        slot->depth.store(depth - 1, std::memory_order_release);
+}
+
+void
+nameThreadForCrash(std::string_view name)
+{
+    ThreadSlot *slot = threadSlot();
+    if (slot == nullptr)
+        return;
+    std::size_t n =
+        std::min(name.size(), sizeof(slot->threadName) - 1);
+    std::memcpy(slot->threadName, name.data(), n);
+    slot->threadName[n] = '\0';
+}
+
+std::vector<ThreadSpans>
+threadSpans()
+{
+    std::vector<ThreadSpans> out;
+    for (const ThreadSlot &slot : g_threads) {
+        std::uint32_t tid = slot.tid.load(std::memory_order_acquire);
+        if (tid == 0)
+            continue;
+        ThreadSpans t;
+        t.tid = tid;
+        t.name = slot.threadName;
+        int depth = std::clamp(
+            slot.depth.load(std::memory_order_acquire), 0,
+            kMaxSpanDepth);
+        for (int i = 0; i < depth; ++i) {
+            if (slot.names[i] != nullptr)
+                t.stack.push_back(slot.names[i]);
+        }
+        out.push_back(std::move(t));
+    }
+    return out;
+}
+
+/* ------------------------------------------------------------------ */
+/* Crash dumps                                                        */
+/* ------------------------------------------------------------------ */
+
+void
+installCrashHandler(const CrashConfig &config)
+{
+    std::lock_guard<std::mutex> lock(g_install_mu);
+    std::string dir = config.dir.empty() ? "." : config.dir;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec); // best-effort
+    std::size_t n = std::min(dir.size(), sizeof(g_dump_dir) - 1);
+    std::memcpy(g_dump_dir, dir.data(), n);
+    g_dump_dir[n] = '\0';
+    setRecording(true);
+    if (g_handler_installed.exchange(true))
+        return;
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = crashHandler;
+    sigemptyset(&sa.sa_mask);
+
+    // SIGABRT is always ours: sanitizers and assert() report on their
+    // own channel before raising it, so chaining loses nothing.
+    sigaction(SIGABRT, &sa, nullptr);
+
+    // Fault signals only when nobody else (ASan's DEADLYSIGNAL
+    // catcher, a test harness) claimed them first.
+    for (int sig : {SIGSEGV, SIGFPE, SIGBUS, SIGILL}) {
+        struct sigaction old;
+        std::memset(&old, 0, sizeof(old));
+        if (sigaction(sig, nullptr, &old) != 0)
+            continue;
+        if (old.sa_handler == SIG_DFL &&
+            (old.sa_flags & SA_SIGINFO) == 0)
+            sigaction(sig, &sa, nullptr);
+    }
+}
+
+std::string
+writeCrashDump(const char *reason)
+{
+    std::ostringstream os;
+    os.precision(12);
+    os << "{\n";
+    os << "  \"qsyn_crash_version\": 1,\n";
+    os << "  \"signal\": \"" << jsonEscape(reason ? reason : "?")
+       << "\",\n";
+    os << "  \"pid\": " << static_cast<long>(::getpid()) << ",\n";
+
+    os << "  \"thread_spans\": {";
+    std::vector<ThreadSpans> threads = threadSpans();
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+        const ThreadSpans &t = threads[i];
+        os << (i ? "," : "") << "\n    \"" << t.tid << "\": {\"name\": \""
+           << jsonEscape(t.name) << "\", \"stack\": [";
+        for (std::size_t j = 0; j < t.stack.size(); ++j)
+            os << (j ? ", " : "") << "\"" << jsonEscape(t.stack[j])
+               << "\"";
+        os << "]}";
+    }
+    os << (threads.empty() ? "" : "\n  ") << "},\n";
+
+    os << "  \"flight_recorder\": [";
+    std::vector<Event> events = snapshot();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event &e = events[i];
+        os << (i ? "," : "") << "\n    {\"seq\": " << e.seq
+           << ", \"ts_ns\": " << e.tsNs << ", \"kind\": \""
+           << eventKindName(e.kind) << "\", \"name\": \""
+           << jsonEscape(e.name ? e.name : "?") << "\", \"tid\": "
+           << e.tid << ", \"value\": " << e.value;
+        if (e.detail[0] != '\0')
+            os << ", \"detail\": \"" << jsonEscape(e.detail) << "\"";
+        os << "}";
+    }
+    os << (events.empty() ? "" : "\n  ") << "],\n";
+
+    // Best-effort metrics: skipped (null) when the registry mutex is
+    // held — e.g. when the crash happened under it.
+    std::string metrics;
+    Sink *s = sink();
+    if (s != nullptr && s->metrics().tryToJson(&metrics)) {
+        std::istringstream in(metrics);
+        std::string line;
+        os << "  \"metrics\": ";
+        bool first = true;
+        while (std::getline(in, line)) {
+            os << (first ? "" : "\n  ") << line;
+            first = false;
+        }
+        os << "\n";
+    } else {
+        os << "  \"metrics\": null\n";
+    }
+    os << "}\n";
+
+    char path[600];
+    std::snprintf(path, sizeof(path), "%s/qsyn-crash-%ld.json",
+                  g_dump_dir, static_cast<long>(::getpid()));
+    int fd = ::open(path, O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    if (fd < 0)
+        return std::string();
+    std::string text = os.str();
+    const char *p = text.data();
+    std::size_t left = text.size();
+    while (left > 0) {
+        ssize_t wrote = ::write(fd, p, left);
+        if (wrote <= 0)
+            break;
+        p += wrote;
+        left -= static_cast<std::size_t>(wrote);
+    }
+    ::close(fd);
+    return left == 0 ? std::string(path) : std::string();
+}
+
+} // namespace qsyn::obs::flight

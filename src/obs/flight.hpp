@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Always-on flight recorder + crash dumps.
+ *
+ * A fixed-size lock-free ring buffer keeps the most recent span
+ * begin/end and log events. Recording is independent of the obs Sink:
+ * the ring is a static array, claiming a slot is one relaxed
+ * fetch_add, and when recording is disabled every hook reduces to a
+ * single relaxed load and a branch — cheap enough that the tools leave
+ * it on for every run.
+ *
+ * The payoff is the postmortem story: installCrashHandler() arms a
+ * signal handler (SIGABRT / SIGSEGV / SIGFPE / SIGBUS / SIGILL) that
+ * dumps the ring, the active span stack of every live thread, and a
+ * best-effort metrics snapshot to `qsyn-crash-<pid>.json` before
+ * re-raising the signal. qfuzz installs it unconditionally so a
+ * crashing reproducer ships with its own black box; qsync / qverify /
+ * qsim arm it with `--crash-dump <dir>`.
+ *
+ * Caveats, by design:
+ *  - Ring slots are seqlock-validated: a reader (the crash handler or
+ *    snapshot()) drops a slot that was mid-write instead of tearing.
+ *  - `name` fields must be static-lifetime strings (span names and log
+ *    components already are); log text is truncated into the slot.
+ *  - The dump path allocates; after abort() from healthy code that is
+ *    fine, after genuine heap corruption the re-entry guard turns a
+ *    failing dump into the default signal death, never a hang.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qsyn::obs::flight {
+
+/** What a ring slot records. */
+enum class EventKind : std::uint8_t
+{
+    SpanBegin = 1,
+    SpanEnd = 2,
+    Log = 3,
+    Mark = 4 ///< free-form breadcrumb (record() from library code)
+};
+
+const char *eventKindName(EventKind kind);
+
+/** One recorded event, as returned by snapshot(). */
+struct Event
+{
+    std::uint64_t seq = 0;  ///< global order (1-based, monotone)
+    std::uint64_t tsNs = 0; ///< steady-clock ns since recorder epoch
+    const char *name = nullptr; ///< static-lifetime identifier
+    double value = 0.0; ///< SpanEnd: duration us; Log: level
+    std::uint32_t tid = 0;      ///< obs::currentThreadId()
+    EventKind kind = EventKind::Mark;
+    /** Truncated free text (log message); always NUL-terminated. */
+    char detail[48] = {};
+};
+
+/** Ring capacity (slots). Power of two; wraps by overwriting. */
+inline constexpr std::size_t kCapacity = 2048;
+
+namespace detail {
+extern std::atomic<bool> g_recording;
+} // namespace detail
+
+/** True when events are being recorded (one relaxed load). */
+inline bool
+recording()
+{
+    return detail::g_recording.load(std::memory_order_relaxed);
+}
+
+/** Turn the recorder on/off. Tools enable it at startup; the library
+ *  default is off so instrumented hot paths cost nothing extra. */
+void setRecording(bool on);
+
+/** Append an event (no-op when recording is off). `name` must outlive
+ *  the process (string literal / interned); `detail` is truncated to
+ *  the slot's inline buffer. */
+void record(EventKind kind, const char *name, double value = 0.0,
+            std::string_view detail = {});
+
+/** Copy of the ring in sequence order, oldest first. Slots that were
+ *  mid-write are skipped. */
+std::vector<Event> snapshot();
+
+/** Drop all recorded events and span-stack state (tests). */
+void reset();
+
+/** Name the calling thread for crash dumps (and keep the most recent
+ *  name if called twice). `name` is copied. */
+void nameThreadForCrash(std::string_view name);
+
+/** @name Span-stack bookkeeping (called by obs::Span when recording).
+ *  Push/pop must pair; Span guarantees this via its finish() guard. */
+/// @{
+void pushSpan(const char *name);
+void popSpan();
+/// @}
+
+/** One thread's active span stack, for dumps and tests. */
+struct ThreadSpans
+{
+    std::uint32_t tid = 0;
+    std::string name; ///< empty when the thread never named itself
+    std::vector<const char *> stack;
+};
+
+/** Active span stacks of every registered thread. */
+std::vector<ThreadSpans> threadSpans();
+
+/** Crash-dump configuration. */
+struct CrashConfig
+{
+    /** Directory for `qsyn-crash-<pid>.json` (created if missing). */
+    std::string dir = ".";
+};
+
+/**
+ * Install the crash signal handler and enable recording. Signals that
+ * already have a non-default handler (e.g. ASan's SIGSEGV catcher) are
+ * left alone; SIGABRT is always taken since sanitizers report through
+ * their own paths before abort(). Safe to call more than once — the
+ * last config wins.
+ */
+void installCrashHandler(const CrashConfig &config);
+
+/**
+ * Write a crash dump right now (the handler's body, exposed for
+ * tests): ring contents, per-thread span stacks, and a try-lock
+ * metrics snapshot from the installed sink. Returns the path written,
+ * or an empty string on failure.
+ */
+std::string writeCrashDump(const char *reason);
+
+} // namespace qsyn::obs::flight

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "obs/flight.hpp"
+
 namespace qsyn::obs {
 
 /* ------------------------------------------------------------------ */
@@ -142,11 +144,15 @@ LogMessage::LogMessage(LogLevel level, const char *component)
 
 LogMessage::~LogMessage()
 {
+    std::string text = buf_.str();
+    if (flight::recording())
+        flight::record(flight::EventKind::Log, component_,
+                       static_cast<double>(level_), text);
     std::ostream *out = g_log_stream.load(std::memory_order_acquire);
     if (out == nullptr)
         out = &std::cerr;
     *out << "[" << logLevelName(level_) << "] " << component_ << ": "
-         << buf_.str() << "\n";
+         << text << "\n";
 }
 
 /* ------------------------------------------------------------------ */
@@ -255,6 +261,22 @@ std::string
 MetricsRegistry::toJson() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    return toJsonLocked();
+}
+
+bool
+MetricsRegistry::tryToJson(std::string *out) const
+{
+    std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+    if (!lock.owns_lock())
+        return false;
+    *out = toJsonLocked();
+    return true;
+}
+
+std::string
+MetricsRegistry::toJsonLocked() const
+{
     std::ostringstream os;
     os.precision(12);
     os << "{\n  \"counters\": {";
@@ -279,7 +301,10 @@ MetricsRegistry::toJson() const
         os << (first ? "" : ",") << "\n    \"" << jsonEscape(name)
            << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
            << ", \"min\": " << h.min << ", \"max\": " << h.max
-           << ", \"mean\": " << h.mean() << ", \"buckets\": {";
+           << ", \"mean\": " << h.mean()
+           << ", \"p50\": " << h.quantile(0.50)
+           << ", \"p95\": " << h.quantile(0.95)
+           << ", \"p99\": " << h.quantile(0.99) << ", \"buckets\": {";
         bool bfirst = true;
         double bound = 1.0;
         for (int i = 0; i < Histogram::kBuckets; ++i, bound *= 2.0) {
@@ -319,6 +344,14 @@ currentThreadId()
     return id;
 }
 
+void
+nameCurrentThread(std::string_view name)
+{
+    flight::nameThreadForCrash(name);
+    if (Sink *s = sink())
+        s->setThreadName(currentThreadId(), name);
+}
+
 Sink::Sink() : epoch_(std::chrono::steady_clock::now()) {}
 
 double
@@ -340,6 +373,13 @@ Sink::record(TraceEvent &&event)
     events_.push_back(std::move(event));
 }
 
+void
+Sink::setThreadName(std::uint32_t tid, std::string_view name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    threadNames_[tid] = std::string(name);
+}
+
 std::vector<TraceEvent>
 Sink::events() const
 {
@@ -357,12 +397,24 @@ Sink::clearEvents()
 std::string
 Sink::traceJson() const
 {
-    std::vector<TraceEvent> evs = events();
+    std::vector<TraceEvent> evs;
+    std::map<std::uint32_t, std::string> names;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        evs = events_;
+        names = threadNames_;
+    }
     std::ostringstream os;
     os.precision(12);
     os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n";
     os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
           "\"args\": {\"name\": \"qsyn\"}}";
+    for (const auto &[tid, name] : names) {
+        os << ",\n{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+              "\"tid\": "
+           << tid << ", \"args\": {\"name\": \"" << jsonEscape(name)
+           << "\"}}";
+    }
     for (const TraceEvent &e : evs) {
         os << ",\n{\"name\": \"" << jsonEscape(e.name) << "\", \"cat\": \""
            << jsonEscape(e.category) << "\", \"ph\": \"X\", \"ts\": "
@@ -382,16 +434,26 @@ Sink::traceJson() const
 
 Span::Span(const char *name, const char *category)
     : sink_(sink()), name_(name), category_(category),
-      timing_(sink_ != nullptr)
+      flight_(flight::recording())
 {
+    timing_ = sink_ != nullptr || flight_;
     if (timing_)
         start_ = std::chrono::steady_clock::now();
+    if (flight_) {
+        flight::record(flight::EventKind::SpanBegin, name_);
+        flight::pushSpan(name_);
+    }
 }
 
 Span::Span(const char *name, TimedTag, const char *category)
-    : sink_(sink()), name_(name), category_(category), timing_(true)
+    : sink_(sink()), name_(name), category_(category), timing_(true),
+      flight_(flight::recording())
 {
     start_ = std::chrono::steady_clock::now();
+    if (flight_) {
+        flight::record(flight::EventKind::SpanBegin, name_);
+        flight::pushSpan(name_);
+    }
 }
 
 double
@@ -410,6 +472,11 @@ Span::finish()
     if (done_)
         return;
     done_ = true;
+    if (flight_) {
+        double durUs = timing_ ? seconds() * 1e6 : 0.0;
+        flight::record(flight::EventKind::SpanEnd, name_, durUs);
+        flight::popSpan();
+    }
     if (sink_ == nullptr)
         return;
     auto end = std::chrono::steady_clock::now();

@@ -141,6 +141,18 @@ struct Histogram
 
     void observe(double value);
     double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+
+    /** Upper bound of bucket `bucket` (2^bucket). */
+    static double bucketUpperBound(int bucket);
+
+    /**
+     * Estimate the q-quantile (q in [0,1]) by linear interpolation
+     * inside the power-of-two bucket holding the target rank, clamped
+     * to the exact [min, max] extremes. Accuracy is bounded by bucket
+     * width — good enough for p50/p95/p99 dashboards, which is what
+     * the `*.latency_us` microsecond rule keeps meaningful.
+     */
+    double quantile(double q) const;
 };
 
 /**
@@ -165,10 +177,23 @@ class MetricsRegistry
     bool empty() const;
 
     /** Snapshot as a JSON object: {"counters": {...}, "gauges": {...},
-     *  "histograms": {name: {count,sum,min,max,mean,buckets}}}. */
+     *  "histograms": {name: {count,sum,min,max,mean,p50,p95,p99,
+     *  buckets}}}. */
     std::string toJson() const;
 
+    /** Like toJson(), but try-lock: returns false without blocking
+     *  when the registry mutex is contended. Crash-dump safe(ish) —
+     *  the flight recorder uses it so a fault under the metrics lock
+     *  cannot deadlock the handler. */
+    bool tryToJson(std::string *out) const;
+
+    /** Prometheus text exposition 0.0.4 (see obs/expo.hpp for the
+     *  naming rules). Defined in expo.cpp. */
+    std::string toPrometheus() const;
+
   private:
+    std::string toJsonLocked() const;
+
     mutable std::mutex mutex_;
     std::map<std::string, double, std::less<>> counters_;
     std::map<std::string, double, std::less<>> gauges_;
@@ -211,6 +236,11 @@ class Sink
 
     void record(TraceEvent &&event);
 
+    /** Attach a human-readable name to a thread id; exported as a
+     *  Chrome trace `thread_name` metadata event so Perfetto shows
+     *  `batch-worker-3` instead of a bare tid. Last write wins. */
+    void setThreadName(std::uint32_t tid, std::string_view name);
+
     MetricsRegistry &metrics() { return metrics_; }
     const MetricsRegistry &metrics() const { return metrics_; }
 
@@ -230,6 +260,7 @@ class Sink
     std::chrono::steady_clock::time_point epoch_;
     mutable std::mutex mutex_;
     std::vector<TraceEvent> events_;
+    std::map<std::uint32_t, std::string> threadNames_;
     MetricsRegistry metrics_;
 };
 
@@ -276,6 +307,12 @@ class ScopedSink
 
 /** Small dense id for the calling thread (Chrome "tid" field). */
 std::uint32_t currentThreadId();
+
+/** Name the calling thread everywhere it matters: the installed sink
+ *  (trace thread_name metadata, if a sink is up) and the flight
+ *  recorder (crash-dump span stacks). Call once per thread, after the
+ *  sink is installed — BatchCompiler workers and the tool mains do. */
+void nameCurrentThread(std::string_view name);
 
 /** Tag type selecting the always-timed Span constructor. */
 struct TimedTag
@@ -333,6 +370,7 @@ class Span
     const char *category_;
     std::chrono::steady_clock::time_point start_;
     bool timing_;
+    bool flight_; ///< flight recorder was on at construction
     bool done_ = false;
     std::string argsJson_;
 };

@@ -1,0 +1,115 @@
+#include "obs/rusage.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include <sys/resource.h>
+
+#include "obs/obs.hpp"
+
+namespace qsyn::obs {
+
+namespace {
+
+struct CpuSample
+{
+    double userSec = 0.0;
+    double sysSec = 0.0;
+    std::int64_t peakRssKb = 0;
+    bool valid = false;
+};
+
+double
+toSeconds(const timeval &tv)
+{
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+CpuSample
+sampleCpu()
+{
+    CpuSample s;
+    rusage ru{};
+    // Per-thread CPU accounting where the platform has it, so batch
+    // workers measure only themselves; ru_maxrss stays process-wide
+    // either way, so take it from RUSAGE_SELF below.
+#ifdef RUSAGE_THREAD
+    if (getrusage(RUSAGE_THREAD, &ru) == 0) {
+        s.userSec = toSeconds(ru.ru_utime);
+        s.sysSec = toSeconds(ru.ru_stime);
+        s.valid = true;
+    }
+#endif
+    rusage self{};
+    if (getrusage(RUSAGE_SELF, &self) == 0) {
+        s.peakRssKb = static_cast<std::int64_t>(self.ru_maxrss);
+        if (!s.valid) {
+            s.userSec = toSeconds(self.ru_utime);
+            s.sysSec = toSeconds(self.ru_stime);
+            s.valid = true;
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+void
+ResourceUsage::accumulate(const ResourceUsage &other)
+{
+    wallSeconds += other.wallSeconds;
+    userCpuSeconds += other.userCpuSeconds;
+    sysCpuSeconds += other.sysCpuSeconds;
+    peakRssDeltaKb += other.peakRssDeltaKb;
+    peakRssKb = std::max(peakRssKb, other.peakRssKb);
+    qmddPeakNodes = std::max(qmddPeakNodes, other.qmddPeakNodes);
+    qmddArenaBytes = std::max(qmddArenaBytes, other.qmddArenaBytes);
+    valid = valid || other.valid;
+}
+
+ResourceProbe::ResourceProbe()
+    : start_(std::chrono::steady_clock::now())
+{
+    CpuSample s = sampleCpu();
+    startUserSec_ = s.userSec;
+    startSysSec_ = s.sysSec;
+    startPeakRssKb_ = s.peakRssKb;
+    valid_ = s.valid;
+}
+
+ResourceUsage
+ResourceProbe::sample() const
+{
+    ResourceUsage u;
+    u.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    CpuSample s = sampleCpu();
+    if (valid_ && s.valid) {
+        u.userCpuSeconds = std::max(0.0, s.userSec - startUserSec_);
+        u.sysCpuSeconds = std::max(0.0, s.sysSec - startSysSec_);
+        u.peakRssDeltaKb =
+            std::max<std::int64_t>(0, s.peakRssKb - startPeakRssKb_);
+        u.peakRssKb = s.peakRssKb;
+        u.valid = true;
+    }
+    return u;
+}
+
+void
+observeResourceUsage(MetricsRegistry &m, const char *prefix,
+                     const ResourceUsage &usage)
+{
+    std::string p(prefix);
+    m.observe(p + ".latency_us", usage.wallSeconds * 1e6);
+    m.observe(p + ".user_cpu_us", usage.userCpuSeconds * 1e6);
+    m.observe(p + ".sys_cpu_us", usage.sysCpuSeconds * 1e6);
+    m.observe(p + ".peak_rss_delta_kb",
+              static_cast<double>(usage.peakRssDeltaKb));
+    if (usage.qmddPeakNodes != 0)
+        m.observe(p + ".qmdd_peak_nodes",
+                  static_cast<double>(usage.qmddPeakNodes));
+}
+
+} // namespace qsyn::obs

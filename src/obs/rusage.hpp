@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Per-compile resource accounting: a ResourceProbe samples CPU time
+ * (getrusage) and peak RSS around a unit of work, and the resulting
+ * ResourceUsage rides on every CompileResult so batch summaries,
+ * report JSON, and the `compile.*` histograms can attribute cost per
+ * request — the accounting a long-lived compile service (qsynd) needs
+ * to bill and bound individual requests.
+ *
+ * CPU time is measured per *thread* where the platform allows
+ * (RUSAGE_THREAD on Linux), so concurrent batch workers do not bleed
+ * into each other's numbers; peak RSS is inherently process-wide, so
+ * per-compile deltas in a parallel batch are an upper bound.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace qsyn::obs {
+
+class MetricsRegistry;
+
+/** Resources one unit of work (usually one compile) consumed. */
+struct ResourceUsage
+{
+    /** Wall-clock time of the probed window, seconds. */
+    double wallSeconds = 0.0;
+    /** User-mode CPU seconds (per-thread where supported). */
+    double userCpuSeconds = 0.0;
+    /** Kernel-mode CPU seconds (per-thread where supported). */
+    double sysCpuSeconds = 0.0;
+    /** Growth of the process's peak RSS across the window, KiB.
+     *  Zero when the high-water mark did not move (warm runs). */
+    std::int64_t peakRssDeltaKb = 0;
+    /** Absolute process peak RSS when the window closed, KiB. */
+    std::int64_t peakRssKb = 0;
+    /** QMDD allocator high-water during the work: peak live nodes of
+     *  the verification package, and the bytes its node arena had
+     *  committed. Zero when verification was skipped. */
+    std::uint64_t qmddPeakNodes = 0;
+    std::uint64_t qmddArenaBytes = 0;
+    /** True when the probe actually sampled (getrusage succeeded). */
+    bool valid = false;
+
+    double cpuSeconds() const { return userCpuSeconds + sysCpuSeconds; }
+
+    /** Element-wise accumulation for batch aggregates: times add,
+     *  peaks take the max. */
+    void accumulate(const ResourceUsage &other);
+};
+
+/**
+ * RAII-style sampler: construction records the current CPU / RSS
+ * state, sample() returns the deltas since then. Cheap (two syscalls
+ * per end-to-end compile), so it is always on — not gated on the obs
+ * sink.
+ */
+class ResourceProbe
+{
+  public:
+    ResourceProbe();
+
+    /** Usage since construction. QMDD fields are left zero — the
+     *  caller owns the package and fills them in. */
+    ResourceUsage sample() const;
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+    double startUserSec_ = 0.0;
+    double startSysSec_ = 0.0;
+    std::int64_t startPeakRssKb_ = 0;
+    bool valid_ = false;
+};
+
+/**
+ * Record `usage` into `<prefix>.*` histograms on a registry:
+ * `<prefix>.latency_us`, `.user_cpu_us`, `.sys_cpu_us`,
+ * `.peak_rss_delta_kb`, and `.qmdd_peak_nodes` (the last only when
+ * nonzero). Latencies follow the `*.latency_us` microsecond rule (see
+ * docs/observability.md) so the power-of-two buckets resolve
+ * sub-second samples.
+ */
+void observeResourceUsage(MetricsRegistry &m, const char *prefix,
+                          const ResourceUsage &usage);
+
+} // namespace qsyn::obs

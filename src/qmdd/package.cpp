@@ -713,6 +713,7 @@ Package::publishMetrics(const char *prefix) const
     m.setGauge(p + ".live_nodes", static_cast<double>(unique_size_));
     m.setGauge(p + ".peak_nodes", static_cast<double>(stats_.peakNodes));
     m.setGauge(p + ".arena_nodes", static_cast<double>(arena_.size()));
+    m.setGauge(p + ".arena_bytes", static_cast<double>(arenaBytes()));
     m.setGauge(p + ".free_list_length",
                static_cast<double>(free_count_));
     m.setGauge(p + ".unique_capacity",

@@ -179,6 +179,10 @@ class Package
     }
     /** Nodes ever allocated from the arena (live + recycled). */
     size_t arenaNodes() const { return arena_.size(); }
+    /** Bytes the node arena holds (allocator high-water, since the
+     *  arena never shrinks); the per-compile resource accounting's
+     *  `qmdd_arena_bytes` source. */
+    size_t arenaBytes() const { return arena_.size() * sizeof(Node); }
     /** Reclaimed nodes awaiting reuse. */
     size_t freeListLength() const { return free_count_; }
     const PackageStats &stats() const { return stats_; }

@@ -10,7 +10,6 @@
 
 #include <cmath>
 #include <map>
-#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,295 +18,14 @@
 #include "ir/circuit.hpp"
 #include "qmdd/package.hpp"
 
+#include "test_json_util.hpp"
+
 using namespace qsyn;
 
 namespace {
 
-/* ------------------------------------------------------------------ */
-/* A minimal strict JSON parser: if the exporters emit anything that   */
-/* does not parse, these tests fail. Throws std::runtime_error.        */
-/* ------------------------------------------------------------------ */
-
-struct Json
-{
-    enum class Type
-    {
-        Null,
-        Bool,
-        Number,
-        String,
-        Array,
-        Object
-    };
-    Type type = Type::Null;
-    bool boolean = false;
-    double number = 0.0;
-    std::string str;
-    std::vector<Json> array;
-    std::map<std::string, Json> object;
-
-    const Json &
-    at(const std::string &key) const
-    {
-        auto it = object.find(key);
-        if (it == object.end())
-            throw std::runtime_error("missing key '" + key + "'");
-        return it->second;
-    }
-    bool has(const std::string &key) const
-    {
-        return object.count(key) != 0;
-    }
-};
-
-class JsonParser
-{
-  public:
-    explicit JsonParser(std::string_view text) : s_(text) {}
-
-    Json
-    parse()
-    {
-        Json v = parseValue();
-        skipWs();
-        if (pos_ != s_.size())
-            fail("trailing characters");
-        return v;
-    }
-
-  private:
-    [[noreturn]] void
-    fail(const std::string &why) const
-    {
-        throw std::runtime_error("JSON parse error at offset " +
-                                 std::to_string(pos_) + ": " + why);
-    }
-
-    void
-    skipWs()
-    {
-        while (pos_ < s_.size() &&
-               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
-                s_[pos_] == '\n' || s_[pos_] == '\r'))
-            ++pos_;
-    }
-
-    char
-    peek()
-    {
-        if (pos_ >= s_.size())
-            fail("unexpected end");
-        return s_[pos_];
-    }
-
-    void
-    expect(char c)
-    {
-        if (peek() != c)
-            fail(std::string("expected '") + c + "' got '" + peek() +
-                 "'");
-        ++pos_;
-    }
-
-    Json
-    parseValue()
-    {
-        skipWs();
-        char c = peek();
-        if (c == '{')
-            return parseObject();
-        if (c == '[')
-            return parseArray();
-        if (c == '"')
-            return parseString();
-        if (c == 't' || c == 'f')
-            return parseBool();
-        if (c == 'n') {
-            literal("null");
-            return Json{};
-        }
-        return parseNumber();
-    }
-
-    void
-    literal(std::string_view word)
-    {
-        if (s_.substr(pos_, word.size()) != word)
-            fail("bad literal");
-        pos_ += word.size();
-    }
-
-    Json
-    parseBool()
-    {
-        Json v;
-        v.type = Json::Type::Bool;
-        if (peek() == 't') {
-            literal("true");
-            v.boolean = true;
-        } else {
-            literal("false");
-            v.boolean = false;
-        }
-        return v;
-    }
-
-    Json
-    parseNumber()
-    {
-        size_t start = pos_;
-        while (pos_ < s_.size() &&
-               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
-                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
-                s_[pos_] == 'e' || s_[pos_] == 'E'))
-            ++pos_;
-        if (start == pos_)
-            fail("expected number");
-        Json v;
-        v.type = Json::Type::Number;
-        try {
-            v.number = std::stod(std::string(s_.substr(start, pos_ - start)));
-        } catch (const std::exception &) {
-            fail("bad number");
-        }
-        return v;
-    }
-
-    Json
-    parseString()
-    {
-        expect('"');
-        Json v;
-        v.type = Json::Type::String;
-        while (true) {
-            if (pos_ >= s_.size())
-                fail("unterminated string");
-            char c = s_[pos_++];
-            if (c == '"')
-                break;
-            if (static_cast<unsigned char>(c) < 0x20)
-                fail("raw control character in string");
-            if (c != '\\') {
-                v.str += c;
-                continue;
-            }
-            if (pos_ >= s_.size())
-                fail("unterminated escape");
-            char e = s_[pos_++];
-            switch (e) {
-              case '"':
-                v.str += '"';
-                break;
-              case '\\':
-                v.str += '\\';
-                break;
-              case '/':
-                v.str += '/';
-                break;
-              case 'b':
-                v.str += '\b';
-                break;
-              case 'f':
-                v.str += '\f';
-                break;
-              case 'n':
-                v.str += '\n';
-                break;
-              case 'r':
-                v.str += '\r';
-                break;
-              case 't':
-                v.str += '\t';
-                break;
-              case 'u': {
-                if (pos_ + 4 > s_.size())
-                    fail("short \\u escape");
-                unsigned code = 0;
-                for (int i = 0; i < 4; ++i) {
-                    char h = s_[pos_++];
-                    code <<= 4;
-                    if (h >= '0' && h <= '9')
-                        code |= static_cast<unsigned>(h - '0');
-                    else if (h >= 'a' && h <= 'f')
-                        code |= static_cast<unsigned>(h - 'a' + 10);
-                    else if (h >= 'A' && h <= 'F')
-                        code |= static_cast<unsigned>(h - 'A' + 10);
-                    else
-                        fail("bad \\u escape");
-                }
-                if (code > 0xff)
-                    fail("test parser only handles \\u00xx");
-                v.str += static_cast<char>(code);
-                break;
-              }
-              default:
-                fail("unknown escape");
-            }
-        }
-        return v;
-    }
-
-    Json
-    parseArray()
-    {
-        expect('[');
-        Json v;
-        v.type = Json::Type::Array;
-        skipWs();
-        if (peek() == ']') {
-            ++pos_;
-            return v;
-        }
-        while (true) {
-            v.array.push_back(parseValue());
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect(']');
-            break;
-        }
-        return v;
-    }
-
-    Json
-    parseObject()
-    {
-        expect('{');
-        Json v;
-        v.type = Json::Type::Object;
-        skipWs();
-        if (peek() == '}') {
-            ++pos_;
-            return v;
-        }
-        while (true) {
-            skipWs();
-            Json key = parseString();
-            skipWs();
-            expect(':');
-            v.object[key.str] = parseValue();
-            skipWs();
-            if (peek() == ',') {
-                ++pos_;
-                continue;
-            }
-            expect('}');
-            break;
-        }
-        return v;
-    }
-
-    std::string_view s_;
-    size_t pos_ = 0;
-};
-
-Json
-parseJson(const std::string &text)
-{
-    return JsonParser(text).parse();
-}
+using testjson::Json;
+using testjson::parseJson;
 
 } // namespace
 

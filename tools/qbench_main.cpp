@@ -42,6 +42,9 @@ struct BenchResult
     std::string name;
     double medianMs = 0.0;
     double minMs = 0.0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
     size_t reps = 0;
     std::vector<std::pair<std::string, double>> metrics;
 };
@@ -66,6 +69,21 @@ median(std::vector<double> xs)
     return n % 2 == 1 ? xs[n / 2] : (xs[n / 2 - 1] + xs[n / 2]) / 2.0;
 }
 
+/** Quantile with linear interpolation between order statistics
+ *  (type-7 / numpy default). `xs` must be sorted and non-empty. */
+double
+quantileSorted(const std::vector<double> &xs, double q)
+{
+    if (xs.size() == 1)
+        return xs[0];
+    double pos = q * static_cast<double>(xs.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    if (lo >= xs.size() - 1)
+        return xs.back();
+    double frac = pos - static_cast<double>(lo);
+    return xs[lo] + (xs[lo + 1] - xs[lo]) * frac;
+}
+
 /** Time `fn` (which returns the metric list of its last run) `reps`
  *  times and collect median/min wall milliseconds. */
 template <typename Fn>
@@ -84,6 +102,10 @@ timeIt(const std::string &name, size_t reps, Fn fn)
     }
     res.medianMs = median(ms);
     res.minMs = *std::min_element(ms.begin(), ms.end());
+    std::sort(ms.begin(), ms.end());
+    res.p50Ms = quantileSorted(ms, 0.50);
+    res.p95Ms = quantileSorted(ms, 0.95);
+    res.p99Ms = quantileSorted(ms, 0.99);
     return res;
 }
 
@@ -123,6 +145,9 @@ toJson(const std::vector<BenchResult> &results)
            << "      \"median_ms\": " << jsonEscapeNumber(r.medianMs)
            << ",\n"
            << "      \"min_ms\": " << jsonEscapeNumber(r.minMs) << ",\n"
+           << "      \"p50_ms\": " << jsonEscapeNumber(r.p50Ms) << ",\n"
+           << "      \"p95_ms\": " << jsonEscapeNumber(r.p95Ms) << ",\n"
+           << "      \"p99_ms\": " << jsonEscapeNumber(r.p99Ms) << ",\n"
            << "      \"reps\": " << r.reps;
         for (const auto &m : r.metrics)
             os << ",\n      \"" << m.first
@@ -166,7 +191,8 @@ main(int argc, char **argv)
                        "smoke label)\n"
                        "  --reps N   repetitions per benchmark "
                        "(default 7); the\n"
-                       "             JSON records the median\n"
+                       "             JSON records median and "
+                       "p50/p95/p99\n"
                        "  --out F    write JSON here (default "
                        "stdout)\n";
                 return 0;

@@ -21,6 +21,7 @@
 #include "check/fuzzer.hpp"
 #include "cli/options.hpp"
 #include "common/errors.hpp"
+#include "obs/flight.hpp"
 
 namespace {
 
@@ -44,6 +45,10 @@ const char *kHelp =
     "                           case (the oracles must catch it)\n"
     "      --no-determinism     skip the determinism oracle\n"
     "      --no-cache-oracle    skip the cache-consistency oracle\n"
+    "      --crash-dump <dir>   crash-dump directory (default: the\n"
+    "                           corpus dir, else '.'); the handler is\n"
+    "                           always armed so a crashing case ships\n"
+    "                           its flight-recorder black box\n"
     "      --smoke              time-boxed CI self-test (see above)\n"
     "      --verbose            log every case, not just failures\n"
     "  -h, --help               this text\n";
@@ -122,6 +127,7 @@ main(int argc, char **argv)
         check::FuzzOptions opts;
         bool smoke = false;
         std::string replay_dir;
+        std::string crash_dir;
         size_t i = 0;
         auto next = [&](const std::string &flag) -> std::string {
             if (i + 1 >= args.size())
@@ -158,6 +164,8 @@ main(int argc, char **argv)
                 opts.oracle.runDeterminism = false;
             } else if (arg == "--no-cache-oracle") {
                 opts.oracle.runCache = false;
+            } else if (arg == "--crash-dump") {
+                crash_dir = next(arg);
             } else if (arg == "--smoke") {
                 smoke = true;
             } else if (arg == "--verbose") {
@@ -166,6 +174,19 @@ main(int argc, char **argv)
                 throw UserError("unknown option '" + arg +
                                 "' (try --help)");
             }
+        }
+
+        // The fuzzer's whole job is finding crashes, so the crash
+        // handler is always armed: a crashing case leaves its flight-
+        // recorder black box next to the reproducer corpus.
+        {
+            obs::flight::CrashConfig crash_config;
+            if (!crash_dir.empty())
+                crash_config.dir = crash_dir;
+            else if (!opts.corpusDir.empty())
+                crash_config.dir = opts.corpusDir;
+            obs::flight::installCrashHandler(crash_config);
+            obs::nameCurrentThread("qfuzz-main");
         }
 
         if (!replay_dir.empty()) {

@@ -20,6 +20,8 @@
 #include "common/errors.hpp"
 #include "common/stopwatch.hpp"
 #include "frontend/loader.hpp"
+#include "obs/expo.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 #include "qmdd/vector.hpp"
 
@@ -39,6 +41,9 @@ printHelp()
            "                    (default 1e-9)\n"
            "  --trace-json <f>  write a Chrome trace-event file\n"
            "  --metrics-json <f> write a metrics snapshot\n"
+           "  --metrics-prom <f> write Prometheus text exposition\n"
+           "  --crash-dump <d>  arm the crash handler; a crash leaves\n"
+           "                    qsyn-crash-<pid>.json in <d>\n"
            "  --log-level <l>   quiet | info | debug | trace\n"
            "  -h, --help        this text\n";
 }
@@ -46,7 +51,8 @@ printHelp()
 /** Write observability outputs requested on the command line. */
 void
 writeObsFiles(qsyn::obs::Sink &sink, const std::string &trace_path,
-              const std::string &metrics_path)
+              const std::string &metrics_path,
+              const std::string &prom_path = {})
 {
     using qsyn::UserError;
     if (!trace_path.empty()) {
@@ -64,6 +70,13 @@ writeObsFiles(qsyn::obs::Sink &sink, const std::string &trace_path,
         f << sink.metricsJson();
         std::cerr << "wrote " << metrics_path << "\n";
     }
+    if (!prom_path.empty()) {
+        std::string error;
+        if (!qsyn::obs::writePrometheusFile(sink.metrics(), prom_path,
+                                            &error))
+            throw UserError("cannot write metrics: " + error);
+        std::cerr << "wrote " << prom_path << "\n";
+    }
 }
 
 } // namespace
@@ -74,7 +87,7 @@ main(int argc, char **argv)
     using namespace qsyn;
     std::string path;
     std::string input_bits;
-    std::string trace_path, metrics_path;
+    std::string trace_path, metrics_path, prom_path, crash_dir;
     size_t top = 16;
     double threshold = 1e-9;
 
@@ -99,6 +112,10 @@ main(int argc, char **argv)
                 trace_path = next();
             } else if (arg == "--metrics-json") {
                 metrics_path = next();
+            } else if (arg == "--metrics-prom") {
+                prom_path = next();
+            } else if (arg == "--crash-dump") {
+                crash_dir = next();
             } else if (arg == "--log-level") {
                 std::string value = next();
                 obs::LogLevel level;
@@ -118,11 +135,19 @@ main(int argc, char **argv)
         if (path.empty())
             throw UserError("no circuit file (try --help)");
 
+        obs::flight::setRecording(true);
+        if (!crash_dir.empty()) {
+            obs::flight::CrashConfig crash_config;
+            crash_config.dir = crash_dir;
+            obs::flight::installCrashHandler(crash_config);
+        }
         obs::Sink obs_sink;
-        const bool observing =
-            !trace_path.empty() || !metrics_path.empty();
+        const bool observing = !trace_path.empty() ||
+                               !metrics_path.empty() ||
+                               !prom_path.empty();
         if (observing)
             obs::installSink(&obs_sink);
+        obs::nameCurrentThread("qsim-main");
 
         Circuit circuit = frontend::loadCircuitFile(path);
         Qubit n = circuit.numQubits();
@@ -157,7 +182,8 @@ main(int argc, char **argv)
         if (observing) {
             pkg.publishMetrics();
             obs::installSink(nullptr);
-            writeObsFiles(obs_sink, trace_path, metrics_path);
+            writeObsFiles(obs_sink, trace_path, metrics_path,
+                          prom_path);
         }
 
         if (n > 24) {

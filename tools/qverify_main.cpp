@@ -29,6 +29,8 @@
 #include "common/stopwatch.hpp"
 #include "core/batch.hpp"
 #include "frontend/loader.hpp"
+#include "obs/expo.hpp"
+#include "obs/flight.hpp"
 #include "obs/obs.hpp"
 #include "qmdd/equivalence.hpp"
 
@@ -59,6 +61,9 @@ printHelp()
            "  --no-cache         ignore --cache-dir for this run\n"
            "  --trace-json <f>   write a Chrome trace-event file\n"
            "  --metrics-json <f> write a metrics snapshot\n"
+           "  --metrics-prom <f> write Prometheus text exposition\n"
+           "  --crash-dump <d>   arm the crash handler; a crash\n"
+           "                     leaves qsyn-crash-<pid>.json in <d>\n"
            "  --log-level <l>    quiet | info | debug | trace\n"
            "  -h, --help         this text\n";
 }
@@ -66,7 +71,8 @@ printHelp()
 /** Write observability outputs requested on the command line. */
 void
 writeObsFiles(qsyn::obs::Sink &sink, const std::string &trace_path,
-              const std::string &metrics_path)
+              const std::string &metrics_path,
+              const std::string &prom_path = {})
 {
     using qsyn::UserError;
     if (!trace_path.empty()) {
@@ -83,6 +89,13 @@ writeObsFiles(qsyn::obs::Sink &sink, const std::string &trace_path,
                             "'");
         f << sink.metricsJson();
         std::cerr << "wrote " << metrics_path << "\n";
+    }
+    if (!prom_path.empty()) {
+        std::string error;
+        if (!qsyn::obs::writePrometheusFile(sink.metrics(), prom_path,
+                                            &error))
+            throw UserError("cannot write metrics: " + error);
+        std::cerr << "wrote " << prom_path << "\n";
     }
 }
 
@@ -111,7 +124,7 @@ main(int argc, char **argv)
 {
     using namespace qsyn;
     std::vector<std::string> files;
-    std::string trace_path, metrics_path;
+    std::string trace_path, metrics_path, prom_path, crash_dir;
     std::string cache_dir;
     bool use_cache = true;
     size_t jobs = 1;
@@ -149,6 +162,10 @@ main(int argc, char **argv)
                 trace_path = next();
             } else if (arg == "--metrics-json") {
                 metrics_path = next();
+            } else if (arg == "--metrics-prom") {
+                prom_path = next();
+            } else if (arg == "--crash-dump") {
+                crash_dir = next();
             } else if (arg == "--log-level") {
                 std::string value = next();
                 obs::LogLevel level;
@@ -166,11 +183,19 @@ main(int argc, char **argv)
             throw UserError(
                 "expected an even number of circuit files (>= 2)");
 
+        obs::flight::setRecording(true);
+        if (!crash_dir.empty()) {
+            obs::flight::CrashConfig crash_config;
+            crash_config.dir = crash_dir;
+            obs::flight::installCrashHandler(crash_config);
+        }
         obs::Sink obs_sink;
-        const bool observing =
-            !trace_path.empty() || !metrics_path.empty();
+        const bool observing = !trace_path.empty() ||
+                               !metrics_path.empty() ||
+                               !prom_path.empty();
         if (observing)
             obs::installSink(&obs_sink);
+        obs::nameCurrentThread("qverify-main");
 
         /** One consecutive file pair, checked on its own package. */
         struct PairOutcome
@@ -192,7 +217,9 @@ main(int argc, char **argv)
                 std::make_unique<cache::CacheStore>(
                     cache::StoreConfig{cache_dir, 256ull << 20});
 
-        parallelFor(pairs, jobs, [&](size_t p) {
+        parallelFor(
+            pairs, jobs,
+            [&](size_t p) {
             PairOutcome &res = outcomes[p];
             const std::string &fa = files[2 * p];
             const std::string &fb = files[2 * p + 1];
@@ -249,7 +276,8 @@ main(int argc, char **argv)
             }
             res.errText = err_os.str();
             res.outText = out_os.str();
-        });
+            },
+            "qverify-worker");
 
         bool any_not_equivalent = false;
         bool any_inconclusive = false;
@@ -267,7 +295,8 @@ main(int argc, char **argv)
             if (pairs == 1 && !outcomes[0].errored)
                 last_pkg.publishMetrics();
             obs::installSink(nullptr);
-            writeObsFiles(obs_sink, trace_path, metrics_path);
+            writeObsFiles(obs_sink, trace_path, metrics_path,
+                          prom_path);
         }
 
         if (any_not_equivalent)
