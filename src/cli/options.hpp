@@ -27,6 +27,10 @@ struct CliOptions
     std::vector<std::string> inputs;
     /** Batch worker threads (1 = sequential, 0 = hardware threads). */
     size_t jobs = 1;
+    /** Share one concurrent QMDD package across batch workers'
+     *  verifications (--no-share-manager turns it off). Output bytes
+     *  are identical either way; sharing dedupes node universes. */
+    bool shareManager = true;
     /** Output QASM path; empty = stdout. */
     std::string outputPath;
     /** Built-in device name, or empty when deviceFile is used. */

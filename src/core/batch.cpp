@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -108,6 +109,13 @@ BatchCompiler::run(size_t n, size_t jobs,
 
     std::vector<BatchItem> items(n);
 
+    // Shared-manager mode: every worker verifies against this one
+    // concurrent package, so a batch of similar circuits builds each
+    // distinct node once instead of once per worker.
+    std::unique_ptr<dd::Package> shared_pkg;
+    if (share_manager_ && options_.verify != VerifyMode::Off)
+        shared_pkg = std::make_unique<dd::Package>();
+
     // Periodic stats emitter (--stats-interval): progress to the log,
     // and a fresh Prometheus page when a path is configured. Runs only
     // for the duration of this batch; woken early on completion.
@@ -144,10 +152,12 @@ BatchCompiler::run(size_t n, size_t jobs,
         item.inputPath = name(i);
         Stopwatch sw;
         try {
-            // One Compiler (and, inside compile, one Package) per
-            // item: nothing QMDD-related is shared across workers.
+            // One Compiler per item; only the verification package is
+            // (optionally) shared across workers.
             Circuit input = load(i);
             Compiler compiler(device_, options_);
+            if (shared_pkg != nullptr)
+                compiler.setVerifyPackage(shared_pkg.get());
             if (cache_ != nullptr) {
                 std::shared_ptr<const CachedCompile> cached =
                     cache_->getOrCompute(input, device_, options_, [&] {
@@ -239,6 +249,7 @@ BatchCompiler::publishMetrics(const char *prefix) const
                static_cast<double>(summary_.succeeded));
     m.setGauge(p + ".failed", static_cast<double>(summary_.failed));
     m.setGauge(p + ".jobs", static_cast<double>(summary_.jobs));
+    m.setGauge(p + ".share_manager", share_manager_ ? 1.0 : 0.0);
     m.setGauge(p + ".wall_seconds", summary_.wallSeconds);
     m.setGauge(p + ".sum_seconds", summary_.sumSeconds);
     m.setGauge(p + ".speedup",

@@ -3,13 +3,17 @@
  * Parallel batch compilation: compile many independent circuits
  * concurrently on a worker pool.
  *
- * A dd::Package (and everything above it) is deliberately
- * single-threaded, so the unit of parallelism is one whole compile:
- * each worker owns its own Compiler (and thus its own Package per
- * verification) and workers share nothing but the input queue. Results
+ * The unit of parallelism is one whole compile: each worker owns its
+ * own Compiler and workers claim items from a shared queue. By default
+ * every worker verifies against ONE shared dd::Package (the package is
+ * concurrent: sharded unique table, per-thread compute caches,
+ * safe-point GC — see qmdd/package.hpp), so similar circuits in a
+ * batch share their node universes instead of rebuilding them N times;
+ * setShareManager(false) restores a private package per item. Results
  * are stored by input index, so output order — and therefore every
  * byte the CLI emits — is identical no matter how many workers ran or
- * how they interleaved. Surfaced as `--jobs N` on qsync and qverify.
+ * how they interleaved. Surfaced as `--jobs N` and
+ * `--share-manager/--no-share-manager` on qsync and qverify.
  */
 
 #pragma once
@@ -110,6 +114,18 @@ class BatchCompiler
     CompileCacheBase *cache() const { return cache_; }
 
     /**
+     * Share one QMDD package across all workers' verifications
+     * (default ON). Similar circuits dedupe their node universes —
+     * lower aggregate peak_nodes, warmer unique table — at the cost of
+     * per-shard locking. OFF gives each item a private package (the
+     * old fully-isolated behavior). Either way the compiled QASM is
+     * byte-identical: the pipeline never consults the package, and
+     * verification only yields a verdict.
+     */
+    void setShareManager(bool on) { share_manager_ = on; }
+    bool shareManager() const { return share_manager_; }
+
+    /**
      * Emit periodic stats while a batch runs (`--stats-interval
      * <sec>`): every `seconds` a background thread logs progress
      * (Info level) and, when `promPath` is non-empty, rewrites that
@@ -140,6 +156,7 @@ class BatchCompiler
     Device device_;
     CompileOptions options_;
     CompileCacheBase *cache_ = nullptr;
+    bool share_manager_ = true;
     double statsIntervalSeconds_ = 0.0;
     std::string statsPromPath_;
     BatchSummary summary_;

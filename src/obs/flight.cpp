@@ -14,6 +14,23 @@
 
 #include "obs/obs.hpp"
 
+/* The flight ring is a seqlock: writers publish non-atomic payload
+ * fields between two release-stores of the slot's sequence number, and
+ * readers re-check the sequence after copying, dropping torn slots.
+ * That validation is invisible to ThreadSanitizer, which would flag
+ * every payload access as a race — so the two seqlock-protocol
+ * functions opt out of instrumentation. */
+#if defined(__SANITIZE_THREAD__)
+#define QSYN_NO_TSAN __attribute__((no_sanitize("thread")))
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define QSYN_NO_TSAN __attribute__((no_sanitize("thread")))
+#endif
+#endif
+#ifndef QSYN_NO_TSAN
+#define QSYN_NO_TSAN
+#endif
+
 namespace qsyn::obs::flight {
 
 namespace detail {
@@ -181,7 +198,7 @@ setRecording(bool on)
     detail::g_recording.store(on, std::memory_order_relaxed);
 }
 
-void
+QSYN_NO_TSAN void
 record(EventKind kind, const char *name, double value,
        std::string_view detail)
 {
@@ -203,7 +220,7 @@ record(EventKind kind, const char *name, double value,
     slot.seq.store(seq, std::memory_order_release);
 }
 
-std::vector<Event>
+QSYN_NO_TSAN std::vector<Event>
 snapshot()
 {
     std::vector<Event> events;

@@ -10,10 +10,19 @@ namespace {
  *  adjacent bucket, so the width must exceed 2 * kWeightEps. */
 constexpr double kBucketWidth = 4 * kWeightEps;
 
+/** Bucket-array size. Fixed (lock-free readers cannot tolerate a
+ *  resize); grid keys that collide simply share a chain, and the
+ *  tolerance match filters them. 16k slots keep chains at ~1 entry for
+ *  typical workloads (a few thousand distinct weights). */
+constexpr size_t kBucketSlots = size_t{1} << 14;
+
 } // namespace
 
 ComplexTable::ComplexTable()
+    : buckets_(kBucketSlots), bucket_mask_(kBucketSlots - 1)
 {
+    for (std::atomic<const Entry *> &head : buckets_)
+        head.store(nullptr, std::memory_order_relaxed);
     // Intern the hot set through the slow path (hot_ is still empty),
     // then register the entries for the inline fast scan. Order is by
     // observed lookup frequency: normalization produces 1, pruned
@@ -48,15 +57,22 @@ ComplexTable::keyOf(std::int64_t gr, std::int64_t gi)
     return ur ^ (ui + 0x165667b19e3779f9ull + (ur << 6) + (ur >> 2));
 }
 
+size_t
+ComplexTable::slotOf(BucketKey key) const
+{
+    // The key is already well mixed; fold the high half in so the
+    // mask sees all of it.
+    return static_cast<size_t>(key ^ (key >> 32)) & bucket_mask_;
+}
+
 const Cplx *
 ComplexTable::findInBucket(BucketKey key, const Cplx &value) const
 {
-    auto it = buckets_.find(key);
-    if (it == buckets_.end())
-        return nullptr;
-    for (const Cplx *entry : it->second) {
-        if (approxEqual(*entry, value, kWeightEps))
-            return entry;
+    const Entry *e =
+        buckets_[slotOf(key)].load(std::memory_order_acquire);
+    for (; e != nullptr; e = e->next) {
+        if (approxEqual(e->value, value, kWeightEps))
+            return &e->value;
     }
     return nullptr;
 }
@@ -97,10 +113,30 @@ ComplexTable::lookupSlow(const Cplx &value)
             }
         }
     }
-    entries_.push_back(value);
-    const Cplx *inserted = &entries_.back();
-    buckets_[keyOf(gr, gi)].push_back(inserted);
-    return inserted;
+
+    // First sighting of this value: serialize the insert and re-probe
+    // under the lock so a racing thread that interned the same (or an
+    // eps-adjacent) value moments ago wins — one representative per
+    // neighborhood, no matter the interleaving.
+    std::lock_guard<std::mutex> lock(insert_mu_);
+    slow_inserts_.fetch_add(1, std::memory_order_relaxed);
+    for (int r = 0; r < nr; ++r) {
+        for (int i = 0; i < ni; ++i) {
+            if (const Cplx *hit = findInBucket(
+                    keyOf(gr + drs[r], gi + dis[i]), value)) {
+                return hit;
+            }
+        }
+    }
+    entries_.push_back(Entry{value, nullptr});
+    Entry *inserted = &entries_.back();
+    std::atomic<const Entry *> &head = buckets_[slotOf(keyOf(gr, gi))];
+    inserted->next = head.load(std::memory_order_relaxed);
+    // Publish: entry fields are complete before the release store, so
+    // a lock-free reader that sees the new head sees a whole entry.
+    head.store(inserted, std::memory_order_release);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return &inserted->value;
 }
 
 } // namespace qsyn::dd

@@ -40,11 +40,13 @@ EquivalenceChecker::buildOnto(const Circuit &circuit, Edge start,
         QSYN_ASSERT(g.isUnitary(),
                     "equivalence checking requires unitary circuits");
         e = pkg_.multiply(pkg_.gateDD(g), e);
-        if (pkg_.activeNodes() > pkg_.gcThreshold()) {
+        if (pkg_.activeNodes() > pkg_.gcThreshold())
+            pkg_.requestGc();
+        if (pkg_.gcPending()) {
             std::vector<Edge> roots = extra_roots;
             roots.push_back(e);
             roots.push_back(start);
-            pkg_.collectGarbage(roots);
+            pkg_.safePoint(roots);
         }
         if (budget != 0 && pkg_.activeNodes() > budget)
             return false;
@@ -87,6 +89,7 @@ EquivalenceChecker::checkMiter(const Circuit &a, const Circuit &b,
 {
     // Accumulate M = U_b . U_a^dagger, advancing whichever circuit is
     // proportionally behind so M stays near the identity throughout.
+    Package::Session session(pkg_);
     Edge m = pkg_.identityEdge();
     size_t ia = 0, ib = 0;
     const size_t na = a.size(), nb = b.size();
@@ -112,7 +115,9 @@ EquivalenceChecker::checkMiter(const Circuit &a, const Circuit &b,
             m = pkg_.multiply(m, pkg_.gateDD(g.inverse()));
         }
         if (pkg_.activeNodes() > pkg_.gcThreshold())
-            pkg_.collectGarbage({m});
+            pkg_.requestGc();
+        if (pkg_.gcPending())
+            pkg_.safePoint({m});
         if (opts.nodeBudget != 0 && pkg_.activeNodes() > opts.nodeBudget)
             return Equivalence::Inconclusive;
     }
@@ -167,6 +172,11 @@ EquivalenceChecker::check(const Circuit &a, const Circuit &b,
     obs::Span span("qmdd.equivalence_check");
     span.arg("gates_a", static_cast<double>(a.size()));
     span.arg("gates_b", static_cast<double>(b.size()));
+    // Hold a mutator session for the whole check so edges that span
+    // phases (start, ea while eb builds, the compare temporaries) can
+    // never be swept by a GC another worker triggers on a shared
+    // package; sessions nest, so the inner safe points still park.
+    Package::Session session(pkg_);
     if (opts.quickRefuteSamples > 0) {
         obs::Span refute_span("qmdd.quick_refute");
         if (quickRefute(pkg_, a, b, opts, opts.quickRefuteSamples))

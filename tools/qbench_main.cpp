@@ -326,6 +326,76 @@ main(int argc, char **argv)
         }
     }
 
+    // --- Shared vs private QMDD manager across batch workers ---
+    {
+        Device dev = makeIbmqx5();
+        // A similar-circuit corpus (common prefix, divergent tails):
+        // the workload where one shared concurrent node store should
+        // beat N private rebuilds of the same universe.
+        std::vector<Circuit> circuits;
+        const int n = smoke ? 4 : 12;
+        Circuit base = makeRandom(5, 30, 900);
+        for (int i = 0; i < n; ++i) {
+            Circuit c = base;
+            Circuit tail = makeRandom(5, 10, 910 + static_cast<std::uint64_t>(i));
+            for (const Gate &g : tail)
+                c.add(g);
+            circuits.push_back(c);
+        }
+        // Private packages coexist (one per in-flight item), so their
+        // peaks add; the shared package has one global high-water,
+        // which every item reports — the max is the batch's peak.
+        auto aggregatePeak = [](const std::vector<BatchItem> &items,
+                                bool shared) {
+            double agg = 0.0;
+            for (const BatchItem &it : items) {
+                double p =
+                    static_cast<double>(it.result.ddStats.peakNodes);
+                agg = shared ? std::max(agg, p) : agg + p;
+            }
+            return agg;
+        };
+        for (size_t jobs :
+             {size_t(1), size_t(2), size_t(4), size_t(8)}) {
+            double peak_private = 0.0;
+            BatchCompiler priv(dev);
+            priv.setShareManager(false);
+            BenchResult pr = timeIt("private_baseline", reps, [&]() {
+                std::vector<BatchItem> items =
+                    priv.compileCircuits(circuits, jobs);
+                peak_private = aggregatePeak(items, false);
+                return std::vector<std::pair<std::string, double>>{};
+            });
+
+            double peak_shared = 0.0, throughput = 0.0;
+            BatchCompiler shared(dev);
+            BenchResult sr = timeIt(
+                "batch_shared_vs_private_jobs" + std::to_string(jobs),
+                reps, [&]() {
+                    std::vector<BatchItem> items =
+                        shared.compileCircuits(circuits, jobs);
+                    peak_shared = aggregatePeak(items, true);
+                    const BatchSummary &s = shared.summary();
+                    throughput = s.wallSeconds > 0.0
+                                     ? s.sumSeconds / s.wallSeconds
+                                     : 0.0;
+                    return std::vector<
+                        std::pair<std::string, double>>{};
+                });
+            sr.metrics = {
+                {"workers", static_cast<double>(jobs)},
+                {"circuits", static_cast<double>(n)},
+                {"speedup", throughput},
+                {"private_median_ms", pr.medianMs},
+                {"speedup_vs_private",
+                 sr.medianMs > 0.0 ? pr.medianMs / sr.medianMs : 0.0},
+                {"peak_nodes_shared", peak_shared},
+                {"peak_nodes_private", peak_private},
+            };
+            note(sr);
+        }
+    }
+
     // --- Compile cache: cold batch vs fully warm recompilation ---
     {
         Device dev = makeIbmqx5();

@@ -48,6 +48,9 @@ printHelp()
            "options:\n"
            "  -j, --jobs <n>     check pairs on n worker threads\n"
            "                     (0 = one per core)\n"
+           "  --share-manager    workers check against one shared\n"
+           "                     QMDD package (default)\n"
+           "  --no-share-manager private QMDD package per pair\n"
            "  --strict           require exact equality (no global "
            "phase slack)\n"
            "  --miter            alternating-miter accumulation\n"
@@ -128,6 +131,7 @@ main(int argc, char **argv)
     std::string cache_dir;
     bool use_cache = true;
     size_t jobs = 1;
+    bool share_manager = true;
     dd::EquivalenceOptions options;
     options.quickRefuteSamples = 4;
 
@@ -152,6 +156,10 @@ main(int argc, char **argv)
                 options.nodeBudget = cli::parseCountValue(arg, next());
             } else if (arg == "-j" || arg == "--jobs") {
                 jobs = cli::parseCountValue(arg, next());
+            } else if (arg == "--share-manager") {
+                share_manager = true;
+            } else if (arg == "--no-share-manager") {
+                share_manager = false;
             } else if (arg == "--no-quick-refute") {
                 options.quickRefuteSamples = 0;
             } else if (arg == "--cache-dir") {
@@ -251,10 +259,14 @@ main(int argc, char **argv)
                         return;
                     }
                 }
-                // Packages are single-threaded by design; each pair
-                // owns one, so workers share nothing.
+                // Default: every pair checks against the one shared
+                // (concurrent) package, so common subcircuits across
+                // pairs hit warm tables. --no-share-manager isolates
+                // each pair in its own package instead.
                 dd::Package local_pkg;
-                dd::Package &pkg = pairs == 1 ? last_pkg : local_pkg;
+                dd::Package &pkg = share_manager || pairs == 1
+                                       ? last_pkg
+                                       : local_pkg;
                 dd::EquivalenceChecker checker(pkg);
                 res.verdict = checker.check(a, b, options);
                 out_os << dd::equivalenceName(res.verdict) << "\n";
