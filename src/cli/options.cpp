@@ -9,6 +9,7 @@
 #include <cstdlib>
 
 #include "cache/cache.hpp"
+#include "common/deadline.hpp"
 #include "common/errors.hpp"
 #include "obs/expo.hpp"
 #include "obs/flight.hpp"
@@ -191,6 +192,15 @@ parseCliArguments(const std::vector<std::string> &args)
             opts.cacheMaxMb = parseCountValue(arg, next_value(arg));
             if (opts.cacheMaxMb == 0)
                 throw UserError("--cache-max-mb must be >= 1");
+        } else if (arg == "--deadline") {
+            opts.deadlineSeconds =
+                parseDoubleValue(arg, next_value(arg));
+            if (opts.deadlineSeconds < 0.0)
+                throw UserError("--deadline must be >= 0");
+        } else if (arg == "--report-deterministic") {
+            opts.reportDeterministic = true;
+        } else if (arg == "--remote") {
+            opts.remoteSocket = next_value(arg);
         } else if (arg == "--quiet") {
             opts.printStats = false;
         } else if (arg == "--no-emit") {
@@ -218,6 +228,28 @@ parseCliArguments(const std::vector<std::string> &args)
                 throw UserError("--draw needs a single input");
             if (opts.printSchedule)
                 throw UserError("--schedule needs a single input");
+        }
+        if (!opts.remoteSocket.empty()) {
+            // Remote mode ships sources to the daemon and relays its
+            // bytes; anything that needs local pipeline internals
+            // cannot be honored and is rejected, not ignored.
+            auto remoteReject = [](bool bad, const char *flag) {
+                if (bad)
+                    throw UserError(
+                        std::string(flag) +
+                        " is local-only and cannot combine with "
+                        "--remote");
+            };
+            remoteReject(!opts.deviceFile.empty(), "--device-file");
+            remoteReject(opts.drawCircuits, "--draw");
+            remoteReject(opts.printSchedule, "--schedule");
+            remoteReject(!opts.tracePath.empty(), "--trace-json");
+            remoteReject(!opts.metricsPath.empty(), "--metrics-json");
+            remoteReject(!opts.metricsPromPath.empty(),
+                         "--metrics-prom");
+            remoteReject(!opts.rebase.empty(), "--rebase");
+            remoteReject(!opts.cacheDir.empty(), "--cache-dir");
+            remoteReject(opts.testCrash, "--test-crash");
         }
     }
     return opts;
@@ -286,6 +318,16 @@ cliHelpText()
         "                           the in-process batch tier)\n"
         "      --cache-max-mb <n>   on-disk cache budget before LRU\n"
         "                           eviction (default 256)\n"
+        "      --deadline <s>       per-compile wall-time budget in\n"
+        "                           seconds; an expired compile stops\n"
+        "                           cleanly with a diagnosed error\n"
+        "      --report-deterministic\n"
+        "                           omit timings and QMDD counters from\n"
+        "                           --report so the bytes are stable\n"
+        "                           across runs (and match --remote)\n"
+        "      --remote <socket>    send compiles to a qsynd daemon on\n"
+        "                           this Unix socket; QASM and --report\n"
+        "                           bytes come back verbatim\n"
         "      --quiet              suppress the statistics report\n"
         "      --no-emit            suppress QASM output\n"
         "      --list-devices       print the device library and exit\n"
@@ -353,6 +395,9 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
                                  options.statsIntervalSeconds > 0.0);
     obs::nameCurrentThread("qsync-main");
 
+    if (!options.remoteSocket.empty())
+        return runRemote(options, out, err);
+
     try {
         Device device = [&]() -> Device {
             if (!options.deviceFile.empty())
@@ -397,6 +442,7 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
             // results reported and emitted strictly in input order.
             BatchCompiler batch(device, options.compile);
             batch.setShareManager(options.shareManager);
+            batch.setJobDeadline(options.deadlineSeconds);
             batch.setCache(compile_cache.get());
             batch.setStatsInterval(options.statsIntervalSeconds,
                                    options.metricsPromPath);
@@ -488,7 +534,14 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
         CompileOptions copts = options.compile;
         if (obs::logEnabled(obs::LogLevel::Debug))
             copts.optimizer.collectPassStats = true;
+        // Deterministic reports must not depend on whether an obs sink
+        // happens to be installed (a sink flips the optimizer into
+        // detailed pass stats); force the flag so the pass table is
+        // byte-identical to what a qsynd daemon renders.
+        if (options.reportDeterministic)
+            copts.optimizer.collectPassStats = true;
         Compiler compiler(device, copts);
+        deadline::Scope compile_deadline(options.deadlineSeconds);
         // Single-input compiles only consult the cache when it can
         // persist across runs; a process-local tier would never hit.
         std::shared_ptr<const CachedCompile> artifact =
@@ -566,7 +619,11 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
             if (!report)
                 throw UserError("cannot write report '" +
                                 options.reportPath + "'");
-            report << compileReportJson(result, device);
+            report << compileReportJson(
+                result, device,
+                options.reportDeterministic
+                    ? ReportOptions::deterministic()
+                    : ReportOptions{});
             err << "wrote " << options.reportPath << "\n";
         }
         Circuit emitted = result.optimized;

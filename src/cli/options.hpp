@@ -81,6 +81,18 @@ struct CliOptions
     bool useCache = true;
     /** On-disk cache budget in MiB (--cache-max-mb). */
     size_t cacheMaxMb = 256;
+
+    /** Per-compile wall-time budget in seconds (--deadline; 0 = off).
+     *  Cooperative: polled at the per-gate QMDD safe point, so an
+     *  expired compile unwinds cleanly with a diagnosed error. */
+    double deadlineSeconds = 0.0;
+    /** Render --report with ReportOptions::deterministic(): no
+     *  timings, no QMDD table counters. Byte-comparable across runs
+     *  and against a `qsync --remote` report. */
+    bool reportDeterministic = false;
+    /** qsynd Unix socket (--remote); non-empty sends every compile to
+     *  the daemon instead of compiling in-process. */
+    std::string remoteSocket;
 };
 
 /**
@@ -108,5 +120,13 @@ std::string cliHelpText();
  */
 int runCli(const CliOptions &options, std::ostream &out,
            std::ostream &err);
+
+/**
+ * `qsync --remote`: ship each input to a qsynd daemon and emit the
+ * returned QASM/report bytes verbatim (they match what the same flags
+ * would produce locally). Called by runCli; exposed for tests.
+ */
+int runRemote(const CliOptions &options, std::ostream &out,
+              std::ostream &err);
 
 } // namespace qsyn::cli

@@ -1,0 +1,79 @@
+#include "common/deadline.hpp"
+
+#include "common/errors.hpp"
+
+namespace qsyn::deadline {
+
+namespace {
+
+thread_local bool t_armed = false;
+thread_local Clock::time_point t_deadline{};
+
+} // namespace
+
+void
+set(Clock::time_point at)
+{
+    t_deadline = at;
+    t_armed = true;
+}
+
+void
+clear()
+{
+    t_armed = false;
+}
+
+bool
+active()
+{
+    return t_armed;
+}
+
+bool
+expired()
+{
+    return t_armed && Clock::now() >= t_deadline;
+}
+
+void
+check(const char *where)
+{
+    if (!t_armed)
+        return;
+    if (Clock::now() >= t_deadline) {
+        throw DeadlineError(std::string("deadline exceeded during ") +
+                            where);
+    }
+}
+
+Scope::Scope(double seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    hadPrevious_ = t_armed;
+    previous_ = t_deadline;
+    set(Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(seconds)));
+    armed_ = true;
+}
+
+Scope::Scope(Clock::time_point at)
+{
+    hadPrevious_ = t_armed;
+    previous_ = t_deadline;
+    set(at);
+    armed_ = true;
+}
+
+Scope::~Scope()
+{
+    if (!armed_)
+        return;
+    if (hadPrevious_)
+        set(previous_);
+    else
+        clear();
+}
+
+} // namespace qsyn::deadline

@@ -59,6 +59,16 @@ class VerificationError : public Error
     explicit VerificationError(const std::string &what) : Error(what) {}
 };
 
+/** A cooperative wall-time deadline expired mid-compile (see
+ *  common/deadline.hpp). A user-imposed limit, not a qsyn bug: the
+ *  batch layer records it per item and the compile service maps it to
+ *  a structured `deadline_exceeded` response. */
+class DeadlineError : public UserError
+{
+  public:
+    explicit DeadlineError(const std::string &what) : UserError(what) {}
+};
+
 /** An internal invariant was violated: a qsyn bug, not a user error. */
 class InternalError : public Error
 {

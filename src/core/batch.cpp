@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "common/deadline.hpp"
 #include "common/errors.hpp"
 #include "common/stopwatch.hpp"
 #include "common/strings.hpp"
@@ -152,6 +153,9 @@ BatchCompiler::run(size_t n, size_t jobs,
         item.inputPath = name(i);
         Stopwatch sw;
         try {
+            // Each item gets its own wall-time budget, measured from
+            // the moment a worker picks it up (queue wait excluded).
+            deadline::Scope item_deadline(jobDeadlineSeconds_);
             // One Compiler per item; only the verification package is
             // (optionally) shared across workers.
             Circuit input = load(i);
@@ -174,6 +178,9 @@ BatchCompiler::run(size_t n, size_t jobs,
                 item.qasm = compiler.toQasm(item.result);
             }
             item.ok = true;
+        } catch (const DeadlineError &e) {
+            item.error = e.what();
+            item.timedOut = true;
         } catch (const UserError &e) {
             item.error = e.what();
         } catch (const Error &e) {

@@ -57,6 +57,8 @@ struct BatchItem
      *  are distinguished from internal failures. */
     std::string error;
     bool internalError = false;
+    /** The per-job deadline (setJobDeadline) cancelled this item. */
+    bool timedOut = false;
     CompileResult result;
     /** Final circuit serialized as OpenQASM (empty on failure). */
     std::string qasm;
@@ -126,6 +128,18 @@ class BatchCompiler
     bool shareManager() const { return share_manager_; }
 
     /**
+     * Cancel any single item that runs longer than `seconds` of wall
+     * time (<= 0 disables, the default). Cancellation is cooperative:
+     * the compile pipeline polls at the same per-gate safe point as
+     * GC (see common/deadline.hpp), so a runaway item unwinds cleanly
+     * and records `timedOut` while the rest of the batch keeps
+     * running. This is the mechanism behind the qsynd service's
+     * per-request wall-time limit and `qsync --deadline`.
+     */
+    void setJobDeadline(double seconds) { jobDeadlineSeconds_ = seconds; }
+    double jobDeadline() const { return jobDeadlineSeconds_; }
+
+    /**
      * Emit periodic stats while a batch runs (`--stats-interval
      * <sec>`): every `seconds` a background thread logs progress
      * (Info level) and, when `promPath` is non-empty, rewrites that
@@ -157,6 +171,7 @@ class BatchCompiler
     CompileOptions options_;
     CompileCacheBase *cache_ = nullptr;
     bool share_manager_ = true;
+    double jobDeadlineSeconds_ = 0.0;
     double statsIntervalSeconds_ = 0.0;
     std::string statsPromPath_;
     BatchSummary summary_;

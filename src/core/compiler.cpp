@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/deadline.hpp"
 #include "common/errors.hpp"
 #include "core/compile_cache.hpp"
 #include "frontend/qasm_writer.hpp"
@@ -101,7 +102,11 @@ Compiler::compile(const Circuit &input) const
         result.decomposeSeconds = span.seconds();
     }
 
-    // 2. Place logical wires on physical qubits.
+    // 2. Place logical wires on physical qubits. Stage boundaries are
+    //    coarse cancellation polls; the fine-grained per-gate poll
+    //    lives at the QMDD safe point (verification dominates
+    //    runaway compiles) and in the optimizer's round loop.
+    deadline::check("placement");
     {
         obs::Span span("compile.place", obs::kTimed);
         result.placement = route::computePlacement(
@@ -110,6 +115,7 @@ Compiler::compile(const Circuit &input) const
     }
 
     // 3. Route with CTR.
+    deadline::check("routing");
     {
         obs::Span span("compile.route", obs::kTimed);
         Circuit placed = route::applyPlacement(
@@ -128,6 +134,7 @@ Compiler::compile(const Circuit &input) const
     std::sort(result.ancillas.begin(), result.ancillas.end());
 
     // 4. Optimize under the device's legality constraints.
+    deadline::check("optimization");
     {
         obs::Span span("compile.optimize", obs::kTimed);
         if (options_.optimize) {
@@ -150,6 +157,7 @@ Compiler::compile(const Circuit &input) const
     // 5. Formal verification: the mapped output against the input,
     //    remapped through the placement, ancillas projected onto |0>.
     size_t ddArenaBytes = 0;
+    deadline::check("verification");
     {
         obs::Span span("compile.verify", obs::kTimed);
         if (options_.verify != VerifyMode::Off && input.isUnitary()) {

@@ -74,16 +74,19 @@ compileReportJson(const CompileResult &result, const Device &device,
     os << "  \"verification\": \""
        << (result.verifyRan ? dd::equivalenceName(result.verification)
                             : "skipped")
-       << "\",\n";
-    os << "  \"qmdd\": {\"live_nodes\": " << result.ddLiveNodes
-       << ", \"peak_nodes\": " << result.ddStats.peakNodes
-       << ", \"unique_lookups\": " << result.ddStats.uniqueLookups
-       << ", \"unique_hits\": " << result.ddStats.uniqueHits
-       << ", \"unique_hit_rate\": " << result.ddStats.uniqueHitRate()
-       << ", \"compute_lookups\": " << result.ddStats.computeLookups
-       << ", \"compute_hits\": " << result.ddStats.computeHits
-       << ", \"compute_hit_rate\": " << result.ddStats.computeHitRate()
-       << ", \"gc_runs\": " << result.ddStats.gcRuns << "}";
+       << "\"";
+    if (options.includeQmddStats) {
+        os << ",\n  \"qmdd\": {\"live_nodes\": " << result.ddLiveNodes
+           << ", \"peak_nodes\": " << result.ddStats.peakNodes
+           << ", \"unique_lookups\": " << result.ddStats.uniqueLookups
+           << ", \"unique_hits\": " << result.ddStats.uniqueHits
+           << ", \"unique_hit_rate\": " << result.ddStats.uniqueHitRate()
+           << ", \"compute_lookups\": " << result.ddStats.computeLookups
+           << ", \"compute_hits\": " << result.ddStats.computeHits
+           << ", \"compute_hit_rate\": "
+           << result.ddStats.computeHitRate()
+           << ", \"gc_runs\": " << result.ddStats.gcRuns << "}";
+    }
     if (options.includeSeconds) {
         os << ",\n  \"seconds\": {\"decompose\": "
            << result.decomposeSeconds

@@ -20,6 +20,25 @@ struct ReportOptions
      *  turns this off: timings legitimately differ between a cached
      *  fetch and a cold recompile, everything else must not. */
     bool includeSeconds = true;
+    /** Emit the "qmdd" verification-package counters. The compile
+     *  service turns this off: against the daemon's warm shared
+     *  package, table hit counts and the global peak-nodes high-water
+     *  depend on what other requests did, while everything else in
+     *  the report is a pure function of (circuit, device, options). */
+    bool includeQmddStats = true;
+
+    /** The fully reproducible form: only fields that are a pure
+     *  function of the compile inputs. `qsync --report-deterministic`
+     *  and every qsynd response use this, which is what makes remote
+     *  and local reports byte-comparable. */
+    static ReportOptions
+    deterministic()
+    {
+        ReportOptions o;
+        o.includeSeconds = false;
+        o.includeQmddStats = false;
+        return o;
+    }
 };
 
 /** Serialize a compile result (metrics, routing stats, timings,

@@ -1,5 +1,6 @@
 #include "opt/pipeline.hpp"
 
+#include "common/deadline.hpp"
 #include "obs/obs.hpp"
 
 namespace qsyn::opt {
@@ -74,6 +75,7 @@ optimizeCircuit(const Circuit &circuit, const OptimizerOptions &options,
     };
 
     for (int round = 0; round < options.maxRounds; ++round) {
+        deadline::check("local optimization");
         current_round = round;
         obs::Span round_span("opt.round", "opt");
         round_span.arg("round", round);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/deadline.hpp"
 #include "common/errors.hpp"
 #include "common/rng.hpp"
 #include "obs/obs.hpp"
@@ -40,6 +41,9 @@ EquivalenceChecker::buildOnto(const Circuit &circuit, Edge start,
         QSYN_ASSERT(g.isUnitary(),
                     "equivalence checking requires unitary circuits");
         e = pkg_.multiply(pkg_.gateDD(g), e);
+        // The per-gate safe point doubles as the cancellation poll:
+        // a runaway verification dies here, with all invariants intact.
+        deadline::check("qmdd equivalence check");
         if (pkg_.activeNodes() > pkg_.gcThreshold())
             pkg_.requestGc();
         if (pkg_.gcPending()) {
@@ -114,6 +118,7 @@ EquivalenceChecker::checkMiter(const Circuit &a, const Circuit &b,
                 continue;
             m = pkg_.multiply(m, pkg_.gateDD(g.inverse()));
         }
+        deadline::check("qmdd miter check");
         if (pkg_.activeNodes() > pkg_.gcThreshold())
             pkg_.requestGc();
         if (pkg_.gcPending())
@@ -138,6 +143,7 @@ quickRefute(Package &pkg, const Circuit &a, const Circuit &b,
     VectorEngine engine(pkg);
     Rng rng(0x5eedu);
     for (size_t trial = 0; trial < samples; ++trial) {
+        deadline::check("quick-refute sampling");
         Circuit prep(width);
         for (Qubit q = 0; q < width; ++q) {
             bool is_ancilla =

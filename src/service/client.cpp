@@ -1,0 +1,131 @@
+#include "service/client.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/errors.hpp"
+
+namespace qsyn::service {
+
+Client
+Client::connectUnix(const std::string &socketPath)
+{
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        throw UserError("cannot create unix socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof addr.sun_path) {
+        ::close(fd);
+        throw UserError("socket path too long: " + socketPath);
+    }
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof addr.sun_path - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        int err = errno;
+        ::close(fd);
+        throw UserError("cannot connect to '" + socketPath +
+                        "': " + std::strerror(err));
+    }
+    return Client(fd);
+}
+
+Client
+Client::connectTcp(const std::string &host, int port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        throw UserError("cannot create tcp socket");
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        throw UserError("not an IPv4 address: " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        int err = errno;
+        ::close(fd);
+        throw UserError("cannot connect to " + host + ":" +
+                        std::to_string(port) + ": " +
+                        std::strerror(err));
+    }
+    return Client(fd);
+}
+
+Client::Client(Client &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1))
+{
+}
+
+Client &
+Client::operator=(Client &&other) noexcept
+{
+    if (this != &other) {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+std::string
+Client::callRaw(const std::string &payload)
+{
+    if (fd_ < 0)
+        throw UserError("client is not connected");
+    if (!writeFrame(fd_, payload))
+        throw UserError("server connection lost while sending");
+    std::string response;
+    switch (readFrame(fd_, &response)) {
+      case FrameStatus::Ok:
+        return response;
+      case FrameStatus::Eof:
+      case FrameStatus::Truncated:
+        throw UserError("server closed the connection");
+      case FrameStatus::TooLarge:
+        throw UserError("server response exceeds the frame limit");
+      case FrameStatus::Error:
+        throw UserError("read error on server connection");
+    }
+    throw UserError("read error on server connection");
+}
+
+Json
+Client::call(const Json &request)
+{
+    std::string payload = callRaw(request.dump());
+    Json response;
+    std::string error;
+    if (!parseJson(payload, &response, &error))
+        throw UserError("malformed server response: " + error);
+    return response;
+}
+
+void
+Client::throwError(const Json &response)
+{
+    std::string code = "internal";
+    std::string message = "unknown server error";
+    if (const Json *e = response.find("error")) {
+        code = e->stringOr("code", code);
+        message = e->stringOr("message", message);
+    }
+    throw UserError("server error (" + code + "): " + message);
+}
+
+} // namespace qsyn::service

@@ -1,0 +1,268 @@
+#include "service/fuzz.hpp"
+
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/errors.hpp"
+#include "common/rng.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace qsyn::service {
+
+namespace {
+
+std::string
+defaultSocketDir()
+{
+    const char *tmp = std::getenv("TMPDIR");
+    return tmp != nullptr && *tmp != '\0' ? tmp : "/tmp";
+}
+
+/** The liveness invariant: a brand-new client gets ok:true back. */
+bool
+probeAlive(const std::string &socketPath, std::string *why)
+{
+    try {
+        Client client = Client::connectUnix(socketPath);
+        Json ping = Json::makeObject();
+        ping.object["op"] = Json::makeString("ping");
+        Json response = client.call(ping);
+        if (!response.boolOr("ok", false)) {
+            *why = "ping answered ok:false";
+            return false;
+        }
+        return true;
+    } catch (const Error &e) {
+        *why = e.what();
+        return false;
+    }
+}
+
+std::string
+randomBytes(Rng &rng, size_t n)
+{
+    std::string out(n, '\0');
+    for (char &c : out)
+        c = static_cast<char>(rng.below(256));
+    return out;
+}
+
+/** A syntactically broken JSON payload. */
+std::string
+brokenJson(Rng &rng)
+{
+    switch (rng.below(7)) {
+      case 0: return "{\"op\":\"ping\"";               // unterminated
+      case 1: return "{\"op\": pong}";                 // bad literal
+      case 2: return "{\"op\":\"ping\"}garbage";       // trailing bytes
+      case 3: return "\"\\u12";                        // cut escape
+      case 4: {
+        std::string deep;                              // depth bomb
+        for (int i = 0; i < 100; ++i)
+            deep += "[";
+        return deep;
+      }
+      case 5: return "{\"n\": 1e99999}";               // overflow
+      default: return randomBytes(rng, 1 + rng.below(64));
+    }
+}
+
+/** Valid JSON whose shape the service must reject. */
+std::string
+wrongShape(Rng &rng)
+{
+    switch (rng.below(6)) {
+      case 0: return "[1,2,3]";
+      case 1: return "42";
+      case 2: return "{}";
+      case 3: return "{\"op\":\"transmogrify\"}";
+      case 4: return "{\"op\":12}";
+      default: return "{\"op\":\"compile\"}"; // missing source
+    }
+  }
+
+} // namespace
+
+ServiceFuzzSummary
+runServiceFuzzer(const ServiceFuzzOptions &options, std::ostream &log)
+{
+    ServiceFuzzSummary summary;
+
+    std::string dir =
+        options.socketDir.empty() ? defaultSocketDir()
+                                  : options.socketDir;
+    std::string socketPath = dir + "/qfuzz-service-" +
+                             std::to_string(::getpid()) + ".sock";
+
+    ServerConfig config;
+    config.socketPath = socketPath;
+    config.workers = 2;
+    config.queueDepth = 4;
+    config.maxFrameBytes = 64u << 10; // small cap: easy to exceed
+    config.maxQubits = 8;
+    config.maxGates = 256;
+    config.deadlineSeconds = 5.0;
+    Server server(config);
+    server.start();
+
+    Rng rng(options.seed);
+    auto fail = [&](const std::string &what) {
+        summary.failures.push_back(what);
+        log << "[service-fuzz] FAIL: " << what << "\n";
+    };
+
+    for (size_t i = 0; i < options.iterations; ++i) {
+        ++summary.cases;
+        std::uint64_t attack = rng.below(8);
+        std::string detail;
+        try {
+            switch (attack) {
+              case 0: { // well-formed probe must succeed
+                Client c = Client::connectUnix(socketPath);
+                Json req = Json::makeObject();
+                req.object["op"] = Json::makeString(
+                    rng.chance(0.5) ? "health" : "stats");
+                req.object["id"] =
+                    Json::makeNumber(static_cast<double>(i));
+                Json resp = c.call(req);
+                if (!resp.boolOr("ok", false)) {
+                    fail("well-formed probe answered ok:false");
+                } else if (resp.numberOr("id", -1.0) !=
+                           static_cast<double>(i)) {
+                    fail("response did not echo the request id");
+                } else {
+                    ++summary.okResponses;
+                }
+                break;
+              }
+              case 1: { // malformed JSON -> structured bad_request
+                detail = "malformed json";
+                Client c = Client::connectUnix(socketPath);
+                Json resp;
+                std::string err;
+                std::string raw = c.callRaw(brokenJson(rng));
+                if (!parseJson(raw, &resp, &err))
+                    fail("error response is not valid JSON: " + err);
+                else if (resp.boolOr("ok", true))
+                    fail("malformed JSON was answered ok:true");
+                else
+                    ++summary.structuredErrors;
+                break;
+              }
+              case 2: { // wrong shape -> structured bad_request
+                detail = "wrong shape";
+                Client c = Client::connectUnix(socketPath);
+                Json resp = c.call(
+                    [&] {
+                        Json j;
+                        std::string payload = wrongShape(rng);
+                        parseJson(payload, &j, nullptr);
+                        return j;
+                    }());
+                if (resp.boolOr("ok", true))
+                    fail("wrong-shaped request was answered ok:true");
+                else
+                    ++summary.structuredErrors;
+                break;
+              }
+              case 3: { // broken circuit -> parse_error
+                detail = "broken circuit";
+                Client c = Client::connectUnix(socketPath);
+                Json req = Json::makeObject();
+                req.object["op"] = Json::makeString("compile");
+                req.object["source"] =
+                    Json::makeString(randomBytes(rng, 64));
+                Json resp = c.call(req);
+                if (resp.boolOr("ok", true))
+                    fail("garbage circuit was answered ok:true");
+                else
+                    ++summary.structuredErrors;
+                break;
+              }
+              case 4: { // oversized length prefix -> error + close
+                detail = "oversized prefix";
+                Client c = Client::connectUnix(socketPath);
+                std::string header = encodeFrameHeader(
+                    config.maxFrameBytes + 1 +
+                    static_cast<std::uint32_t>(rng.below(1u << 20)));
+                ::send(c.fd(), header.data(), header.size(),
+                       MSG_NOSIGNAL);
+                std::string payload;
+                FrameStatus st = readFrame(c.fd(), &payload);
+                if (st == FrameStatus::Ok)
+                    ++summary.structuredErrors;
+                else
+                    ++summary.cleanDrops;
+                break;
+              }
+              case 5: { // truncated frame: promise more than we send
+                detail = "truncated frame";
+                Client c = Client::connectUnix(socketPath);
+                std::string header = encodeFrameHeader(1024);
+                std::string partial = randomBytes(rng, rng.below(64));
+                ::send(c.fd(), header.data(), header.size(),
+                       MSG_NOSIGNAL);
+                ::send(c.fd(), partial.data(), partial.size(),
+                       MSG_NOSIGNAL);
+                // Destructor closes mid-payload; the server must
+                // treat it as a clean drop.
+                ++summary.cleanDrops;
+                break;
+              }
+              case 6: { // abrupt disconnect mid-header
+                detail = "partial header";
+                Client c = Client::connectUnix(socketPath);
+                std::string partial =
+                    randomBytes(rng, 1 + rng.below(3));
+                ::send(c.fd(), partial.data(), partial.size(),
+                       MSG_NOSIGNAL);
+                ++summary.cleanDrops;
+                break;
+              }
+              default: { // raw garbage stream
+                detail = "garbage stream";
+                Client c = Client::connectUnix(socketPath);
+                std::string junk = randomBytes(rng, 8 + rng.below(256));
+                ::send(c.fd(), junk.data(), junk.size(), MSG_NOSIGNAL);
+                ++summary.cleanDrops;
+                break;
+              }
+            }
+        } catch (const Error &e) {
+            // Transport errors during an attack are acceptable (the
+            // server may hang up); a liveness failure below is not.
+            if (options.verbose)
+                log << "[service-fuzz] case " << i << " (" << detail
+                    << "): " << e.what() << "\n";
+        }
+
+        std::string why;
+        if (!probeAlive(socketPath, &why)) {
+            std::ostringstream os;
+            os << "daemon unresponsive after case " << i << " (attack "
+               << attack << (detail.empty() ? "" : ": " + detail)
+               << "): " << why;
+            fail(os.str());
+            break; // no point continuing against a dead server
+        }
+        if (options.verbose)
+            log << "[service-fuzz] case " << i << " attack " << attack
+                << " ok\n";
+    }
+
+    server.stop();
+    log << "[service-fuzz] " << summary.cases << " cases, "
+        << summary.okResponses << " ok, " << summary.structuredErrors
+        << " structured errors, " << summary.cleanDrops
+        << " clean drops, " << summary.failures.size()
+        << " failure(s)\n";
+    return summary;
+}
+
+} // namespace qsyn::service

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Protocol-robustness fuzzer for the qsynd service (`qfuzz
+ * --service`). Runs an in-process Server on a throwaway socket and
+ * attacks it with malformed JSON, wrong-shaped requests, truncated
+ * frames, oversized length prefixes, abrupt disconnects, and raw
+ * garbage. After every attack a fresh client must still get `ok:true`
+ * from a ping — the invariant is that no byte sequence a client can
+ * send takes the daemon down or wedges it.
+ *
+ * Running in-process is the detection mechanism: a server crash is a
+ * qfuzz crash (caught by the always-armed crash handler), a leak is an
+ * ASan report in the sanitize workflow, and a deadlock trips the test
+ * timeout.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qsyn::service {
+
+struct ServiceFuzzOptions
+{
+    std::uint64_t seed = 1;
+    size_t iterations = 200;
+    /** Directory for the throwaway socket (default: TMPDIR or /tmp). */
+    std::string socketDir;
+    bool verbose = false;
+};
+
+struct ServiceFuzzSummary
+{
+    size_t cases = 0;
+    size_t okResponses = 0;       ///< well-formed probes answered ok
+    size_t structuredErrors = 0;  ///< attacks answered with error JSON
+    size_t cleanDrops = 0;        ///< attacks answered by disconnect
+    std::vector<std::string> failures;
+
+    bool clean() const { return failures.empty(); }
+};
+
+/** Run the service fuzzer; log goes to `log` (one line per failure,
+ *  plus per-case lines when verbose). */
+ServiceFuzzSummary runServiceFuzzer(const ServiceFuzzOptions &options,
+                                    std::ostream &log);
+
+} // namespace qsyn::service

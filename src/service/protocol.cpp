@@ -1,0 +1,131 @@
+#include "service/protocol.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace qsyn::service {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::BadRequest:         return "bad_request";
+      case ErrorCode::ParseError:         return "parse_error";
+      case ErrorCode::LimitExceeded:      return "limit_exceeded";
+      case ErrorCode::DeadlineExceeded:   return "deadline_exceeded";
+      case ErrorCode::Overloaded:         return "overloaded";
+      case ErrorCode::MappingError:       return "mapping_error";
+      case ErrorCode::VerificationFailed: return "verification_failed";
+      case ErrorCode::ShuttingDown:       return "shutting_down";
+      case ErrorCode::Internal:           return "internal";
+    }
+    return "internal";
+}
+
+namespace {
+
+enum class IoStatus
+{
+    Ok,
+    Eof,
+    Error
+};
+
+/** Read exactly `n` bytes (retrying EINTR and short reads). */
+IoStatus
+readAll(int fd, char *buf, size_t n)
+{
+    size_t got = 0;
+    while (got < n) {
+        ssize_t r = ::read(fd, buf + got, n - got);
+        if (r == 0)
+            return IoStatus::Eof;
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            return IoStatus::Error;
+        }
+        got += static_cast<size_t>(r);
+    }
+    return IoStatus::Ok;
+}
+
+bool
+writeAll(int fd, const char *buf, size_t n)
+{
+    size_t sent = 0;
+    while (sent < n) {
+        // MSG_NOSIGNAL: a peer that hung up yields EPIPE, not a
+        // process-killing SIGPIPE — abrupt disconnects are an
+        // expected event for a daemon.
+        ssize_t w = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(w);
+    }
+    return true;
+}
+
+} // namespace
+
+FrameStatus
+readFrame(int fd, std::string *payload, std::uint32_t maxFrameBytes)
+{
+    unsigned char header[kFrameHeaderBytes];
+    switch (readAll(fd, reinterpret_cast<char *>(header),
+                    sizeof header)) {
+      case IoStatus::Eof:
+        return FrameStatus::Eof;
+      case IoStatus::Error:
+        return FrameStatus::Error;
+      case IoStatus::Ok:
+        break;
+    }
+    std::uint32_t len = (std::uint32_t{header[0]} << 24) |
+                        (std::uint32_t{header[1]} << 16) |
+                        (std::uint32_t{header[2]} << 8) |
+                        std::uint32_t{header[3]};
+    if (len == 0 || len > maxFrameBytes)
+        return FrameStatus::TooLarge;
+    payload->resize(len);
+    switch (readAll(fd, payload->data(), len)) {
+      case IoStatus::Eof:
+        return FrameStatus::Truncated;
+      case IoStatus::Error:
+        return FrameStatus::Error;
+      case IoStatus::Ok:
+        break;
+    }
+    return FrameStatus::Ok;
+}
+
+std::string
+encodeFrameHeader(std::uint32_t payloadBytes)
+{
+    std::string h(kFrameHeaderBytes, '\0');
+    h[0] = static_cast<char>((payloadBytes >> 24) & 0xFF);
+    h[1] = static_cast<char>((payloadBytes >> 16) & 0xFF);
+    h[2] = static_cast<char>((payloadBytes >> 8) & 0xFF);
+    h[3] = static_cast<char>(payloadBytes & 0xFF);
+    return h;
+}
+
+bool
+writeFrame(int fd, std::string_view payload)
+{
+    if (payload.size() > 0xFFFFFFFFull)
+        return false;
+    std::string header =
+        encodeFrameHeader(static_cast<std::uint32_t>(payload.size()));
+    if (!writeAll(fd, header.data(), header.size()))
+        return false;
+    return writeAll(fd, payload.data(), payload.size());
+}
+
+} // namespace qsyn::service

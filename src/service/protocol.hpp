@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The qsynd wire protocol: length-prefixed JSON frames over a stream
+ * socket (Unix-domain or TCP).
+ *
+ * Framing: every message is a 4-byte big-endian payload length
+ * followed by that many bytes of UTF-8 JSON. A length of zero or one
+ * above the peer's advertised maximum is a protocol error; the server
+ * answers with a final `bad_request` error frame and drops the
+ * connection, since the stream can no longer be resynchronized.
+ *
+ * Requests are JSON objects with an `op` field:
+ *   compile  {op, source, format?, name?, device?, simulator_qubits?,
+ *             optimize?, verify?, placement?, deadline_ms?, id?}
+ *   verify   {op, source_a, source_b, format_a?, format_b?, id?}
+ *   simulate {op, source, format?, top?, threshold?, id?}
+ *   stats    {op, format? ("json"|"prom"), id?}
+ *   health   {op, id?}
+ *   ping     {op, id?}
+ *
+ * Responses always carry `ok` (bool) and echo `id` when the request
+ * had one. Failures carry {error: {code, message}} with a stable
+ * machine-readable code (see ErrorCode). A successful compile carries
+ * `qasm` (the exact bytes local qsync would print) and `report` (the
+ * deterministic compile report as a pre-rendered JSON string, byte-
+ * identical to `qsync --report-deterministic` on the same inputs).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace qsyn::service {
+
+/** Protocol constants. */
+inline constexpr std::uint32_t kDefaultMaxFrameBytes = 16u << 20;
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/** Stable error codes of failure responses. */
+enum class ErrorCode
+{
+    BadRequest,        ///< malformed JSON / missing or unknown op
+    ParseError,        ///< the submitted circuit failed to parse
+    LimitExceeded,     ///< request exceeds max qubits/gates/frame
+    DeadlineExceeded,  ///< the wall-time limit cancelled the compile
+    Overloaded,        ///< admission queue full; retry later
+    MappingError,      ///< circuit cannot be realized on the device
+    VerificationFailed,///< compiled output failed formal verification
+    ShuttingDown,      ///< daemon is draining; no new work accepted
+    Internal           ///< a qsyn bug; the daemon stays up
+};
+
+/** Wire string of an error code ("bad_request", ...). */
+const char *errorCodeName(ErrorCode code);
+
+/** Outcome of one frame read. */
+enum class FrameStatus
+{
+    Ok,        ///< a whole frame was read into the payload
+    Eof,       ///< clean end of stream before a header byte
+    Truncated, ///< stream ended mid-header or mid-payload
+    TooLarge,  ///< advertised length exceeds the maximum
+    Error      ///< read error (errno-level)
+};
+
+/**
+ * Read one frame from `fd`. Blocks until a full frame, EOF, or error.
+ * On TooLarge the advertised length has already been consumed, but
+ * the payload has not: the caller must treat the stream as poisoned
+ * and close after (optionally) sending a final error frame.
+ */
+FrameStatus readFrame(int fd, std::string *payload,
+                      std::uint32_t maxFrameBytes = kDefaultMaxFrameBytes);
+
+/** Write one frame (header + payload). False on any short write. */
+bool writeFrame(int fd, std::string_view payload);
+
+/** Encode just the 4-byte header for `payloadBytes` (fuzzer helper). */
+std::string encodeFrameHeader(std::uint32_t payloadBytes);
+
+} // namespace qsyn::service

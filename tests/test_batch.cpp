@@ -248,3 +248,53 @@ TEST(BatchCompiler, SummaryTimesAreCoherent)
     // Sequentially, per-item times must (roughly) fill the wall time.
     EXPECT_LE(s.sumSeconds, s.wallSeconds * 1.05 + 0.01);
 }
+
+TEST(BatchCompiler, JobDeadlineCancelsHugeCircuitCooperatively)
+{
+    // A deliberately huge circuit: thousands of gates whose full QMDD
+    // verification cannot possibly finish in 10 ms. The per-job
+    // deadline is polled at the same per-gate safe point as GC, so
+    // the item must come back as a diagnosed timeout — not a hang,
+    // not a crash, and without poisoning its neighbors.
+    std::vector<Circuit> circuits;
+    circuits.push_back(makeRandom(4, 12, 7));        // fast
+    circuits.push_back(makeRandom(5, 4000, 8));      // doomed
+    circuits.push_back(makeRandom(4, 14, 9));        // fast
+
+    BatchCompiler batch(builtinDevice("ibmqx4"));
+    batch.setJobDeadline(0.01);
+    EXPECT_DOUBLE_EQ(batch.jobDeadline(), 0.01);
+    std::vector<BatchItem> items = batch.compileCircuits(circuits, 2);
+    ASSERT_EQ(items.size(), 3u);
+
+    EXPECT_FALSE(items[1].ok);
+    EXPECT_TRUE(items[1].timedOut) << items[1].error;
+    EXPECT_NE(items[1].error.find("deadline"), std::string::npos)
+        << items[1].error;
+    // Timeouts are user-level outcomes, not internal failures.
+    EXPECT_FALSE(items[1].internalError);
+
+    // Neighbors on the same workers were unaffected: a worker whose
+    // previous item timed out starts the next one with a fresh budget.
+    // (The small items can in principle also hit a 10 ms budget on a
+    // loaded machine; accept either outcome but require that any
+    // failure is a clean timeout, never an internal error.)
+    for (size_t i : {size_t(0), size_t(2)}) {
+        if (!items[i].ok) {
+            EXPECT_TRUE(items[i].timedOut) << items[i].error;
+            EXPECT_FALSE(items[i].internalError);
+        }
+    }
+}
+
+TEST(BatchCompiler, NoDeadlineMeansNoTimeouts)
+{
+    std::vector<Circuit> circuits = makeSuite(3);
+    BatchCompiler batch(builtinDevice("ibmqx4"));
+    EXPECT_DOUBLE_EQ(batch.jobDeadline(), 0.0);
+    std::vector<BatchItem> items = batch.compileCircuits(circuits, 2);
+    for (const BatchItem &item : items) {
+        EXPECT_TRUE(item.ok) << item.error;
+        EXPECT_FALSE(item.timedOut);
+    }
+}

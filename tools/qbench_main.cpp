@@ -16,11 +16,15 @@
  */
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "cache/cache.hpp"
 #include "cli/options.hpp"
@@ -29,6 +33,8 @@
 #include "common/stopwatch.hpp"
 #include "core/qsyn.hpp"
 #include "ir/random_circuit.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 
 using namespace qsyn;
 
@@ -438,6 +444,119 @@ main(int argc, char **argv)
         warm.metrics.emplace_back(
             "warm_speedup",
             warm.medianMs > 0.0 ? cold.medianMs / warm.medianMs : 0.0);
+        note(warm);
+    }
+
+    // --- Compile service: per-request qsync spawn vs warm daemon ---
+    {
+        // The qsynd value proposition in one number: request latency
+        // against a long-lived server with warm caches versus paying
+        // process startup + cold caches on every request. Cold spawns
+        // the real qsync binary (sibling of this executable) once per
+        // request; warm drives an in-process service::Server over its
+        // Unix socket — the same protocol path qload measures against
+        // a real daemon.
+        namespace fs = std::filesystem;
+        const char *qasm_src =
+            "OPENQASM 2.0;\n"
+            "include \"qelib1.inc\";\n"
+            "qreg q[4];\n"
+            "h q[0];\n"
+            "cx q[0],q[1];\n"
+            "ccx q[0],q[1],q[2];\n"
+            "t q[3];\n"
+            "cx q[2],q[3];\n"
+            "h q[3];\n";
+        const size_t n_cold = smoke ? 3 : 12;
+        const size_t n_warm = smoke ? 10 : 40;
+
+        auto summarize = [&](const std::string &name,
+                             std::vector<double> ms) {
+            BenchResult r;
+            r.name = name;
+            r.reps = ms.size();
+            r.medianMs = median(ms);
+            std::sort(ms.begin(), ms.end());
+            r.minMs = ms.front();
+            r.p50Ms = quantileSorted(ms, 0.50);
+            r.p95Ms = quantileSorted(ms, 0.95);
+            r.p99Ms = quantileSorted(ms, 0.99);
+            return r;
+        };
+
+        std::error_code ec;
+        fs::path tool_dir =
+            fs::read_symlink("/proc/self/exe", ec).parent_path();
+        fs::path tmp = fs::temp_directory_path();
+        fs::path qasm_path =
+            tmp / ("qbench-service-" + std::to_string(getpid()) +
+                   ".qasm");
+        {
+            std::ofstream f(qasm_path);
+            f << qasm_src;
+        }
+        std::string cold_cmd =
+            "'" + (tool_dir / "qsync").string() + "' '" +
+            qasm_path.string() +
+            "' --device ibmqx5 --quiet -o /dev/null >/dev/null 2>&1";
+
+        std::vector<double> cold_ms;
+        size_t cold_failed = 0;
+        for (size_t i = 0; i < n_cold; ++i) {
+            Stopwatch sw;
+            int rc = std::system(cold_cmd.c_str());
+            cold_ms.push_back(sw.seconds() * 1e3);
+            if (rc != 0)
+                ++cold_failed;
+        }
+        BenchResult cold = summarize("service_cold_spawn", cold_ms);
+        cold.metrics = {
+            {"requests", static_cast<double>(n_cold)},
+            {"failed", static_cast<double>(cold_failed)},
+        };
+        note(cold);
+
+        service::ServerConfig scfg;
+        scfg.socketPath =
+            (tmp / ("qbench-service-" + std::to_string(getpid()) +
+                    ".sock"))
+                .string();
+        scfg.workers = 2;
+        service::Server server(scfg);
+        server.start();
+
+        std::vector<double> warm_ms;
+        size_t warm_failed = 0;
+        {
+            service::Client client =
+                service::Client::connectUnix(scfg.socketPath);
+            service::Json req = service::Json::makeObject();
+            req.object["op"] = service::Json::makeString("compile");
+            req.object["source"] =
+                service::Json::makeString(qasm_src);
+            req.object["device"] =
+                service::Json::makeString("ibmqx5");
+            req.object["name"] = service::Json::makeString("qbench");
+            client.call(req); // untimed prime: fill the warm cache
+            for (size_t i = 0; i < n_warm; ++i) {
+                Stopwatch sw;
+                service::Json resp = client.call(req);
+                warm_ms.push_back(sw.seconds() * 1e3);
+                if (!resp.boolOr("ok", false))
+                    ++warm_failed;
+            }
+        }
+        server.stop();
+        fs::remove(qasm_path, ec);
+
+        BenchResult warm = summarize("service_warm_daemon", warm_ms);
+        warm.metrics = {
+            {"requests", static_cast<double>(n_warm)},
+            {"failed", static_cast<double>(warm_failed)},
+            {"cold_spawn_p50_ms", cold.p50Ms},
+            {"warm_speedup_p50",
+             warm.p50Ms > 0.0 ? cold.p50Ms / warm.p50Ms : 0.0},
+        };
         note(warm);
     }
 

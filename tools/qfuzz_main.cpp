@@ -22,6 +22,7 @@
 #include "cli/options.hpp"
 #include "common/errors.hpp"
 #include "obs/flight.hpp"
+#include "service/fuzz.hpp"
 
 namespace {
 
@@ -49,6 +50,9 @@ const char *kHelp =
     "                           corpus dir, else '.'); the handler is\n"
     "                           always armed so a crashing case ships\n"
     "                           its flight-recorder black box\n"
+    "      --service            fuzz the qsynd wire protocol instead:\n"
+    "                           an in-process daemon is attacked with\n"
+    "                           malformed frames and must stay alive\n"
     "      --smoke              time-boxed CI self-test (see above)\n"
     "      --verbose            log every case, not just failures\n"
     "  -h, --help               this text\n";
@@ -112,6 +116,22 @@ runSmoke(qsyn::check::FuzzOptions base)
                   << faultSum.smallestFailureGates() << " gate(s)\n";
     }
 
+    // 3. Service protocol robustness: an in-process qsynd attacked
+    //    with malformed frames must answer every probe afterwards.
+    qsyn::service::ServiceFuzzOptions sopts;
+    sopts.seed = base.seed;
+    sopts.iterations = 40;
+    sopts.verbose = base.verbose;
+    std::cerr << "[smoke] service protocol sweep (" << sopts.iterations
+              << " cases)\n";
+    qsyn::service::ServiceFuzzSummary svc =
+        qsyn::service::runServiceFuzzer(sopts, std::cerr);
+    if (!svc.clean()) {
+        std::cerr << "[smoke] FAIL: service fuzz found "
+                  << svc.failures.size() << " failure(s)\n";
+        rc = 1;
+    }
+
     std::cerr << (rc == 0 ? "[smoke] PASS\n" : "[smoke] FAIL\n");
     return rc;
 }
@@ -126,6 +146,7 @@ main(int argc, char **argv)
     try {
         check::FuzzOptions opts;
         bool smoke = false;
+        bool serviceMode = false;
         std::string replay_dir;
         std::string crash_dir;
         size_t i = 0;
@@ -166,6 +187,8 @@ main(int argc, char **argv)
                 opts.oracle.runCache = false;
             } else if (arg == "--crash-dump") {
                 crash_dir = next(arg);
+            } else if (arg == "--service") {
+                serviceMode = true;
             } else if (arg == "--smoke") {
                 smoke = true;
             } else if (arg == "--verbose") {
@@ -200,6 +223,15 @@ main(int argc, char **argv)
                 return 1;
             }
             return 0;
+        }
+        if (serviceMode) {
+            service::ServiceFuzzOptions sopts;
+            sopts.seed = opts.seed;
+            sopts.iterations = opts.iterations;
+            sopts.verbose = opts.verbose;
+            service::ServiceFuzzSummary summary =
+                service::runServiceFuzzer(sopts, std::cerr);
+            return summary.clean() ? 0 : 1;
         }
         if (smoke)
             return runSmoke(opts);
