@@ -1,0 +1,255 @@
+#include "analysis/diagnostics.hpp"
+
+#include <sstream>
+
+#include "obs/obs.hpp"
+
+namespace qsyn::analysis {
+
+namespace {
+
+/** Report strings go through the shared escaper (same convention as
+ *  core/report.cpp) so paths and device names stay valid JSON. */
+std::string
+esc(const std::string &s)
+{
+    return obs::jsonEscape(s);
+}
+
+} // namespace
+
+const char *
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "warning";
+}
+
+const char *
+severitySarifLevel(Severity severity)
+{
+    // SARIF levels happen to share our names: note/warning/error.
+    return severityName(severity);
+}
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> catalog = {
+        {"QL001", "gate-not-in-library",
+         "gate is not in the target device's native gate library",
+         Severity::Error},
+        {"QL002", "connectivity-violation",
+         "two-qubit gate uses a pair outside the device coupling map "
+         "(or against its direction)",
+         Severity::Error},
+        {"QL003", "dead-qubit",
+         "declared qubit is never touched by any gate", Severity::Warning},
+        {"QL004", "dead-gate-pair",
+         "gate and a later inverse cancel: every gate between them "
+         "commutes, so the pair is removable", Severity::Warning},
+        {"QL005", "ancilla-not-restored",
+         "ancilla wire is not provably returned to |0> at circuit end",
+         Severity::Warning},
+        {"QL006", "exceeds-device-capacity",
+         "circuit needs more qubits than the device has",
+         Severity::Error},
+    };
+    return catalog;
+}
+
+const RuleInfo *
+findRule(const std::string &rule_id)
+{
+    for (const RuleInfo &rule : ruleCatalog()) {
+        if (rule_id == rule.id)
+            return &rule;
+    }
+    return nullptr;
+}
+
+size_t
+Diagnostics::countAtLeast(Severity min) const
+{
+    size_t n = 0;
+    for (const Finding &f : findings) {
+        if (f.severity >= min)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+findingToString(const Diagnostics &report, const Finding &finding)
+{
+    std::ostringstream os;
+    os << report.artifact;
+    if (finding.gateIndex != kNoGate)
+        os << ":gate " << finding.gateIndex;
+    os << ": " << severityName(finding.severity) << ": ["
+       << finding.ruleId << "] " << finding.message;
+    return os.str();
+}
+
+std::string
+renderText(const std::vector<Diagnostics> &reports)
+{
+    std::ostringstream os;
+    size_t errors = 0, warnings = 0, notes = 0;
+    for (const Diagnostics &report : reports) {
+        for (const Finding &f : report.findings) {
+            os << findingToString(report, f) << "\n";
+            if (f.severity == Severity::Error)
+                ++errors;
+            else if (f.severity == Severity::Warning)
+                ++warnings;
+            else
+                ++notes;
+        }
+    }
+    os << reports.size() << " artifact(s): " << errors << " error(s), "
+       << warnings << " warning(s), " << notes << " note(s)\n";
+    return os.str();
+}
+
+namespace {
+
+void
+emitMetricsJson(std::ostringstream &os, const DagMetrics &m,
+                const char *indent)
+{
+    os << "{\n"
+       << indent << "  \"gates\": " << m.gates << ",\n"
+       << indent << "  \"edges\": " << m.edges << ",\n"
+       << indent << "  \"depth\": " << m.depth << ",\n"
+       << indent << "  \"critical_gates\": " << m.criticalGates << ",\n"
+       << indent << "  \"max_layer_width\": " << m.maxLayerWidth << ",\n"
+       << indent << "  \"parallelism\": " << m.parallelism << "\n"
+       << indent << "}";
+}
+
+void
+emitFindingJson(std::ostringstream &os, const Finding &f,
+                const char *indent)
+{
+    os << indent << "{\"rule\": \"" << esc(f.ruleId) << "\", "
+       << "\"severity\": \"" << severityName(f.severity) << "\", "
+       << "\"message\": \"" << esc(f.message) << "\"";
+    if (f.gateIndex != kNoGate)
+        os << ", \"gate\": " << f.gateIndex;
+    if (f.wire != Finding::kNoWire)
+        os << ", \"wire\": " << f.wire;
+    if (!f.relatedGates.empty()) {
+        os << ", \"related_gates\": [";
+        for (size_t i = 0; i < f.relatedGates.size(); ++i)
+            os << (i ? ", " : "") << f.relatedGates[i];
+        os << "]";
+    }
+    os << "}";
+}
+
+} // namespace
+
+std::string
+renderJson(const std::vector<Diagnostics> &reports)
+{
+    std::ostringstream os;
+    os.precision(12);
+    size_t errors = 0, warnings = 0, notes = 0;
+    os << "{\n  \"artifacts\": [";
+    for (size_t r = 0; r < reports.size(); ++r) {
+        const Diagnostics &report = reports[r];
+        os << (r ? "," : "") << "\n    {\n      \"artifact\": \""
+           << esc(report.artifact) << "\",\n      \"metrics\": ";
+        emitMetricsJson(os, report.metrics, "      ");
+        os << ",\n      \"findings\": [";
+        for (size_t i = 0; i < report.findings.size(); ++i) {
+            const Finding &f = report.findings[i];
+            os << (i ? "," : "") << "\n";
+            emitFindingJson(os, f, "        ");
+            if (f.severity == Severity::Error)
+                ++errors;
+            else if (f.severity == Severity::Warning)
+                ++warnings;
+            else
+                ++notes;
+        }
+        os << (report.findings.empty() ? "" : "\n      ") << "]\n    }";
+    }
+    os << (reports.empty() ? "" : "\n  ") << "],\n";
+    os << "  \"summary\": {\"errors\": " << errors << ", \"warnings\": "
+       << warnings << ", \"notes\": " << notes << "}\n}\n";
+    return os.str();
+}
+
+std::string
+renderSarif(const std::vector<Diagnostics> &reports)
+{
+    const std::vector<RuleInfo> &catalog = ruleCatalog();
+    auto ruleIndexOf = [&](const std::string &id) -> long {
+        for (size_t i = 0; i < catalog.size(); ++i) {
+            if (id == catalog[i].id)
+                return static_cast<long>(i);
+        }
+        return -1;
+    };
+
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"$schema\": \"https://raw.githubusercontent.com/"
+          "oasis-tcs/sarif-spec/master/Schemata/"
+          "sarif-schema-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [\n    {\n"
+       << "      \"tool\": {\n        \"driver\": {\n"
+       << "          \"name\": \"qlint\",\n"
+       << "          \"informationUri\": "
+          "\"https://example.invalid/qsyn/docs/analysis\",\n"
+       << "          \"version\": \"1.0.0\",\n"
+       << "          \"rules\": [";
+    for (size_t i = 0; i < catalog.size(); ++i) {
+        const RuleInfo &rule = catalog[i];
+        os << (i ? "," : "") << "\n            {\"id\": \"" << rule.id
+           << "\", \"name\": \"" << rule.name
+           << "\", \"shortDescription\": {\"text\": \""
+           << esc(rule.description)
+           << "\"}, \"defaultConfiguration\": {\"level\": \""
+           << severitySarifLevel(rule.defaultSeverity) << "\"}}";
+    }
+    os << "\n          ]\n        }\n      },\n"
+       << "      \"results\": [";
+    bool first = true;
+    for (const Diagnostics &report : reports) {
+        for (const Finding &f : report.findings) {
+            os << (first ? "" : ",") << "\n        {\n"
+               << "          \"ruleId\": \"" << esc(f.ruleId) << "\",\n";
+            long rule_index = ruleIndexOf(f.ruleId);
+            if (rule_index >= 0)
+                os << "          \"ruleIndex\": " << rule_index << ",\n";
+            os << "          \"level\": \""
+               << severitySarifLevel(f.severity) << "\",\n"
+               << "          \"message\": {\"text\": \""
+               << esc(f.message) << "\"},\n"
+               << "          \"locations\": [\n"
+               << "            {\"physicalLocation\": "
+                  "{\"artifactLocation\": {\"uri\": \""
+               << esc(report.artifact) << "\"}}";
+            if (f.gateIndex != kNoGate) {
+                os << ",\n             \"logicalLocations\": "
+                      "[{\"name\": \"gate["
+                   << f.gateIndex
+                   << "]\", \"kind\": \"instruction\"}]";
+            }
+            os << "}\n          ]\n        }";
+            first = false;
+        }
+    }
+    os << (first ? "" : "\n      ") << "]\n    }\n  ]\n}\n";
+    return os.str();
+}
+
+} // namespace qsyn::analysis

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The diagnostics engine: findings with stable rule IDs and
+ * severities, plus renderers for human text, JSON, and SARIF 2.1.0.
+ *
+ * Every lint rule reports through this layer, so all consumers agree
+ * on identity and shape: `qlint` renders any of the three formats,
+ * `qsync --analyze` embeds the JSON form in its compile report, and
+ * the qsynd `analyze` op returns the same fields over the wire. Rule
+ * IDs (QL001...) are stable API — CI configurations and SARIF viewers
+ * key on them — so IDs are never reused or renumbered; retired rules
+ * leave a hole.
+ *
+ * The SARIF renderer targets the 2.1.0 schema (the format GitHub code
+ * scanning and most editors ingest): one run, tool.driver "qlint"
+ * with the rule catalog, one result per finding with a physical
+ * location (artifact URI) and a logical location naming the gate.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/dag.hpp"
+
+namespace qsyn::analysis {
+
+/** Finding severity, ordered by increasing gravity. */
+enum class Severity
+{
+    Note,    ///< informational ("note" in SARIF)
+    Warning, ///< suspicious but possibly intended
+    Error    ///< statically provable defect
+};
+
+/** Printable name ("note", "warning", "error"). */
+const char *severityName(Severity severity);
+/** SARIF `level` string for a severity (identical to severityName). */
+const char *severitySarifLevel(Severity severity);
+
+/** One diagnostic produced by a lint rule. */
+struct Finding
+{
+    /** Stable rule ID, e.g. "QL002". */
+    std::string ruleId;
+    Severity severity = Severity::Warning;
+    /** Human-readable message (plain text, one line). */
+    std::string message;
+    /** Gate the finding anchors to (kNoGate for circuit-level). */
+    size_t gateIndex = kNoGate;
+    /** Other gates involved (e.g. the partner of a dead pair). */
+    std::vector<size_t> relatedGates;
+    /** Wire the finding is about (kNoWire when not wire-shaped). */
+    static constexpr Qubit kNoWire = static_cast<Qubit>(-1);
+    Qubit wire = kNoWire;
+};
+
+/** Static description of one rule (the SARIF rule catalog entry). */
+struct RuleInfo
+{
+    const char *id;
+    const char *name;          ///< kebab-case short name
+    const char *description;   ///< one-line help text
+    Severity defaultSeverity;
+};
+
+/** The full rule catalog, ordered by ID. */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/** Catalog entry for an ID; null for unknown IDs. */
+const RuleInfo *findRule(const std::string &rule_id);
+
+/** Diagnostics for one analyzed artifact (circuit/file). */
+struct Diagnostics
+{
+    /** Artifact the findings refer to (file path or circuit name);
+     *  rendered as the SARIF artifact URI. */
+    std::string artifact;
+    std::vector<Finding> findings;
+    /** Scheduling metrics of the analyzed circuit. */
+    DagMetrics metrics;
+
+    /** Findings at or above `min` severity. */
+    size_t countAtLeast(Severity min) const;
+    bool hasErrors() const { return countAtLeast(Severity::Error) > 0; }
+};
+
+/** @name Renderers
+ * Each renders one or more Diagnostics (one per analyzed input).
+ * `render*` never throws on empty input: zero findings render as a
+ * clean report.
+ */
+/// @{
+
+/** Human text: one line per finding, GCC-style
+ *  `artifact:gate N: severity: [QLxxx] message`, plus a summary. */
+std::string renderText(const std::vector<Diagnostics> &reports);
+
+/** JSON: {"artifacts": [{"artifact", "metrics", "findings": [...]}],
+ *  "summary": {"errors", "warnings", "notes"}}. */
+std::string renderJson(const std::vector<Diagnostics> &reports);
+
+/** SARIF 2.1.0 log with a single qlint run. */
+std::string renderSarif(const std::vector<Diagnostics> &reports);
+
+/// @}
+
+/** Render one finding as the text-format line (no trailing newline). */
+std::string findingToString(const Diagnostics &report,
+                            const Finding &finding);
+
+} // namespace qsyn::analysis

@@ -179,6 +179,7 @@ encodeMetrics(ByteWriter &w, const StageMetrics &m)
     w.u64(m.tCount);
     w.u64(m.gates);
     w.f64(m.cost);
+    w.u64(m.depth);
 }
 
 StageMetrics
@@ -188,6 +189,7 @@ decodeMetrics(ByteReader &r)
     m.tCount = r.u64();
     m.gates = r.u64();
     m.cost = r.f64();
+    m.depth = r.u64();
     return m;
 }
 

@@ -4,6 +4,7 @@
 #include <numbers>
 #include <sstream>
 
+#include "analysis/rules.hpp"
 #include "cache/cache.hpp"
 #include "cache/serialize.hpp"
 #include "common/errors.hpp"
@@ -25,6 +26,7 @@ oracleName(OracleId id)
       case OracleId::CostSanity: return "cost";
       case OracleId::Determinism: return "determinism";
       case OracleId::CacheConsistency: return "cache";
+      case OracleId::LintClean: return "lint";
     }
     return "?";
 }
@@ -377,6 +379,31 @@ checkCacheConsistency(const Circuit &input, const Device &device,
     return out;
 }
 
+OracleOutcome
+checkLintClean(const CompileResult &result, const Device &device,
+               const CompileOptions &options)
+{
+    OracleOutcome out;
+    out.id = OracleId::LintClean;
+    analysis::LintOptions lopts;
+    lopts.device = &device;
+    lopts.onlyRules = {"QL001", "QL002", "QL006"};
+    // A dead-gate-pair finding only indicts the pipeline when the
+    // optimizer actually ran (shrunk reproducers may disable it).
+    if (options.optimize)
+        lopts.onlyRules.push_back("QL004");
+    analysis::Diagnostics report =
+        analysis::analyzeCircuit(result.optimized, "compiled", lopts);
+    if (!report.findings.empty()) {
+        out.passed = false;
+        std::ostringstream os;
+        os << report.findings.size() << " lint finding(s); first: "
+           << findingToString(report, report.findings.front());
+        out.details = os.str();
+    }
+    return out;
+}
+
 OracleReport
 runAllOracles(const Circuit &input, const Device &device,
               const CompileOptions &options, const OracleOptions &opts)
@@ -395,6 +422,7 @@ runAllOracles(const Circuit &input, const Device &device,
     report.outcomes.push_back(checkStatevector(result, device, opts));
     report.outcomes.push_back(checkLegality(result, device));
     report.outcomes.push_back(checkCostSanity(result, copts));
+    report.outcomes.push_back(checkLintClean(result, device, copts));
     if (opts.runDeterminism)
         report.outcomes.push_back(
             checkDeterminism(input, device, copts, opts));

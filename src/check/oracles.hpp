@@ -19,7 +19,11 @@
  *   cache        — a compile served from the compile cache is
  *                  byte-identical (QASM and report JSON) to a cold
  *                  recompile, and the artifact codec round-trips
- *                  exactly.
+ *                  exactly;
+ *   lint         — the static analyzer finds nothing wrong with the
+ *                  emitted circuit: no non-native gates, no coupling
+ *                  violations, and (when the optimizer ran) no
+ *                  removable inverse pair the optimizer missed.
  *
  * Oracles are pure observers: they never mutate the result and each
  * builds its own QMDD package, so they compose with any compile the
@@ -43,11 +47,12 @@ enum class OracleId
     Legality,
     CostSanity,
     Determinism,
-    CacheConsistency
+    CacheConsistency,
+    LintClean
 };
 
 /** Stable short name ("qmdd", "statevector", "legality", "cost",
- *  "determinism", "cache"). */
+ *  "determinism", "cache", "lint"). */
 const char *oracleName(OracleId id);
 
 /** Tuning knobs shared by the oracle stack. */
@@ -118,6 +123,17 @@ OracleOutcome checkDeterminism(const Circuit &input, const Device &device,
 OracleOutcome checkCacheConsistency(const Circuit &input,
                                     const Device &device,
                                     const CompileOptions &options);
+/**
+ * The compiled circuit must be qlint-clean for the legality,
+ * connectivity, and capacity rules (QL001/QL002/QL006); when
+ * `options.optimize` is on, additionally for dead-gate pairs (QL004) —
+ * an unbounded-horizon finding there means the optimizer left
+ * removable gates behind. Dead-qubit and ancilla rules are exempt:
+ * mapped circuits legitimately span the whole device register.
+ */
+OracleOutcome checkLintClean(const CompileResult &result,
+                             const Device &device,
+                             const CompileOptions &options);
 /// @}
 
 /**

@@ -8,6 +8,7 @@
 
 #include <cstdlib>
 
+#include "analysis/rules.hpp"
 #include "cache/cache.hpp"
 #include "common/deadline.hpp"
 #include "common/errors.hpp"
@@ -150,6 +151,8 @@ parseCliArguments(const std::vector<std::string> &args)
             opts.drawCircuits = true;
         } else if (arg == "--schedule") {
             opts.printSchedule = true;
+        } else if (arg == "--analyze") {
+            opts.analyze = true;
         } else if (arg == "--report") {
             opts.reportPath = next_value(arg);
         } else if (arg == "--trace-json") {
@@ -228,6 +231,8 @@ parseCliArguments(const std::vector<std::string> &args)
                 throw UserError("--draw needs a single input");
             if (opts.printSchedule)
                 throw UserError("--schedule needs a single input");
+            if (opts.analyze)
+                throw UserError("--analyze needs a single input");
         }
         if (!opts.remoteSocket.empty()) {
             // Remote mode ships sources to the daemon and relays its
@@ -243,6 +248,7 @@ parseCliArguments(const std::vector<std::string> &args)
             remoteReject(!opts.deviceFile.empty(), "--device-file");
             remoteReject(opts.drawCircuits, "--draw");
             remoteReject(opts.printSchedule, "--schedule");
+            remoteReject(opts.analyze, "--analyze");
             remoteReject(!opts.tracePath.empty(), "--trace-json");
             remoteReject(!opts.metricsPath.empty(), "--metrics-json");
             remoteReject(!opts.metricsPromPath.empty(),
@@ -294,6 +300,9 @@ cliHelpText()
         "      --verify-miter       alternating-miter verification\n"
         "      --draw               ASCII-draw input and output\n"
         "      --schedule           print depth/parallelism analysis\n"
+        "      --analyze            lint the compiled circuit (dependency\n"
+        "                           DAG metrics + QLxxx findings; also\n"
+        "                           embedded in --report)\n"
         "      --report <file>      write a JSON compile report\n"
         "      --trace-json <file>  write a Chrome trace-event file\n"
         "                           (open in Perfetto / chrome://tracing)\n"
@@ -614,16 +623,52 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
                 << ", idle wire-layers " << sstats.idleWireLayers
                 << "\n";
         }
+        std::optional<analysis::Diagnostics> diagnostics;
+        if (options.analyze) {
+            analysis::LintOptions lopts;
+            lopts.device = &device;
+            lopts.ancillas = result.ancillas;
+            diagnostics = analysis::analyzeCircuit(
+                result.optimized, options.inputs.front(), lopts);
+            const analysis::DagMetrics &dm = diagnostics->metrics;
+            err << "analysis:          depth " << dm.depth
+                << ", critical gates " << dm.criticalGates
+                << ", dag edges " << dm.edges << ", parallelism "
+                << dm.parallelism << "\n";
+            for (const analysis::Finding &f : diagnostics->findings)
+                err << findingToString(*diagnostics, f) << "\n";
+            err << "analysis:          "
+                << diagnostics->countAtLeast(analysis::Severity::Error)
+                << " error(s), "
+                << (diagnostics->countAtLeast(analysis::Severity::Warning) -
+                    diagnostics->countAtLeast(analysis::Severity::Error))
+                << " warning(s)\n";
+            if (obs::Sink *s = obs::sink()) {
+                obs::MetricsRegistry &m = s->metrics();
+                m.addCounter("analysis.runs", 1.0);
+                m.addCounter(
+                    "analysis.findings",
+                    static_cast<double>(diagnostics->findings.size()));
+                m.addCounter("analysis.errors",
+                             static_cast<double>(diagnostics->countAtLeast(
+                                 analysis::Severity::Error)));
+                m.addCounter("analysis.dag_edges",
+                             static_cast<double>(dm.edges));
+                m.addCounter("analysis.depth",
+                             static_cast<double>(dm.depth));
+            }
+        }
         if (!options.reportPath.empty()) {
             std::ofstream report(options.reportPath);
             if (!report)
                 throw UserError("cannot write report '" +
                                 options.reportPath + "'");
-            report << compileReportJson(
-                result, device,
-                options.reportDeterministic
-                    ? ReportOptions::deterministic()
-                    : ReportOptions{});
+            ReportOptions ropts = options.reportDeterministic
+                                      ? ReportOptions::deterministic()
+                                      : ReportOptions{};
+            if (diagnostics)
+                ropts.analysis = &*diagnostics;
+            report << compileReportJson(result, device, ropts);
             err << "wrote " << options.reportPath << "\n";
         }
         Circuit emitted = result.optimized;

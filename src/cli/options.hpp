@@ -49,6 +49,10 @@ struct CliOptions
     bool drawCircuits = false;
     /** Print the ASAP schedule summary of the compiled circuit. */
     bool printSchedule = false;
+    /** Run the static analyzer over the compiled circuit: DAG metrics
+     *  plus lint findings to stderr, an "analysis" object in --report,
+     *  and analysis.* obs counters. */
+    bool analyze = false;
     /** Write a JSON compile report here (empty = none). */
     std::string reportPath;
     /** Write a Chrome trace-event JSON file here (empty = none);

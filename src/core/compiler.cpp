@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/dag.hpp"
 #include "common/deadline.hpp"
 #include "common/errors.hpp"
 #include "core/compile_cache.hpp"
@@ -46,6 +47,7 @@ measure(const Circuit &circuit, const opt::CostModel &model)
     m.tCount = stats.tCount;
     m.gates = stats.volume;
     m.cost = model.cost(stats);
+    m.depth = analysis::circuitDepth(circuit);
     return m;
 }
 

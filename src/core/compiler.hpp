@@ -72,6 +72,9 @@ struct StageMetrics
     size_t tCount = 0;
     size_t gates = 0;
     double cost = 0.0;
+    /** Critical-path length of the commutation-aware dependency DAG
+     *  (see analysis/dag.hpp); 0 for an empty circuit. */
+    size_t depth = 0;
 };
 
 /** Compute a StageMetrics under a cost model. */

@@ -22,7 +22,8 @@ emitMetrics(std::ostringstream &os, const char *key,
             const StageMetrics &m)
 {
     os << "\"" << key << "\": {\"t_count\": " << m.tCount
-       << ", \"gates\": " << m.gates << ", \"cost\": " << m.cost << "}";
+       << ", \"gates\": " << m.gates << ", \"cost\": " << m.cost
+       << ", \"depth\": " << m.depth << "}";
 }
 
 } // namespace
@@ -75,6 +76,32 @@ compileReportJson(const CompileResult &result, const Device &device,
        << (result.verifyRan ? dd::equivalenceName(result.verification)
                             : "skipped")
        << "\"";
+    if (options.analysis != nullptr) {
+        const analysis::Diagnostics &a = *options.analysis;
+        const analysis::DagMetrics &m = a.metrics;
+        os << ",\n  \"analysis\": {\"dag\": {\"gates\": " << m.gates
+           << ", \"edges\": " << m.edges << ", \"depth\": " << m.depth
+           << ", \"critical_gates\": " << m.criticalGates
+           << ", \"max_layer_width\": " << m.maxLayerWidth
+           << ", \"parallelism\": " << m.parallelism << "}, "
+           << "\"findings\": [";
+        for (size_t i = 0; i < a.findings.size(); ++i) {
+            const analysis::Finding &f = a.findings[i];
+            os << (i ? ", " : "") << "{\"rule\": \"" << esc(f.ruleId)
+               << "\", \"severity\": \""
+               << analysis::severityName(f.severity)
+               << "\", \"message\": \"" << esc(f.message) << "\"";
+            if (f.gateIndex != analysis::kNoGate)
+                os << ", \"gate\": " << f.gateIndex;
+            os << "}";
+        }
+        os << "], \"errors\": "
+           << a.countAtLeast(analysis::Severity::Error)
+           << ", \"warnings\": "
+           << (a.countAtLeast(analysis::Severity::Warning) -
+               a.countAtLeast(analysis::Severity::Error))
+           << "}";
+    }
     if (options.includeQmddStats) {
         os << ",\n  \"qmdd\": {\"live_nodes\": " << result.ddLiveNodes
            << ", \"peak_nodes\": " << result.ddStats.peakNodes

@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "analysis/diagnostics.hpp"
 #include "core/compiler.hpp"
 
 namespace qsyn {
@@ -16,6 +17,13 @@ namespace qsyn {
 /** Report serialization knobs. */
 struct ReportOptions
 {
+    /** When set, embed this static-analysis report (DAG metrics plus
+     *  lint findings for the optimized circuit) as an "analysis"
+     *  object. Not owned; must outlive the serialization call. Safe
+     *  for deterministic reports: the analysis is a pure function of
+     *  the compiled circuit. */
+    const analysis::Diagnostics *analysis = nullptr;
+
     /** Emit the "seconds" timing object. The cache-correctness oracle
      *  turns this off: timings legitimately differ between a cached
      *  fetch and a cold recompile, everything else must not. */

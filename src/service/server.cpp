@@ -13,6 +13,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "analysis/rules.hpp"
 #include "common/deadline.hpp"
 #include "common/errors.hpp"
 #include "common/stopwatch.hpp"
@@ -403,6 +404,8 @@ Server::handleRequest(const std::string &payload, bool *fatal)
             response = handleVerify(request);
         } else if (op == "simulate") {
             response = handleSimulate(request);
+        } else if (op == "analyze") {
+            response = handleAnalyze(request);
         } else if (op == "stats") {
             response = handleStats(request);
         } else if (op == "health") {
@@ -702,6 +705,83 @@ Server::handleSimulate(const Json &request)
     }
     response.object["amplitudes"] = std::move(amps);
     observeLatency("simulate", sw.seconds());
+    return response;
+}
+
+Json
+Server::handleAnalyze(const Json &request)
+{
+    Stopwatch sw;
+    if (draining_.load())
+        throw ServiceError{ErrorCode::ShuttingDown,
+                           "server is draining"};
+    Circuit circuit = parseCircuitField(request, "source", "format");
+    // The device is optional here: without one only the device-
+    // independent rules (QL003..QL005) run, matching qlint.
+    std::optional<Device> device;
+    if (request.find("device") != nullptr)
+        device = deviceFor(request);
+
+    deadline::Scope scope(effectiveDeadline(request));
+    Admission slot(this, resolveJobs(config_.workers));
+    if (!slot.admitted) {
+        throw ServiceError{ErrorCode::Overloaded,
+                           "admission queue is full; retry later"};
+    }
+    deadline::check("service admission");
+
+    analysis::LintOptions lopts;
+    if (device)
+        lopts.device = &*device;
+    if (const Json *ancillas = request.find("ancillas")) {
+        if (ancillas->type != Json::Type::Array)
+            throw ServiceError{ErrorCode::BadRequest,
+                               "'ancillas' must be an array"};
+        for (const Json &a : ancillas->array) {
+            if (a.type != Json::Type::Number || a.number < 0.0)
+                throw ServiceError{ErrorCode::BadRequest,
+                                   "'ancillas' entries must be "
+                                   "non-negative numbers"};
+            lopts.ancillas.push_back(static_cast<Qubit>(a.number));
+        }
+    }
+    analysis::Diagnostics report = analysis::analyzeCircuit(
+        circuit, request.stringOr("name", "remote"), lopts);
+
+    Json response = okResponse();
+    Json metrics = Json::makeObject();
+    metrics.object["gates"] =
+        Json::makeNumber(static_cast<double>(report.metrics.gates));
+    metrics.object["edges"] =
+        Json::makeNumber(static_cast<double>(report.metrics.edges));
+    metrics.object["depth"] =
+        Json::makeNumber(static_cast<double>(report.metrics.depth));
+    metrics.object["critical_gates"] = Json::makeNumber(
+        static_cast<double>(report.metrics.criticalGates));
+    metrics.object["max_layer_width"] = Json::makeNumber(
+        static_cast<double>(report.metrics.maxLayerWidth));
+    metrics.object["parallelism"] =
+        Json::makeNumber(report.metrics.parallelism);
+    response.object["metrics"] = std::move(metrics);
+    Json findings = Json::makeArray();
+    for (const analysis::Finding &f : report.findings) {
+        Json entry = Json::makeObject();
+        entry.object["rule"] = Json::makeString(f.ruleId);
+        entry.object["severity"] =
+            Json::makeString(analysis::severityName(f.severity));
+        entry.object["message"] = Json::makeString(f.message);
+        if (f.gateIndex != analysis::kNoGate)
+            entry.object["gate"] = Json::makeNumber(
+                static_cast<double>(f.gateIndex));
+        if (f.wire != analysis::Finding::kNoWire)
+            entry.object["wire"] =
+                Json::makeNumber(static_cast<double>(f.wire));
+        findings.array.push_back(std::move(entry));
+    }
+    response.object["findings"] = std::move(findings);
+    response.object["errors"] = Json::makeNumber(static_cast<double>(
+        report.countAtLeast(analysis::Severity::Error)));
+    observeLatency("analyze", sw.seconds());
     return response;
 }
 

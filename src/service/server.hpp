@@ -150,6 +150,7 @@ class Server
     Json handleCompile(const Json &request);
     Json handleVerify(const Json &request);
     Json handleSimulate(const Json &request);
+    Json handleAnalyze(const Json &request);
     Json handleStats(const Json &request);
     Json handleHealth(const Json &request);
 

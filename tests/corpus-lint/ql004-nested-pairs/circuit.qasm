@@ -1,0 +1,8 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[2];
+x q[0];
+x q[0];
+x q[0];
+x q[0];
+cx q[0],q[1];

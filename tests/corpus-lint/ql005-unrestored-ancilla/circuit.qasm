@@ -1,0 +1,6 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+cx q[0],q[2];
+cz q[2],q[1];

@@ -235,8 +235,9 @@ TEST(ObsMetricsStress, ConcurrentWritersAndExporters)
             EXPECT_TRUE(prom.empty() ||
                         prom.rfind("# TYPE", 0) == 0);
             std::string viaTry;
-            if (m.tryToJson(&viaTry))
+            if (m.tryToJson(&viaTry)) {
                 EXPECT_NO_THROW(parseJson(viaTry));
+            }
         }
     });
 
@@ -349,8 +350,9 @@ TEST(ObsFlight, SpansFeedRingAndThreadStacks)
     EXPECT_GE(events[1].value, 0.0); // duration us rides on SpanEnd
     for (const obs::flight::ThreadSpans &t :
          obs::flight::threadSpans()) {
-        if (t.tid == obs::currentThreadId())
+        if (t.tid == obs::currentThreadId()) {
             EXPECT_TRUE(t.stack.empty());
+        }
     }
 }
 

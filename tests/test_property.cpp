@@ -53,9 +53,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("ibmqx2", "ibmqx3", "ibmqx4",
                                          "ibmqx5", "ibmq_16"),
                        ::testing::Values(1, 2, 3)),
-    [](const auto &info) {
-        return std::get<0>(info.param) + "_seed" +
-               std::to_string(std::get<1>(info.param));
+    [](const auto &param_info) {
+        return std::get<0>(param_info.param) + "_seed" +
+               std::to_string(std::get<1>(param_info.param));
     });
 
 // ---------------------------------------------------------------------
@@ -121,14 +121,14 @@ INSTANTIATE_TEST_SUITE_P(
                           decompose::McxStrategy::Split,
                           decompose::McxStrategy::Roots),
         ::testing::Values(3, 4, 5, 6)),
-    [](const auto &info) {
+    [](const auto &param_info) {
         std::string name =
-            decompose::mcxStrategyName(std::get<0>(info.param));
+            decompose::mcxStrategyName(std::get<0>(param_info.param));
         for (char &c : name) {
             if (c == '-')
                 c = '_';
         }
-        return name + "_k" + std::to_string(std::get<1>(info.param));
+        return name + "_k" + std::to_string(std::get<1>(param_info.param));
     });
 
 // ---------------------------------------------------------------------
@@ -224,9 +224,9 @@ INSTANTIATE_TEST_SUITE_P(
     DevicesAndSeeds, RoutingProperty,
     ::testing::Combine(::testing::Values("ibmqx3", "ibmqx5", "ibmq_16"),
                        ::testing::Values(7, 8, 9, 10)),
-    [](const auto &info) {
-        return std::get<0>(info.param) + "_seed" +
-               std::to_string(std::get<1>(info.param));
+    [](const auto &param_info) {
+        return std::get<0>(param_info.param) + "_seed" +
+               std::to_string(std::get<1>(param_info.param));
     });
 
 // ---------------------------------------------------------------------
@@ -331,9 +331,9 @@ INSTANTIATE_TEST_SUITE_P(
     DevicesAndSeeds, PhasePolyProperty,
     ::testing::Combine(::testing::Values("ibmqx2", "ibmqx5"),
                        ::testing::Values(11, 12)),
-    [](const auto &info) {
-        return std::get<0>(info.param) + "_seed" +
-               std::to_string(std::get<1>(info.param));
+    [](const auto &param_info) {
+        return std::get<0>(param_info.param) + "_seed" +
+               std::to_string(std::get<1>(param_info.param));
     });
 
 // ---------------------------------------------------------------------

@@ -26,6 +26,8 @@
 
 #include <unistd.h>
 
+#include "analysis/dag.hpp"
+#include "analysis/rules.hpp"
 #include "cache/cache.hpp"
 #include "cli/options.hpp"
 #include "common/errors.hpp"
@@ -295,12 +297,54 @@ main(int argc, char **argv)
         note(timeIt("end_to_end_compile", reps, [&]() {
             Compiler compiler(dev);
             CompileResult r = compiler.compile(c);
+            analysis::DagMetrics dm = analysis::computeDagMetrics(
+                analysis::DependencyDag(r.optimized));
             return std::vector<std::pair<std::string, double>>{
                 {"gates_out",
                  static_cast<double>(r.optimizedM.gates)},
+                {"depth", static_cast<double>(dm.depth)},
+                {"critical_gates",
+                 static_cast<double>(dm.criticalGates)},
                 {"verified",
                  r.verifyRan && dd::isEquivalent(r.verification) ? 1.0
                                                                  : 0.0},
+            };
+        }));
+    }
+
+    // --- Dependency-DAG construction (the static-analysis substrate) ---
+    {
+        const int gates = smoke ? 400 : 2000;
+        Circuit c = makeRandom(top_qubits, gates, 17);
+        note(timeIt("dag_build", reps, [&]() {
+            analysis::DependencyDag dag(c);
+            analysis::DagMetrics m = analysis::computeDagMetrics(dag);
+            return std::vector<std::pair<std::string, double>>{
+                {"gates", static_cast<double>(m.gates)},
+                {"edges", static_cast<double>(m.edges)},
+                {"depth", static_cast<double>(m.depth)},
+                {"parallelism", m.parallelism},
+            };
+        }));
+    }
+
+    // --- Full lint pass: DAG + dataflow + every rule on one circuit ---
+    {
+        Device dev = makeIbmqx5();
+        const int gates = smoke ? 200 : 800;
+        Circuit c = makeRandom(5, gates, 19);
+        note(timeIt("analyze_full", reps, [&]() {
+            analysis::LintOptions lopts;
+            lopts.device = &dev;
+            analysis::Diagnostics d =
+                analysis::analyzeCircuit(c, "bench", lopts);
+            return std::vector<std::pair<std::string, double>>{
+                {"findings", static_cast<double>(d.findings.size())},
+                {"errors", static_cast<double>(
+                               d.countAtLeast(analysis::Severity::Error))},
+                {"depth", static_cast<double>(d.metrics.depth)},
+                {"critical_gates",
+                 static_cast<double>(d.metrics.criticalGates)},
             };
         }));
     }

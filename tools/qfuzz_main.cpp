@@ -82,7 +82,8 @@ runSmoke(qsyn::check::FuzzOptions base)
     const OracleId all[] = {OracleId::QmddEquivalence,
                             OracleId::Statevector, OracleId::Legality,
                             OracleId::CostSanity, OracleId::Determinism,
-                            OracleId::CacheConsistency};
+                            OracleId::CacheConsistency,
+                            OracleId::LintClean};
     for (OracleId id : all) {
         if (!cleanSum.oracleExercised(id)) {
             std::cerr << "[smoke] FAIL: oracle '" << oracleName(id)
