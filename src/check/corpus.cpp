@@ -37,6 +37,10 @@ compileOptionsToFlags(const CompileOptions &options)
         push("--placement");
         push("greedy");
     }
+    if (options.routing.router != defaults.routing.router) {
+        push("--router");
+        push(route::routerName(options.routing.router));
+    }
     if (options.routing.meetInMiddle)
         push("--meet-in-middle");
     if (options.routing.dynamicLayout)

@@ -124,6 +124,14 @@ generateCase(Rng &rng, const FuzzOptions &opts, std::uint64_t case_seed)
     fc.options.placement = rng.chance(0.5)
                                ? route::PlacementStrategy::Greedy
                                : route::PlacementStrategy::Identity;
+    // Skip the router draw on fault runs (it is pinned below anyway):
+    // the fault sweep's case stream must stay CNOT-heavy enough for
+    // the planted bug to fire.
+    if (!opts.injectSwapBackFault) {
+        fc.options.routing.router = rng.chance(0.35)
+                                        ? route::RouterKind::Sabre
+                                        : route::RouterKind::Ctr;
+    }
     fc.options.routing.meetInMiddle = rng.chance(0.25);
     fc.options.routing.dynamicLayout = rng.chance(0.25);
     fc.options.routing.fidelityAware = rng.chance(0.15);
@@ -138,8 +146,14 @@ generateCase(Rng &rng, const FuzzOptions &opts, std::uint64_t case_seed)
         };
         fc.options.mcxStrategy = strategies[rng.below(4)];
     }
-    if (opts.injectSwapBackFault)
+    if (opts.injectSwapBackFault) {
         fc.options.routing.testOmitSwapBack = true;
+        // The planted fault lives in CTR's swap-back half; the router
+        // stays at its Ctr default so the smoke gate always has the
+        // bug to catch (the sabre leg of the router differential
+        // oracle clears the fault flag and catches it from the other
+        // side).
+    }
     return fc;
 }
 

@@ -27,6 +27,7 @@ oracleName(OracleId id)
       case OracleId::Determinism: return "determinism";
       case OracleId::CacheConsistency: return "cache";
       case OracleId::LintClean: return "lint";
+      case OracleId::RouterDifferential: return "router";
     }
     return "?";
 }
@@ -404,6 +405,57 @@ checkLintClean(const CompileResult &result, const Device &device,
     return out;
 }
 
+OracleOutcome
+checkRouterDifferential(const CompileResult &result, const Device &device,
+                        const CompileOptions &options,
+                        const OracleOptions &opts)
+{
+    obs::Span span("check.router", "check");
+    OracleOutcome out;
+    out.id = OracleId::RouterDifferential;
+    if (device.isFullyConnected()) {
+        out.skipped = true;
+        out.details = "fully connected target";
+        return out;
+    }
+    if (!result.input.isUnitary()) {
+        out.skipped = true;
+        out.details = "non-unitary input";
+        return out;
+    }
+
+    Circuit placed =
+        result.decomposed.remapped(result.placement, device.numQubits());
+    route::RouteOptions ropts = options.routing;
+    ropts.router = route::RouterKind::Ctr;
+    Circuit by_ctr = route::routeCircuit(placed, device, nullptr, ropts);
+    ropts.router = route::RouterKind::Sabre;
+    ropts.testOmitSwapBack = false; // the fault is a ctr-only knob
+    Circuit by_sabre = route::routeCircuit(placed, device, nullptr, ropts);
+
+    // Both strategies restore the identity layout, so the two routed
+    // circuits must agree as full unitaries — no ancilla slack.
+    dd::Package pkg;
+    dd::EquivalenceChecker checker(pkg);
+    dd::EquivalenceOptions eopts;
+    eopts.nodeBudget = opts.qmddNodeBudget;
+    dd::Equivalence verdict = checker.check(by_ctr, by_sabre, eopts);
+    if (verdict == dd::Equivalence::Inconclusive) {
+        out.skipped = true;
+        out.details = "node budget exhausted";
+        return out;
+    }
+    out.passed = dd::isEquivalent(verdict);
+    if (!out.passed) {
+        std::ostringstream os;
+        os << "ctr vs sabre verdict " << dd::equivalenceName(verdict)
+           << " (ctr " << by_ctr.size() << "g, sabre "
+           << by_sabre.size() << "g)";
+        out.details = os.str();
+    }
+    return out;
+}
+
 OracleReport
 runAllOracles(const Circuit &input, const Device &device,
               const CompileOptions &options, const OracleOptions &opts)
@@ -423,6 +475,9 @@ runAllOracles(const Circuit &input, const Device &device,
     report.outcomes.push_back(checkLegality(result, device));
     report.outcomes.push_back(checkCostSanity(result, copts));
     report.outcomes.push_back(checkLintClean(result, device, copts));
+    if (opts.runRouterDifferential)
+        report.outcomes.push_back(
+            checkRouterDifferential(result, device, copts, opts));
     if (opts.runDeterminism)
         report.outcomes.push_back(
             checkDeterminism(input, device, copts, opts));

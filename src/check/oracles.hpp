@@ -23,7 +23,11 @@
  *   lint         — the static analyzer finds nothing wrong with the
  *                  emitted circuit: no non-native gates, no coupling
  *                  violations, and (when the optimizer ran) no
- *                  removable inverse pair the optimizer missed.
+ *                  removable inverse pair the optimizer missed;
+ *   router       — the ctr and sabre routing strategies produce
+ *                  QMDD-equivalent circuits from the same placed
+ *                  input (both restore the identity layout, so their
+ *                  unitaries must agree exactly).
  *
  * Oracles are pure observers: they never mutate the result and each
  * builds its own QMDD package, so they compose with any compile the
@@ -48,11 +52,12 @@ enum class OracleId
     CostSanity,
     Determinism,
     CacheConsistency,
-    LintClean
+    LintClean,
+    RouterDifferential
 };
 
 /** Stable short name ("qmdd", "statevector", "legality", "cost",
- *  "determinism", "cache", "lint"). */
+ *  "determinism", "cache", "lint", "router"). */
 const char *oracleName(OracleId id);
 
 /** Tuning knobs shared by the oracle stack. */
@@ -79,6 +84,9 @@ struct OracleOptions
     /** Run the (also recompiling) cache-consistency oracle as part of
      *  runAllOracles. */
     bool runCache = true;
+    /** Run the ctr-vs-sabre routing differential as part of
+     *  runAllOracles. */
+    bool runRouterDifferential = true;
 };
 
 /** Verdict of one oracle on one compile. */
@@ -134,6 +142,19 @@ OracleOutcome checkCacheConsistency(const Circuit &input,
 OracleOutcome checkLintClean(const CompileResult &result,
                              const Device &device,
                              const CompileOptions &options);
+/**
+ * Route the placed circuit once with each strategy (ctr and sabre,
+ * inheriting every other routing option) and require the two outputs
+ * to be QMDD-equivalent as full unitaries. Skipped on fully connected
+ * targets (routing is the identity there) and non-unitary inputs.
+ * Catches any strategy whose layout bookkeeping or restoration
+ * epilogue silently changes the computation — including the planted
+ * `--test-omit-swap-back` fault, which breaks ctr but not sabre.
+ */
+OracleOutcome checkRouterDifferential(const CompileResult &result,
+                                      const Device &device,
+                                      const CompileOptions &options,
+                                      const OracleOptions &opts = {});
 /// @}
 
 /**

@@ -55,6 +55,11 @@ struct FlagReset
 };
 
 const FlagReset kFlagResets[] = {
+    {"router",
+     [](const CompileOptions &o) {
+         return o.routing.router != route::RouterKind::Ctr;
+     },
+     [](CompileOptions &o) { o.routing.router = route::RouterKind::Ctr; }},
     {"meet-in-middle",
      [](const CompileOptions &o) { return o.routing.meetInMiddle; },
      [](CompileOptions &o) { o.routing.meetInMiddle = false; }},

@@ -122,6 +122,12 @@ parseCliArguments(const std::vector<std::string> &args)
             else
                 throw UserError("unknown placement '" + value +
                                 "' (identity|greedy)");
+        } else if (arg == "--router") {
+            std::string value = next_value(arg);
+            if (!route::parseRouterName(value,
+                                        &opts.compile.routing.router))
+                throw UserError("unknown router '" + value +
+                                "' (ctr|sabre)");
         } else if (arg == "--mcx") {
             opts.compile.mcxStrategy =
                 strategyFromName(next_value(arg));
@@ -285,6 +291,8 @@ cliHelpText()
         "                           shared QMDD package (default)\n"
         "      --no-share-manager   private QMDD package per circuit\n"
         "      --placement <p>      identity | greedy\n"
+        "      --router <r>         ctr (paper reference) | sabre\n"
+        "                           (DAG-lookahead, fewer SWAPs)\n"
         "      --mcx <s>            auto|clean|dirty|split|roots\n"
         "      --meet-in-middle     CTR variant: move both endpoints\n"
         "      --dynamic-layout     persistent-swap routing variant\n"
@@ -592,9 +600,11 @@ runCli(const CliOptions &options, std::ostream &out, std::ostream &err)
                 << ", gates " << result.optimizedM.gates << ", cost "
                 << result.optimizedM.cost << " ("
                 << result.percentCostDecrease() << "% decrease)\n";
-            err << "routing:           " << result.routeStats.nativeCnots
-                << " native, " << result.routeStats.reversedCnots
-                << " reversed, " << result.routeStats.reroutedCnots
+            err << "routing:           "
+                << route::routerName(options.compile.routing.router)
+                << ": " << result.routeStats.nativeCnots << " native, "
+                << result.routeStats.reversedCnots << " reversed, "
+                << result.routeStats.reroutedCnots
                 << " rerouted CNOTs, " << result.routeStats.swapsInserted
                 << " swaps\n";
             if (result.verifyRan) {

@@ -87,6 +87,8 @@ runRemote(const CliOptions &options, std::ostream &out,
                         route::PlacementStrategy::Greedy
                     ? "greedy"
                     : "identity");
+            request.object["router"] = Json::makeString(
+                route::routerName(options.compile.routing.router));
             if (options.deadlineSeconds > 0.0) {
                 request.object["deadline_ms"] = Json::makeNumber(
                     options.deadlineSeconds * 1e3);

@@ -143,11 +143,55 @@ makeProposed96()
     return device;
 }
 
+Device
+makeLine16()
+{
+    CouplingMap map(16);
+    for (Qubit q = 0; q + 1 < 16; ++q) {
+        if (q % 2 == 0)
+            map.addEdge(q, q + 1);
+        else
+            map.addEdge(q + 1, q);
+    }
+    return Device("line_16", 16, std::move(map));
+}
+
+Device
+makeGrid16()
+{
+    constexpr Qubit kSide = 4;
+    CouplingMap map(16);
+    for (Qubit r = 0; r < kSide; ++r) {
+        for (Qubit c = 0; c < kSide; ++c) {
+            Qubit q = r * kSide + c;
+            // Checkerboard orientation: even cells drive their right
+            // and down neighbors, odd cells are driven by them.
+            if (c + 1 < kSide) {
+                if ((r + c) % 2 == 0)
+                    map.addEdge(q, q + 1);
+                else
+                    map.addEdge(q + 1, q);
+            }
+            if (r + 1 < kSide) {
+                if ((r + c) % 2 == 0)
+                    map.addEdge(q, q + kSide);
+                else
+                    map.addEdge(q + kSide, q);
+            }
+        }
+    }
+    Device device("grid_16", 16, std::move(map));
+    QSYN_ASSERT(device.coupling().isConnected(),
+                "grid_16 topology must be connected");
+    return device;
+}
+
 std::vector<Device>
 allBuiltinDevices()
 {
-    return {makeIbmqx2(), makeIbmqx3(), makeIbmqx4(), makeIbmqx5(),
-            makeIbmq16(), makeProposed96()};
+    return {makeIbmqx2(),  makeIbmqx3(),   makeIbmqx4(),
+            makeIbmqx5(),  makeIbmq16(),   makeProposed96(),
+            makeLine16(),  makeGrid16()};
 }
 
 std::vector<Device>

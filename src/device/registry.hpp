@@ -32,8 +32,24 @@ Device makeIbmq16();    ///< 14-qubit Melbourne ("ibmq_16")
 Device makeProposed96();
 
 /**
+ * A 16-qubit directed line (0→1→…→15 with alternating CNOT
+ * orientation): the linear-nearest-neighbor topology of the LNN
+ * synthesis literature, and the sparsest connected map — worst case
+ * for swap-back routing, best case for lookahead routers.
+ */
+Device makeLine16();
+
+/**
+ * A 4×4 grid ("grid_16"): row-major qubits with horizontal and
+ * vertical nearest-neighbor couplings, CNOT direction alternating
+ * checkerboard-style. The standard square-lattice layout-synthesis
+ * benchmark topology.
+ */
+Device makeGrid16();
+
+/**
  * All built-in physical devices, in the paper's Table 2 order followed
- * by the 96-qubit machine.
+ * by the 96-qubit machine and the synthetic line/grid topologies.
  */
 std::vector<Device> allBuiltinDevices();
 

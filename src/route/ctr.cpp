@@ -10,14 +10,9 @@ namespace qsyn::route {
 
 namespace {
 
-/** appendReversedCnot realizes a CNOT against the coupling direction
- *  with four Hadamards around it (Fig. 6); account for them. */
-void
-countReversal(RouteStats *stats)
-{
-    if (stats)
-        stats->hInserted += 4;
-}
+using detail::countReversal;
+using detail::remapGate;
+using detail::restoreIdentityLayout;
 
 /** Record one reroute decision on the installed obs sink: the SWAP
  *  path length (vertices walked, histogram) and the running reroute
@@ -173,17 +168,12 @@ routeDynamic(const Circuit &circuit, const Device &device,
             QSYN_ASSERT(g.numQubits() <= 1 ||
                             g.kind() == GateKind::Barrier,
                         "routing expects a primitive-level circuit");
-            // Remap single-qubit gates (and barriers) through the
-            // current layout.
+            // Remap single-qubit gates through the current layout;
+            // barriers fence the whole register and pass unchanged.
             if (g.kind() == GateKind::Barrier) {
                 out.add(g);
             } else if (g.numQubits() == 1) {
-                std::vector<Qubit> remap(n);
-                for (Qubit v = 0; v < n; ++v)
-                    remap[v] = pos[v];
-                Circuit one(n);
-                one.add(g);
-                out.append(one.remapped(remap, n));
+                out.add(remapGate(g, pos));
             } else {
                 out.add(g);
             }
@@ -200,8 +190,6 @@ routeDynamic(const Circuit &circuit, const Device &device,
         if (map.hasUndirectedEdge(pc, pt)) {
             decompose::appendReversedCnot(out, pc, pt);
             countReversal(stats);
-            if (stats)
-                ++stats->reversedCnots;
             continue;
         }
         std::vector<Qubit> path = map.shortestPathToNeighbor(pc, pt);
@@ -224,72 +212,19 @@ routeDynamic(const Circuit &circuit, const Device &device,
         }
     }
 
-    // Epilogue: restore the identity layout (selection sort by swap
-    // chains along shortest paths).
-    for (Qubit p = 0; p < n; ++p) {
-        while (inv[p] != p) {
-            Qubit src = pos[p]; // physical currently holding virtual p
-            std::vector<Qubit> path = map.shortestPath(src, p);
-            QSYN_ASSERT(path.size() >= 2, "broken repair path");
-            apply_swap(path[0], path[1]);
-        }
-    }
+    // Epilogue: restore the identity layout.
+    restoreIdentityLayout(out, map, pos, inv, stats);
     return out;
 }
 
 } // namespace
 
-namespace {
-
-/** Flush one routing run's counters onto the obs sink. */
-void
-flushRouteStats(obs::Sink *sink, const RouteStats &stats)
-{
-    if (sink == nullptr)
-        return;
-    obs::MetricsRegistry &m = sink->metrics();
-    m.addCounter("route.native_cnots",
-                 static_cast<double>(stats.nativeCnots));
-    m.addCounter("route.reversed_cnots",
-                 static_cast<double>(stats.reversedCnots));
-    m.addCounter("route.rerouted_cnots",
-                 static_cast<double>(stats.reroutedCnots));
-    m.addCounter("route.swaps_inserted",
-                 static_cast<double>(stats.swapsInserted));
-    m.addCounter("route.h_inserted",
-                 static_cast<double>(stats.hInserted));
-}
-
-} // namespace
-
 Circuit
-routeCircuit(const Circuit &circuit, const Device &device,
-             RouteStats *stats, const RouteOptions &options)
+routeCtr(const Circuit &circuit, const Device &device, RouteStats *stats,
+         const RouteOptions &options)
 {
-    if (circuit.numQubits() > device.numQubits()) {
-        throw MappingError(
-            "circuit needs " + std::to_string(circuit.numQubits()) +
-            " qubits but " + device.name() + " has only " +
-            std::to_string(device.numQubits()));
-    }
-    obs::Span span("route.circuit", "route");
-    obs::Sink *sink = obs::sink();
-    // Keep per-run counters even when the caller does not ask for
-    // them, so the metrics snapshot is complete.
-    RouteStats local;
-    if (stats == nullptr && sink != nullptr)
-        stats = &local;
-
-    if (options.dynamicLayout) {
-        Circuit routed = routeDynamic(circuit, device, stats);
-        if (sink != nullptr && stats != nullptr) {
-            flushRouteStats(sink, *stats);
-            span.arg("gates_in", circuit.size());
-            span.arg("gates_out", routed.size());
-            span.arg("swaps", stats->swapsInserted);
-        }
-        return routed;
-    }
+    if (options.dynamicLayout)
+        return routeDynamic(circuit, device, stats);
 
     Circuit out(device.numQubits(), circuit.name());
     const CouplingMap &map = device.coupling();
@@ -314,8 +249,6 @@ routeCircuit(const Circuit &circuit, const Device &device,
         if (map.hasUndirectedEdge(control, target)) {
             decompose::appendReversedCnot(out, control, target);
             countReversal(stats);
-            if (stats)
-                ++stats->reversedCnots;
             continue;
         }
         if (options.meetInMiddle)
@@ -324,12 +257,6 @@ routeCircuit(const Circuit &circuit, const Device &device,
             routeCnotCtr(out, device, control, target, stats,
                          options.fidelityAware,
                          options.testOmitSwapBack);
-    }
-    if (sink != nullptr && stats != nullptr) {
-        flushRouteStats(sink, *stats);
-        span.arg("gates_in", circuit.size());
-        span.arg("gates_out", out.size());
-        span.arg("swaps", stats->swapsInserted);
     }
     return out;
 }

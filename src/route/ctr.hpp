@@ -10,75 +10,25 @@
  * target, executing the CNOT there, and swapping back so the original
  * qubit assignment is preserved. Each SWAP costs at most 7 gates
  * (3 CNOTs + 4 H) under unidirectional coupling.
+ *
+ * The shared stats/options types and the strategy-dispatching
+ * `routeCircuit` entry live in route/router.hpp (re-exported here so
+ * existing includes keep working).
  */
 
 #pragma once
 
-#include "device/device.hpp"
-#include "ir/circuit.hpp"
+#include "route/router.hpp"
 
 namespace qsyn::route {
 
-/** Counters describing what routing had to do. */
-struct RouteStats
-{
-    size_t nativeCnots = 0;   ///< already legal
-    size_t reversedCnots = 0; ///< fixed with four Hadamards (Fig. 6)
-    size_t reroutedCnots = 0; ///< needed a SWAP path (CTR)
-    size_t swapsInserted = 0; ///< total SWAPs emitted (incl. swap-back)
-    /** Hadamards inserted for direction fixes, including reversals at
-     *  the far end of a reroute (4 per reversed CNOT). */
-    size_t hInserted = 0;
-};
-
-/** Routing options. */
-struct RouteOptions
-{
-    /**
-     * Ablation variant: instead of walking the control all the way to
-     * the target's neighborhood (the paper's CTR), walk control and
-     * target toward each other and meet in the middle. Same legality,
-     * different SWAP counts.
-     */
-    bool meetInMiddle = false;
-
-    /**
-     * Fidelity-aware path selection: when the device carries
-     * calibration data, SWAP paths minimize accumulated two-qubit
-     * error (Dijkstra over -log(1-e) edge weights) instead of hop
-     * count. Extension of the paper's "qubit and operator fidelity"
-     * cost direction.
-     */
-    bool fidelityAware = false;
-
-    /**
-     * Dynamic-layout routing (extension): SWAPs persist instead of
-     * being undone after every CNOT (the paper's CTR swaps the control
-     * back each time); a permutation-repair epilogue restores the
-     * original assignment at the end so the overall unitary is
-     * unchanged. Usually far fewer SWAPs on reroute-heavy circuits.
-     */
-    bool dynamicLayout = false;
-
-    /**
-     * TEST ONLY — omit the swap-back half of every CTR reroute. The
-     * output stays legal on the device but its unitary is wrong, which
-     * is exactly what the qfuzz oracle stack must catch and shrink.
-     * Surfaced as the hidden `--test-omit-swap-back` CLI flag; never
-     * set it outside fault-injection tests.
-     */
-    bool testOmitSwapBack = false;
-};
-
 /**
- * Legalize a primitive-level circuit (single-qubit gates, CNOTs,
- * measures, barriers) for `device`. Circuit wires are interpreted as
- * physical qubits (apply a placement first). The result uses only
- * native CNOT directions. Throws MappingError when the circuit is
- * wider than the device or endpoints are disconnected.
+ * The CTR backend (plus its meet-in-middle and dynamic-layout
+ * variants, selected through `options`). Called by the dispatcher in
+ * router.cpp after the width check; use `routeCircuit` instead unless
+ * you specifically want to bypass strategy selection.
  */
-Circuit routeCircuit(const Circuit &circuit, const Device &device,
-                     RouteStats *stats = nullptr,
-                     const RouteOptions &options = {});
+Circuit routeCtr(const Circuit &circuit, const Device &device,
+                 RouteStats *stats, const RouteOptions &options);
 
 } // namespace qsyn::route

@@ -114,15 +114,38 @@ greedyPlacement(const Circuit &circuit, const Device &device)
             }
         }
         if (best != kNoQubit && best_score == 0) {
-            // No placed partner is adjacent to any free qubit; stay
-            // close to the already-placed cluster instead.
-            for (Qubit other : order) {
-                if (placement[other] != kNoQubit) {
-                    Qubit near =
-                        nearestFree(map, placement[other], occupied);
-                    if (near != kNoQubit) {
-                        best = near;
-                        break;
+            // No placed partner is adjacent to any free qubit. Anchor
+            // on the heaviest already-placed wire `logical` actually
+            // interacts with; only when no partner is placed yet fall
+            // back to the placed cluster as a whole.
+            Qubit anchor = kNoQubit;
+            size_t anchor_weight = 0;
+            for (Qubit other = 0; other < n; ++other) {
+                if (other == logical || placement[other] == kNoQubit)
+                    continue;
+                auto key = std::minmax(logical, other);
+                auto it = weight.find({key.first, key.second});
+                if (it == weight.end())
+                    continue;
+                if (anchor == kNoQubit || it->second > anchor_weight) {
+                    anchor = other;
+                    anchor_weight = it->second;
+                }
+            }
+            if (anchor != kNoQubit) {
+                Qubit near =
+                    nearestFree(map, placement[anchor], occupied);
+                if (near != kNoQubit)
+                    best = near;
+            } else {
+                for (Qubit other : order) {
+                    if (placement[other] != kNoQubit) {
+                        Qubit near =
+                            nearestFree(map, placement[other], occupied);
+                        if (near != kNoQubit) {
+                            best = near;
+                            break;
+                        }
                     }
                 }
             }

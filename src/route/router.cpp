@@ -1,0 +1,196 @@
+#include "route/router.hpp"
+
+#include "common/errors.hpp"
+#include "decompose/toffoli.hpp"
+#include "obs/obs.hpp"
+#include "route/ctr.hpp"
+#include "route/sabre.hpp"
+
+namespace qsyn::route {
+
+const char *
+routerName(RouterKind kind)
+{
+    switch (kind) {
+      case RouterKind::Ctr:
+        return "ctr";
+      case RouterKind::Sabre:
+        return "sabre";
+    }
+    throw InternalError("unknown router kind", __FILE__, __LINE__);
+}
+
+bool
+parseRouterName(const std::string &text, RouterKind *out)
+{
+    if (text == "ctr") {
+        *out = RouterKind::Ctr;
+        return true;
+    }
+    if (text == "sabre") {
+        *out = RouterKind::Sabre;
+        return true;
+    }
+    return false;
+}
+
+namespace detail {
+
+Gate
+remapGate(const Gate &gate, const std::vector<Qubit> &layout)
+{
+    if (gate.kind() == GateKind::Measure)
+        return Gate::measure(layout[gate.target()], gate.cbit());
+    std::vector<Qubit> controls;
+    controls.reserve(gate.numControls());
+    for (Qubit c : gate.controls())
+        controls.push_back(layout[c]);
+    std::vector<Qubit> targets;
+    targets.reserve(gate.targets().size());
+    for (Qubit t : gate.targets())
+        targets.push_back(layout[t]);
+    return Gate(gate.kind(), std::move(controls), std::move(targets),
+                gate.param());
+}
+
+void
+countReversal(RouteStats *stats)
+{
+    if (stats == nullptr)
+        return;
+    ++stats->reversedCnots;
+    stats->hInserted += 4;
+}
+
+size_t
+restoreIdentityLayout(Circuit &out, const CouplingMap &map,
+                      std::vector<Qubit> &pos, std::vector<Qubit> &inv,
+                      RouteStats *stats)
+{
+    Qubit n = static_cast<Qubit>(pos.size());
+    size_t restore_swaps = 0;
+    auto apply_swap = [&](Qubit pa, Qubit pb) {
+        decompose::appendSwap(out, &map, pa, pb);
+        ++restore_swaps;
+        Qubit va = inv[pa], vb = inv[pb];
+        std::swap(inv[pa], inv[pb]);
+        pos[va] = pb;
+        pos[vb] = pa;
+    };
+    for (Qubit p = 0; p < n; ++p) {
+        if (inv[p] == p)
+            continue;
+        std::vector<Qubit> path = map.shortestPath(pos[p], p);
+        QSYN_ASSERT(path.size() >= 2, "broken repair path");
+        // There-and-back chain: transposes the endpoint wires and
+        // leaves every intermediate wire where it was, so positions
+        // already repaired cannot be dragged out of place again.
+        for (size_t i = 0; i + 1 < path.size(); ++i)
+            apply_swap(path[i], path[i + 1]);
+        for (size_t i = path.size() - 2; i-- > 0;)
+            apply_swap(path[i], path[i + 1]);
+        QSYN_ASSERT(inv[p] == p, "repair transposition missed");
+    }
+    if (stats != nullptr) {
+        stats->swapsInserted += restore_swaps;
+        stats->restoreSwaps += restore_swaps;
+    }
+    return restore_swaps;
+}
+
+} // namespace detail
+
+namespace {
+
+class CtrRouter final : public Router
+{
+  public:
+    const char *name() const override { return "ctr"; }
+    Circuit route(const Circuit &circuit, const Device &device,
+                  RouteStats *stats,
+                  const RouteOptions &options) const override
+    {
+        return routeCtr(circuit, device, stats, options);
+    }
+};
+
+class SabreRouter final : public Router
+{
+  public:
+    const char *name() const override { return "sabre"; }
+    Circuit route(const Circuit &circuit, const Device &device,
+                  RouteStats *stats,
+                  const RouteOptions &options) const override
+    {
+        return routeSabre(circuit, device, stats, options);
+    }
+};
+
+/** Flush one routing run's counters onto the obs sink. */
+void
+flushRouteStats(obs::Sink *sink, const RouteStats &stats)
+{
+    if (sink == nullptr)
+        return;
+    obs::MetricsRegistry &m = sink->metrics();
+    m.addCounter("route.native_cnots",
+                 static_cast<double>(stats.nativeCnots));
+    m.addCounter("route.reversed_cnots",
+                 static_cast<double>(stats.reversedCnots));
+    m.addCounter("route.rerouted_cnots",
+                 static_cast<double>(stats.reroutedCnots));
+    m.addCounter("route.swaps_inserted",
+                 static_cast<double>(stats.swapsInserted));
+    m.addCounter("route.h_inserted",
+                 static_cast<double>(stats.hInserted));
+    // route.sabre.* counters are emitted by the sabre backend itself,
+    // which can tell heuristic SWAPs from restore SWAPs as they land.
+}
+
+} // namespace
+
+const Router &
+routerFor(RouterKind kind)
+{
+    static const CtrRouter ctr;
+    static const SabreRouter sabre;
+    switch (kind) {
+      case RouterKind::Ctr:
+        return ctr;
+      case RouterKind::Sabre:
+        return sabre;
+    }
+    throw InternalError("unknown router kind", __FILE__, __LINE__);
+}
+
+Circuit
+routeCircuit(const Circuit &circuit, const Device &device,
+             RouteStats *stats, const RouteOptions &options)
+{
+    if (circuit.numQubits() > device.numQubits()) {
+        throw MappingError(
+            "circuit needs " + std::to_string(circuit.numQubits()) +
+            " qubits but " + device.name() + " has only " +
+            std::to_string(device.numQubits()));
+    }
+    const Router &router = routerFor(options.router);
+    obs::Span span("route.circuit", "route");
+    span.arg("router", router.name());
+    obs::Sink *sink = obs::sink();
+    // Keep per-run counters even when the caller does not ask for
+    // them, so the metrics snapshot is complete.
+    RouteStats local;
+    if (stats == nullptr && sink != nullptr)
+        stats = &local;
+
+    Circuit routed = router.route(circuit, device, stats, options);
+    if (sink != nullptr && stats != nullptr) {
+        flushRouteStats(sink, *stats);
+        span.arg("gates_in", circuit.size());
+        span.arg("gates_out", routed.size());
+        span.arg("swaps", stats->swapsInserted);
+    }
+    return routed;
+}
+
+} // namespace qsyn::route

@@ -11,7 +11,8 @@
  *
  * Requests are JSON objects with an `op` field:
  *   compile  {op, source, format?, name?, device?, simulator_qubits?,
- *             optimize?, verify?, placement?, deadline_ms?, id?}
+ *             optimize?, verify?, placement?, router? ("ctr"|"sabre"),
+ *             deadline_ms?, id?}
  *   verify   {op, source_a, source_b, format_a?, format_b?, id?}
  *   simulate {op, source, format?, top?, threshold?, id?}
  *   stats    {op, format? ("json"|"prom"), id?}

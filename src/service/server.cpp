@@ -572,6 +572,11 @@ Server::handleCompile(const Json &request)
         throw ServiceError{ErrorCode::BadRequest,
                            "unknown placement '" + placement +
                                "' (identity|greedy)"};
+    std::string router = toLower(request.stringOr("router", "ctr"));
+    if (!route::parseRouterName(router, &options.routing.router))
+        throw ServiceError{ErrorCode::BadRequest,
+                           "unknown router '" + router +
+                               "' (ctr|sabre)"};
 
     // The deadline covers queueing AND compiling: a client's budget
     // is end-to-end, not "after we got around to it".

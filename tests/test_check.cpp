@@ -56,7 +56,7 @@ TEST(OracleStack, AllGreenOnHealthyCompile)
     OracleReport report =
         runAllOracles(input, makeIbmqx4(), CompileOptions{});
     EXPECT_TRUE(report.allPassed()) << report.summary();
-    EXPECT_EQ(report.outcomes.size(), 7u);
+    EXPECT_EQ(report.outcomes.size(), 8u);
     EXPECT_EQ(report.firstFailure(), nullptr);
     for (const OracleOutcome &o : report.outcomes)
         EXPECT_FALSE(o.skipped) << oracleName(o.id);

@@ -66,6 +66,21 @@ TEST(CliParse, AllTheFlags)
     EXPECT_EQ(opts.inputs[0], "in.real");
 }
 
+TEST(CliParse, RouterSelection)
+{
+    EXPECT_EQ(parseCliArguments({"a.qasm"}).compile.routing.router,
+              route::RouterKind::Ctr);
+    EXPECT_EQ(parseCliArguments({"--router", "sabre", "a.qasm"})
+                  .compile.routing.router,
+              route::RouterKind::Sabre);
+    EXPECT_EQ(parseCliArguments({"--router", "ctr", "a.qasm"})
+                  .compile.routing.router,
+              route::RouterKind::Ctr);
+    EXPECT_THROW(parseCliArguments({"--router", "astar", "a.qasm"}),
+                 UserError);
+    EXPECT_THROW(parseCliArguments({"--router"}), UserError);
+}
+
 TEST(CliParse, BatchInputsAndJobs)
 {
     CliOptions opts = parseCliArguments(

@@ -1,7 +1,9 @@
 /**
  * @file
- * Tests for placement and CTR routing: routed circuits must use only
- * native CNOT directions and stay exactly equivalent to their inputs.
+ * Tests for placement and routing (CTR and the sabre lookahead
+ * router): routed circuits must use only native CNOT directions and
+ * stay exactly equivalent to their inputs, and the two strategies
+ * must agree with each other on every device in the registry.
  */
 
 #include <gtest/gtest.h>
@@ -13,6 +15,7 @@
 #include "qmdd/equivalence.hpp"
 #include "route/ctr.hpp"
 #include "route/placement.hpp"
+#include "route/sabre.hpp"
 
 using namespace qsyn;
 using namespace qsyn::route;
@@ -28,7 +31,7 @@ expectLegal(const Circuit &circuit, const Device &device)
             EXPECT_TRUE(
                 device.coupling().hasEdge(g.controls()[0], g.target()))
                 << g.toString() << " illegal on " << device.name();
-        } else {
+        } else if (g.kind() != GateKind::Barrier) {
             EXPECT_LE(g.numQubits(), 1u) << g.toString();
         }
     }
@@ -155,6 +158,85 @@ TEST(Ctr, SimulatorNeedsNoRouting)
     EXPECT_EQ(stats.reversedCnots, 0u);
 }
 
+namespace {
+
+/** Directed 3-qubit line with both arrows pointing at q1: the
+ *  smallest device where a reroute must land its CNOT against the
+ *  coupling direction (q1 couples *into* nothing). */
+Device
+makeInwardV()
+{
+    CouplingMap map(3);
+    map.addEdge(0, 1);
+    map.addEdge(2, 1);
+    return Device("inward_v", 3, map);
+}
+
+} // namespace
+
+TEST(Ctr, ExactCountersOnReversedReroute)
+{
+    // CNOT(0, 2) on the inward V: one SWAP walks the control from q0
+    // to q1, the CNOT must then run q1 -> q2 against the only edge
+    // (2 -> 1), and one SWAP walks back. The far-end reversal must
+    // show up in reversedCnots, not just hInserted.
+    Device dev = makeInwardV();
+    Circuit c(3);
+    c.addCnot(0, 2);
+    RouteStats stats;
+    Circuit routed = routeCircuit(c, dev, &stats);
+    EXPECT_EQ(stats.nativeCnots, 0u);
+    EXPECT_EQ(stats.reroutedCnots, 1u);
+    EXPECT_EQ(stats.swapsInserted, 2u); // 1 out + 1 back
+    EXPECT_EQ(stats.reversedCnots, 1u); // the far-end reversal
+    EXPECT_EQ(stats.hInserted, 4u);
+    expectLegal(routed, dev);
+    EXPECT_TRUE(sameUnitary(c, routed));
+}
+
+TEST(Ctr, ExactCountersOnReversedRerouteDynamicLayout)
+{
+    // Same far-end reversal under the persistent-swap variant.
+    Device dev = makeInwardV();
+    Circuit c(3);
+    c.addCnot(0, 2);
+    RouteOptions opts;
+    opts.dynamicLayout = true;
+    RouteStats stats;
+    Circuit routed = routeCircuit(c, dev, &stats, opts);
+    EXPECT_EQ(stats.reroutedCnots, 1u);
+    EXPECT_EQ(stats.reversedCnots, 1u);
+    EXPECT_EQ(stats.hInserted, 4u);
+    EXPECT_EQ(stats.swapsInserted, 2u); // 1 out + 1 restore
+    EXPECT_EQ(stats.restoreSwaps, 1u);
+    expectLegal(routed, dev);
+    EXPECT_TRUE(sameUnitary(c, routed));
+}
+
+TEST(Ctr, ExactCountersOnMeetInMiddleReversedLanding)
+{
+    // Directed chain 2 -> 1 -> 0. CNOT(0, 2) meet-in-middle: path
+    // [0, 1, 2], the control stays at q0, the target walks q2 -> q1
+    // (one SWAP each way), and the meeting CNOT q0 -> q1 runs against
+    // the native 1 -> 0 direction, so it must reverse — and count.
+    CouplingMap map(3);
+    map.addEdge(1, 0);
+    map.addEdge(2, 1);
+    Device dev("chain_down", 3, map);
+    Circuit c(3);
+    c.addCnot(0, 2);
+    RouteOptions opts;
+    opts.meetInMiddle = true;
+    RouteStats stats;
+    Circuit routed = routeCircuit(c, dev, &stats, opts);
+    EXPECT_EQ(stats.reroutedCnots, 1u);
+    EXPECT_EQ(stats.reversedCnots, 1u);
+    EXPECT_EQ(stats.hInserted, 4u);
+    EXPECT_EQ(stats.swapsInserted, 2u);
+    expectLegal(routed, dev);
+    EXPECT_TRUE(sameUnitary(c, routed));
+}
+
 TEST(Placement, IdentityIsIdentity)
 {
     Device dev = makeIbmqx5();
@@ -270,4 +352,188 @@ TEST(DynamicRouting, MeasurementsFollowTheLayout)
             ++measures;
     }
     EXPECT_EQ(measures, 1u);
+}
+
+TEST(DynamicRouting, WideCircuitWithManySingleQubitGates)
+{
+    // The 96-qubit machine with thousands of single-qubit gates: the
+    // case the per-gate remap used to make quadratic. Every 1q gate
+    // must land on its wire's current physical home and survive the
+    // reroutes around it.
+    Device dev = makeProposed96();
+    Rng rng(77);
+    Circuit c(96, "wide");
+    size_t t_gates = 0;
+    for (int round = 0; round < 40; ++round) {
+        for (Qubit q = 0; q < 96; ++q) {
+            if (rng.chance(0.5)) {
+                c.addT(q);
+                ++t_gates;
+            }
+        }
+        Qubit a = static_cast<Qubit>(rng.below(96));
+        Qubit b = static_cast<Qubit>(rng.below(96));
+        if (a != b)
+            c.addCnot(a, b);
+    }
+    RouteOptions opts;
+    opts.dynamicLayout = true;
+    RouteStats stats;
+    Circuit routed = routeCircuit(c, dev, &stats, opts);
+    expectLegal(routed, dev);
+    size_t routed_t = 0;
+    for (const Gate &g : routed) {
+        if (g.isTGate())
+            ++routed_t;
+    }
+    EXPECT_EQ(routed_t, t_gates);
+    EXPECT_GT(stats.swapsInserted, 0u);
+}
+
+namespace {
+
+Circuit
+seededCnotHeavy(std::uint64_t seed, Qubit num_qubits, size_t num_gates)
+{
+    RandomCircuitOptions opts;
+    opts.numQubits = num_qubits;
+    opts.numGates = num_gates;
+    opts.cnotFraction = 0.7;
+    opts.seed = seed;
+    return randomCircuit(opts);
+}
+
+} // namespace
+
+TEST(Sabre, EquivalentToCtrAcrossTheDeviceRegistry)
+{
+    // The acceptance sweep: >= 50 seeded circuits across every device
+    // in the registry; sabre must be legal and QMDD-equivalent to ctr
+    // on each (both restore the identity layout, so the two routed
+    // circuits must agree as full unitaries).
+    size_t cases = 0;
+    for (const Device &dev : allBuiltinDevices()) {
+        for (std::uint64_t seed = 1; seed <= 7; ++seed) {
+            Circuit c = seededCnotHeavy(
+                seed * 1031, std::min<Qubit>(6, dev.numQubits()), 24);
+            Circuit placed =
+                applyPlacement(c, greedyPlacement(c, dev), dev);
+
+            RouteOptions ctr_opts;
+            Circuit by_ctr = routeCircuit(placed, dev, nullptr, ctr_opts);
+            RouteOptions sabre_opts;
+            sabre_opts.router = RouterKind::Sabre;
+            RouteStats stats;
+            Circuit by_sabre =
+                routeCircuit(placed, dev, &stats, sabre_opts);
+
+            expectLegal(by_sabre, dev);
+            EXPECT_TRUE(sameUnitary(by_ctr, by_sabre))
+                << dev.name() << " seed " << seed;
+            ++cases;
+        }
+    }
+    EXPECT_GE(cases, 50u);
+}
+
+TEST(Sabre, ReducesSwapsOnSparseTopologies)
+{
+    // The lookahead heuristic's reason to exist: fewer SWAPs than
+    // per-CNOT swap-back routing on line and grid couplings.
+    for (const char *name : {"line_16", "grid_16"}) {
+        Device dev = builtinDevice(name);
+        Circuit c = seededCnotHeavy(0xabcd, 16, 120);
+        Circuit placed = applyPlacement(c, greedyPlacement(c, dev), dev);
+
+        RouteStats ctr_stats;
+        routeCircuit(placed, dev, &ctr_stats, {});
+        RouteOptions opts;
+        opts.router = RouterKind::Sabre;
+        RouteStats sabre_stats;
+        routeCircuit(placed, dev, &sabre_stats, opts);
+        EXPECT_LT(sabre_stats.swapsInserted, ctr_stats.swapsInserted)
+            << name;
+    }
+}
+
+TEST(Sabre, MeasuresAndBarriersSurviveRouting)
+{
+    Device dev = makeIbmqx4();
+    Circuit c(5, "mixed");
+    c.addCnot(0, 4); // distant on qx4
+    c.add(Gate::barrier({0, 1, 2, 3, 4}));
+    c.addT(0);
+    c.add(Gate::measure(0, 0));
+    RouteOptions opts;
+    opts.router = RouterKind::Sabre;
+    Circuit routed = routeCircuit(c, dev, nullptr, opts);
+    expectLegal(routed, dev);
+    size_t measures = 0, barriers = 0;
+    for (const Gate &g : routed) {
+        if (g.kind() == GateKind::Measure)
+            ++measures;
+        if (g.kind() == GateKind::Barrier)
+            ++barriers;
+    }
+    EXPECT_EQ(measures, 1u);
+    EXPECT_EQ(barriers, 1u);
+}
+
+TEST(Sabre, FidelityAwareStaysEquivalent)
+{
+    Device dev = makeIbmqx5();
+    dev.attachSyntheticCalibration(0xfeed);
+    Circuit c = seededCnotHeavy(99, 6, 30);
+    Circuit placed = applyPlacement(c, greedyPlacement(c, dev), dev);
+    Circuit by_ctr = routeCircuit(placed, dev, nullptr, {});
+    RouteOptions opts;
+    opts.router = RouterKind::Sabre;
+    opts.fidelityAware = true;
+    Circuit by_sabre = routeCircuit(placed, dev, nullptr, opts);
+    expectLegal(by_sabre, dev);
+    EXPECT_TRUE(sameUnitary(by_ctr, by_sabre));
+}
+
+TEST(Sabre, DisconnectedQubitsThrow)
+{
+    CouplingMap map(4);
+    map.addEdge(0, 1);
+    map.addEdge(2, 3);
+    Device dev("island", 4, map);
+    Circuit c(4);
+    c.addCnot(0, 3);
+    RouteOptions opts;
+    opts.router = RouterKind::Sabre;
+    EXPECT_THROW(routeCircuit(c, dev, nullptr, opts), MappingError);
+}
+
+TEST(Sabre, ZeroWindowStillRoutesCorrectly)
+{
+    // A degenerate lookahead window (frontier-only scoring) must not
+    // change correctness, only SWAP quality.
+    Device dev = builtinDevice("line_16");
+    Circuit c = seededCnotHeavy(5, 8, 30);
+    Circuit placed = applyPlacement(c, greedyPlacement(c, dev), dev);
+    Circuit by_ctr = routeCircuit(placed, dev, nullptr, {});
+    RouteOptions opts;
+    opts.router = RouterKind::Sabre;
+    opts.sabreWindow = 0;
+    Circuit by_sabre = routeCircuit(placed, dev, nullptr, opts);
+    expectLegal(by_sabre, dev);
+    EXPECT_TRUE(sameUnitary(by_ctr, by_sabre));
+}
+
+TEST(Router, NamesRoundTrip)
+{
+    EXPECT_STREQ(routerName(RouterKind::Ctr), "ctr");
+    EXPECT_STREQ(routerName(RouterKind::Sabre), "sabre");
+    RouterKind kind = RouterKind::Ctr;
+    EXPECT_TRUE(parseRouterName("sabre", &kind));
+    EXPECT_EQ(kind, RouterKind::Sabre);
+    EXPECT_TRUE(parseRouterName("ctr", &kind));
+    EXPECT_EQ(kind, RouterKind::Ctr);
+    EXPECT_FALSE(parseRouterName("astar", &kind));
+    EXPECT_EQ(kind, RouterKind::Ctr); // untouched on failure
+    EXPECT_STREQ(routerFor(RouterKind::Sabre).name(), "sabre");
+    EXPECT_STREQ(routerFor(RouterKind::Ctr).name(), "ctr");
 }

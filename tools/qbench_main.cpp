@@ -34,7 +34,10 @@
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "core/qsyn.hpp"
+#include "device/registry.hpp"
 #include "ir/random_circuit.hpp"
+#include "route/placement.hpp"
+#include "route/router.hpp"
 #include "service/client.hpp"
 #include "service/server.hpp"
 
@@ -347,6 +350,58 @@ main(int argc, char **argv)
                  static_cast<double>(d.metrics.criticalGates)},
             };
         }));
+    }
+
+    // --- Router race: CTR swap-back vs sabre lookahead per device ---
+    {
+        // Same seeded CNOT-heavy circuit, greedy-placed, routed by
+        // both strategies; the JSON records SWAP counts and routed
+        // depth side by side so heuristic regressions show as diffs.
+        const size_t gates = smoke ? 60 : 120;
+        for (const char *name :
+             {"ibmqx5", "ibmq_16", "line_16", "grid_16"}) {
+            Device dev = builtinDevice(name);
+            RandomCircuitOptions ropts;
+            ropts.numQubits = std::min<Qubit>(dev.numQubits(), 16);
+            ropts.numGates = gates;
+            ropts.cnotFraction = 0.7;
+            ropts.seed = 0xace5;
+            Circuit c = randomCircuit(ropts);
+            Circuit placed = route::applyPlacement(
+                c, route::greedyPlacement(c, dev), dev);
+            note(timeIt("router_race_" + std::string(name), reps,
+                        [&]() {
+                auto depth_of = [](const Circuit &routed) {
+                    return static_cast<double>(
+                        analysis::computeDagMetrics(
+                            analysis::DependencyDag(routed))
+                            .depth);
+                };
+                route::RouteStats ctr_stats;
+                Circuit by_ctr = route::routeCircuit(
+                    placed, dev, &ctr_stats, {});
+                route::RouteOptions sopts;
+                sopts.router = route::RouterKind::Sabre;
+                route::RouteStats sabre_stats;
+                Circuit by_sabre = route::routeCircuit(
+                    placed, dev, &sabre_stats, sopts);
+                double ctr_swaps =
+                    static_cast<double>(ctr_stats.swapsInserted);
+                double sabre_swaps =
+                    static_cast<double>(sabre_stats.swapsInserted);
+                return std::vector<std::pair<std::string, double>>{
+                    {"ctr_swaps", ctr_swaps},
+                    {"sabre_swaps", sabre_swaps},
+                    {"ctr_depth", depth_of(by_ctr)},
+                    {"sabre_depth", depth_of(by_sabre)},
+                    {"swap_reduction_pct",
+                     ctr_swaps > 0.0
+                         ? 100.0 * (ctr_swaps - sabre_swaps) /
+                               ctr_swaps
+                         : 0.0},
+                };
+            }));
+        }
     }
 
     // --- Parallel batch compilation at 1/2/4 workers ---
